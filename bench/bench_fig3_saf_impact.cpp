@@ -1,0 +1,42 @@
+// Fig. 3 — impact of SA0-only vs SA1-only faults on the two GNN phases.
+//
+// Paper setting: 5% pre-deployment fault density injected into the crossbars
+// storing the weight matrix and the adjacency matrix *separately*, SAGE on
+// Amazon2M, no mitigation (fault-unaware). Expected shape: SA1-only hurts
+// far more than SA0-only on both matrices.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+    using namespace fare;
+    std::cout << "=== Fig. 3: SA0 vs SA1 impact, Amazon2M (SAGE), 5% density ===\n\n";
+
+    const WorkloadSpec workload = find_workload("Amazon2M", GnnKind::kSAGE);
+    const std::uint64_t seed = 1;
+    const Dataset dataset = workload.make_dataset(seed);
+    const TrainConfig tc = workload.train_config(seed);
+
+    const auto fault_free = run_fault_free(dataset, tc);
+
+    Table t({"Faulty matrix", "fault-free", "SA0 only", "SA1 only"});
+    for (const bool on_weights : {true, false}) {
+        std::vector<std::string> row{on_weights ? "Weight Matrix" : "Adj Matrix"};
+        row.push_back(fmt(fault_free.train.test_accuracy, 3));
+        for (const double sa1_fraction : {0.0, 1.0}) {
+            FaultyHardwareConfig hw = default_hardware(0.05, sa1_fraction, seed);
+            hw.faults_on_weights = on_weights;
+            hw.faults_on_adjacency = !on_weights;
+            const auto r = run_scheme(dataset, Scheme::kFaultUnaware, tc, hw);
+            row.push_back(fmt(r.train.test_accuracy, 3));
+        }
+        t.add_row(row);
+    }
+    std::cout << t.to_ascii()
+              << "\nExpected shape (paper Fig. 3): SA1-only degrades accuracy far\n"
+                 "more than SA0-only for both matrices — SA1 explodes weights via\n"
+                 "the MSB slices and inserts spurious edges into the graph, while\n"
+                 "SA0 only zeroes (mostly already-small) slices / deletes edges.\n";
+    return 0;
+}

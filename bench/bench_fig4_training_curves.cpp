@@ -1,0 +1,55 @@
+// Fig. 4 — training-accuracy curves without/with FARe under varying
+// pre-deployment fault densities (Reddit, GCN, SA0:SA1 = 9:1).
+//
+// Paper shape: fault-unaware curves destabilise and diverge from the
+// fault-free curve as density grows; FARe's curves overlap the fault-free
+// one at every density.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "fare/fare_trainer.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+    using namespace fare;
+    std::cout << "=== Fig. 4: training accuracy vs epoch, Reddit (GCN), 9:1 ===\n\n";
+
+    const WorkloadSpec workload = find_workload("Reddit", GnnKind::kGCN);
+    const std::uint64_t seed = 1;
+    const Dataset dataset = workload.make_dataset(seed);
+    TrainConfig tc = workload.train_config(seed);
+    tc.record_curve = true;
+
+    struct Curve {
+        std::string label;
+        std::vector<EpochStats> stats;
+    };
+    std::vector<Curve> curves;
+
+    curves.push_back({"fault-free", run_fault_free(dataset, tc).train.curve});
+    for (const Scheme scheme : {Scheme::kFaultUnaware, Scheme::kFARe}) {
+        for (const double density : {0.01, 0.03, 0.05}) {
+            const auto hw = default_hardware(density, 0.1, seed);
+            const auto r = run_scheme(dataset, scheme, tc, hw);
+            curves.push_back({std::string(scheme_name(scheme)) + " " +
+                                  fmt_pct(density, 0),
+                              r.train.curve});
+        }
+    }
+
+    std::vector<std::string> header{"Epoch"};
+    for (const auto& c : curves) header.push_back(c.label);
+    Table t(header);
+    const std::size_t epochs = curves.front().stats.size();
+    for (std::size_t e = 0; e < epochs; e += 2) {  // every 2nd epoch
+        std::vector<std::string> row{std::to_string(e + 1)};
+        for (const auto& c : curves)
+            row.push_back(fmt(c.stats[e].train_accuracy, 3));
+        t.add_row(row);
+    }
+    std::cout << t.to_ascii()
+              << "\nExpected shape: (a) fault-unaware columns fall further below\n"
+                 "fault-free as density rises (unstable training); (b) FARe\n"
+                 "columns track the fault-free column at every density.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 7 — normalized end-to-end training time of each fault-tolerance
+// scheme relative to fault-free training, for the paper's four workloads at
+// paper scale (Table II batch counts, hidden width 1024, 100 epochs).
+//
+// The analytical timing model (reram/timing_model.hpp, NeuroSim stand-in)
+// provides: pipelined execution (N + S - 1 stages), weight clipping as one
+// extra stage, FARe's one-time first-batch mapping + per-epoch BIST, and
+// NR's per-batch reorder-and-reprogram stalls.
+//
+// Expected shape: fault-free = clipping ~ 1.00x, FARe ~ 1.01x, NR ~ 2-4x.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/registry.hpp"
+
+int main() {
+    using namespace fare;
+    std::cout << "=== Fig. 7: normalized execution time (paper-scale model) ===\n\n";
+
+    TimingModel model;
+    Table t({"Workload", "fault-free", "NR", "Weight Clipping", "FARe",
+             "FARe overhead"});
+    for (const WorkloadSpec& w : fig7_workloads()) {
+        const WorkloadTiming timing = w.paper_scale_timing();
+        const double fare = model.normalized_time(Scheme::kFARe, timing);
+        t.add_row({w.label(), fmt(model.normalized_time(Scheme::kFaultFree, timing), 3),
+                   fmt(model.normalized_time(Scheme::kNeuronReorder, timing), 2),
+                   fmt(model.normalized_time(Scheme::kClippingOnly, timing), 4),
+                   fmt(fare, 4), fmt_pct(fare - 1.0, 2)});
+    }
+    std::cout << t.to_ascii() << '\n';
+
+    // Decomposition for one workload, to show where NR's time goes.
+    const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
+    const WorkloadTiming timing = w.paper_scale_timing();
+    Table d({"Scheme", "pipeline (s)", "stalls (s)", "preprocess (s)", "BIST (s)",
+             "total (s)"});
+    for (const Scheme s : {Scheme::kFaultFree, Scheme::kNeuronReorder,
+                           Scheme::kClippingOnly, Scheme::kFARe}) {
+        const ExecutionBreakdown b = model.training_time(s, timing);
+        d.add_row({scheme_name(s), fmt(b.pipeline, 2), fmt(b.stalls, 2),
+                   fmt(b.preprocess, 4), fmt(b.bist, 4), fmt(b.total(), 2)});
+    }
+    std::cout << "Breakdown, Reddit (GCN):\n" << d.to_ascii();
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Micro-benchmarks for the graph substrate: the multilevel partitioner (the
+// repo's METIS stand-in) vs streaming LDG, dataset generation, and batch
+// extraction — the host-side preprocessing of the training pipeline.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/partitioner.hpp"
+#include "graph/subgraph.hpp"
+
+namespace {
+
+using namespace fare;
+
+Dataset bench_dataset(NodeId nodes) {
+    SbmSpec spec;
+    spec.num_nodes = nodes;
+    spec.num_classes = 8;
+    spec.avg_degree = 16.0;
+    spec.homophily = 0.85;
+    spec.seed = 11;
+    return make_sbm_dataset(spec);
+}
+
+void BM_MultilevelPartition(benchmark::State& state) {
+    const Dataset ds = bench_dataset(static_cast<NodeId>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(partition_multilevel(ds.graph, 40));
+    }
+    state.counters["edge_cut"] = static_cast<double>(
+        partition_multilevel(ds.graph, 40).edge_cut(ds.graph));
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_LdgPartition(benchmark::State& state) {
+    const Dataset ds = bench_dataset(static_cast<NodeId>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(partition_ldg(ds.graph, 40));
+    }
+    state.counters["edge_cut"] =
+        static_cast<double>(partition_ldg(ds.graph, 40).edge_cut(ds.graph));
+}
+BENCHMARK(BM_LdgPartition)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(make_reddit(++seed));
+    }
+}
+BENCHMARK(BM_DatasetGeneration);
+
+void BM_ClusterBatchExtraction(benchmark::State& state) {
+    const Dataset ds = bench_dataset(2000);
+    const Partitioning parts = partition_multilevel(ds.graph, 40);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(make_cluster_batches(ds.graph, parts, 4, ++seed));
+    }
+}
+BENCHMARK(BM_ClusterBatchExtraction);
+
+}  // namespace

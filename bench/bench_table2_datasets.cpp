@@ -1,0 +1,48 @@
+// Table II — graph datasets and GNN workload configuration.
+//
+// Prints the paper's dataset table side by side with this repo's synthetic
+// stand-ins (scaled ~100-1000x down; see DESIGN.md §1) and the measured
+// structural statistics of the generated graphs.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "graph/stats.hpp"
+#include "sim/registry.hpp"
+
+int main() {
+    using namespace fare;
+    std::cout << "=== Table II: datasets & workload configuration ===\n\n";
+
+    Table paper({"Dataset", "Paper #Nodes", "Paper #Edges", "Paper Batch/Partitions",
+                 "Models"});
+    paper.add_row({"PPI", "56,944", "818,716", "5 / 250", "GCN, GAT"});
+    paper.add_row({"Reddit", "232,965", "11,606,919", "10 / 1,500", "GCN"});
+    paper.add_row({"Amazon2M", "2,449,029", "61,859,140", "20 / 10,000", "GCN, SAGE"});
+    paper.add_row({"Ogbl", "2,927,963", "30,561,187", "16 / 15,000", "SAGE"});
+    std::cout << "Paper-scale datasets (lr = 0.01, epochs = 100):\n"
+              << paper.to_ascii() << '\n';
+
+    Table ours({"Dataset", "#Nodes", "#Edges", "AvgDeg", "P99Deg", "Homophily",
+                "Classes", "Batch/Partitions", "Components"});
+    for (const char* name : {"PPI", "Reddit", "Amazon2M", "Ogbl"}) {
+        // Any of the registered models for the dataset shares the generator.
+        WorkloadSpec spec;
+        for (const auto& w : fig5_workloads())
+            if (w.dataset == name) spec = w;
+        const Dataset ds = spec.make_dataset(1);
+        const TrainConfig tc = spec.train_config(1);
+        const DegreeStats deg = degree_stats(ds.graph);
+        ours.add_row({ds.name, std::to_string(ds.num_nodes()),
+                      std::to_string(ds.graph.num_edges()), fmt(deg.mean, 1),
+                      fmt(deg.p99, 0), fmt(edge_homophily(ds.graph, ds.labels), 3),
+                      std::to_string(ds.num_classes),
+                      std::to_string(tc.partitions_per_batch) + " / " +
+                          std::to_string(tc.num_partitions),
+                      std::to_string(connected_components(ds.graph))});
+    }
+    std::cout << "This repo's synthetic stand-ins (measured, seed = 1, lr = 0.01):\n"
+              << ours.to_ascii() << '\n'
+              << "Degree skew check: Reddit stand-in P99 degree should far exceed\n"
+                 "its mean (heavy-tailed social graph); PPI stays near-uniform.\n";
+    return 0;
+}

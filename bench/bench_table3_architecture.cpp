@@ -1,0 +1,51 @@
+// Table III — ReRAM-PIM architecture specification.
+//
+// Prints the modelled tile parameters and the derived chip-level roll-up the
+// simulator exposes (area, power, storage capacity, key latencies).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "reram/accelerator.hpp"
+#include "reram/timing_model.hpp"
+
+int main() {
+    using namespace fare;
+    std::cout << "=== Table III: ReRAM-PIM architecture specification ===\n\n";
+
+    const TileSpec spec;
+    Table t({"Parameter", "Value"});
+    t.add_row({"Crossbars per tile", std::to_string(spec.crossbars_per_tile)});
+    t.add_row({"Crossbar size", std::to_string(spec.crossbar_rows) + " x " +
+                                    std::to_string(spec.crossbar_cols)});
+    t.add_row({"Cell resolution", std::to_string(spec.bits_per_cell) + "-bit/cell"});
+    t.add_row({"ADCs", std::to_string(spec.num_adcs) + " x " +
+                           std::to_string(spec.adc_bits) + "-bit"});
+    t.add_row({"DACs", "12x128x8 (1-bit)"});
+    t.add_row({"Array clock", fmt(spec.array_clock_hz / 1e6, 0) + " MHz"});
+    t.add_row({"Comparators (clipping)", std::to_string(spec.num_comparators) +
+                                             " x 16-bit @ " +
+                                             fmt(spec.comparator_clock_hz / 1e9, 0) +
+                                             " GHz"});
+    t.add_row({"Muxes (clipping)", std::to_string(spec.num_muxes) + " x 2:1"});
+    t.add_row({"Tile power", fmt(spec.power_w, 2) + " W"});
+    t.add_row({"Tile area", fmt(spec.area_mm2, 3) + " mm^2"});
+    std::cout << t.to_ascii() << '\n';
+
+    Table derived({"Derived quantity", "Value"});
+    const std::size_t cells = spec.cells_per_tile();
+    derived.add_row({"Cells per tile", std::to_string(cells)});
+    derived.add_row(
+        {"16-bit weights per tile (8 cells/weight)", std::to_string(cells / 8)});
+    TimingModel model;
+    derived.add_row({"Crossbar MVM latency (16-bit bit-serial)",
+                     fmt(model.crossbar_mvm_latency_s() * 1e6, 2) + " us"});
+    derived.add_row({"128-row array write", fmt(model.write_latency_s(128) * 1e6, 1) +
+                                                " us"});
+    Accelerator four_tiles({TileSpec{}, 4});
+    derived.add_row({"4-tile accelerator area",
+                     fmt(four_tiles.total_area_mm2(), 3) + " mm^2"});
+    derived.add_row(
+        {"4-tile accelerator peak power", fmt(four_tiles.peak_power_w(), 2) + " W"});
+    std::cout << derived.to_ascii();
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Error handling utilities shared by every FARe module.
+//
+// We follow the C++ Core Guidelines: exceptions for errors that callers can
+// reasonably be expected to handle (bad configuration, shape mismatches) and
+// FARE_ASSERT for internal invariants whose violation is a programming bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fare {
+
+/// Thrown when user-supplied configuration or inputs are invalid
+/// (e.g. a fault density outside [0,1], mismatched matrix shapes).
+class InvalidArgument : public std::invalid_argument {
+public:
+    explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when a simulated hardware resource is exhausted
+/// (e.g. more adjacency blocks than available crossbars after removals).
+class ResourceError : public std::runtime_error {
+public:
+    explicit ResourceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+    std::ostringstream os;
+    os << "FARE_CHECK failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+    std::ostringstream os;
+    os << "FARE_ASSERT failed: (" << expr << ") at " << file << ':' << line;
+    throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fare
+
+/// Validate a user-facing precondition; throws fare::InvalidArgument.
+#define FARE_CHECK(expr, msg)                                                        \
+    do {                                                                             \
+        if (!(expr)) ::fare::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+/// Validate an internal invariant; throws std::logic_error (a bug if it fires).
+#define FARE_ASSERT(expr)                                                  \
+    do {                                                                   \
+        if (!(expr)) ::fare::detail::assert_fail(#expr, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,16 @@
+#include "common/stopwatch.hpp"
+
+namespace fare {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() {
+    start_ = std::chrono::steady_clock::now();
+}
+
+double Stopwatch::elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace fare

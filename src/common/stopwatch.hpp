@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for measuring host-side phases (preprocessing,
+// mapping) that feed into the timing model's overhead accounting.
+#pragma once
+
+#include <chrono>
+
+namespace fare {
+
+class Stopwatch {
+public:
+    Stopwatch();
+
+    /// Restart timing from now.
+    void reset();
+
+    /// Seconds elapsed since construction / last reset.
+    double elapsed_seconds() const;
+
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fare

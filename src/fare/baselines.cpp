@@ -1,0 +1,259 @@
+#include "fare/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fare/hungarian.hpp"
+#include "numeric/quantize.hpp"
+
+namespace fare {
+
+Matrix IdealQuantizedHardware::effective_weights(std::size_t, const Matrix& w) {
+    return quantize_dequantize(w);
+}
+
+FaultyHardware::FaultyHardware(Scheme scheme, const FaultyHardwareConfig& config)
+    : scheme_(scheme),
+      config_(config),
+      accelerator_(config.accelerator),
+      clipper_(config.clip_threshold),
+      mapper_(MapperConfig{config.accelerator.tile.crossbar_rows,
+                           config.match_weights,
+                           /*exact_row_matching=*/false,
+                           /*enable_crossbar_removal=*/true,
+                           /*enable_block_removal=*/true}),
+      wear_rng_(config.injection.seed ^ 0xD15EA5EULL),
+      noise_rng_(config.injection.seed ^ 0x4015EULL) {
+    FARE_CHECK(scheme != Scheme::kFaultFree,
+               "use IdealQuantizedHardware for the fault-free scheme");
+    accelerator_.inject_pre_deployment_faults(config.injection);
+}
+
+void FaultyHardware::bind_params(const std::vector<Matrix*>& params) {
+    params_.clear();
+    const auto xb_rows = config_.accelerator.tile.crossbar_rows;
+    const auto xb_cols = config_.accelerator.tile.crossbar_cols;
+    const std::size_t wpx = static_cast<std::size_t>(xb_cols) / kCellsPerWeight;
+    for (const Matrix* p : params) {
+        ParamRegion region;
+        region.rows = p->rows();
+        region.cols = p->cols();
+        const std::size_t grid_r = (p->rows() + xb_rows - 1) / xb_rows;
+        const std::size_t grid_c = (p->cols() + wpx - 1) / wpx;
+        region.range = accelerator_.allocate(grid_r * grid_c);
+        params_.push_back(std::move(region));
+    }
+    refresh_weight_grids();
+}
+
+void FaultyHardware::refresh_weight_grids() {
+    // The hardware-visible fault information comes from BIST scans of the
+    // allocated crossbars, exactly as FARe's flow prescribes (§IV-A).
+    const auto xb_rows = config_.accelerator.tile.crossbar_rows;
+    const auto xb_cols = config_.accelerator.tile.crossbar_cols;
+    for (auto& region : params_) {
+        std::vector<FaultMap> maps;
+        maps.reserve(region.range.count);
+        for (std::size_t i = 0; i < region.range.count; ++i) {
+            maps.push_back(
+                bist_scan(accelerator_.crossbar(region.range.first + i)).detected);
+            ++bist_scans_;
+            if (scheme_ == Scheme::kRedundantCols)
+                maps.back() = repair_worst_columns(
+                    maps.back(), static_cast<std::size_t>(
+                                     config_.spare_column_fraction * xb_cols));
+        }
+        // Cover every physical crossbar row (not just the rows the logical
+        // matrix occupies): NR exploits the unused rows as relocation targets.
+        const std::size_t grid_r = (region.rows + xb_rows - 1) / xb_rows;
+        region.grid = WeightFaultGrid(grid_r * xb_rows, region.cols, maps, xb_rows,
+                                      xb_cols);
+    }
+}
+
+std::vector<FaultMap> FaultyHardware::adjacency_pool_maps() const {
+    std::vector<FaultMap> maps;
+    maps.reserve(adj_range_.count);
+    for (std::size_t i = 0; i < adj_range_.count; ++i) {
+        maps.push_back(accelerator_.crossbar(adj_range_.first + i).fault_map());
+        if (scheme_ == Scheme::kRedundantCols)
+            maps.back() = repair_worst_columns(
+                maps.back(),
+                static_cast<std::size_t>(config_.spare_column_fraction *
+                                         config_.accelerator.tile.crossbar_cols));
+    }
+    return maps;
+}
+
+void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
+    batch_bits_ = batch_adjacency;
+    // Size the streaming adjacency pool for the largest batch.
+    const auto n = static_cast<std::size_t>(config_.accelerator.tile.crossbar_rows);
+    std::size_t max_blocks = 1;
+    for (const auto& adj : batch_adjacency) {
+        const std::size_t grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
+        max_blocks = std::max(max_blocks, grid * grid);
+    }
+    // Expose the whole remaining crossbar budget to the mapper: fault-aware
+    // block placement gains most of its power from *choosing* crossbars
+    // (clustered fault centres leave many crossbars near-clean). FARe prunes
+    // the pool to the cleanest candidates before the cost matrix.
+    const std::size_t pool = std::min(config_.max_adjacency_pool,
+                                      accelerator_.crossbars_available());
+    FARE_CHECK(pool >= max_blocks,
+               "adjacency pool cannot hold the largest batch's blocks");
+    adj_range_ = accelerator_.allocate(pool);
+    mapper_.set_max_crossbar_candidates(
+        std::max<std::size_t>(2 * max_blocks, max_blocks + 4));
+
+    const auto maps = adjacency_pool_maps();
+    mappings_.clear();
+    mappings_.reserve(batch_adjacency.size());
+    for (const auto& adj : batch_adjacency) {
+        switch (scheme_) {
+            case Scheme::kFARe:
+                mappings_.push_back(mapper_.map_batch(adj, maps));
+                break;
+            case Scheme::kNeuronReorder:
+                mappings_.push_back(mapper_.map_row_reorder(adj, maps));
+                break;
+            default:
+                mappings_.push_back(mapper_.map_identity(adj, maps));
+                break;
+        }
+    }
+}
+
+Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
+    FARE_CHECK(idx < params_.size(), "unbound parameter index");
+    const bool clip =
+        scheme_ == Scheme::kFARe || scheme_ == Scheme::kClippingOnly;
+    Matrix out;
+    if (!config_.faults_on_weights) {
+        out = quantize_dequantize(w);
+        if (clip) clipper_.clip_in_place(out);
+    } else {
+        const auto& region = params_[idx];
+        const std::optional<float> threshold =
+            clip ? std::optional<float>(clipper_.threshold()) : std::nullopt;
+        if (scheme_ == Scheme::kNeuronReorder) {
+            const auto perm = nr_weight_permutation(idx, w);
+            out = corrupt_weights_permuted(w, region.grid, perm, threshold);
+        } else {
+            out = corrupt_weights(w, region.grid, threshold);
+        }
+    }
+    if (config_.read_noise_sigma > 0.0) {
+        // Cycle-to-cycle conductance variation: multiplicative Gaussian
+        // noise on every read-out value (extension non-ideality).
+        for (auto& v : out.flat())
+            v *= 1.0f + static_cast<float>(config_.read_noise_sigma *
+                                           noise_rng_.next_gaussian());
+    }
+    return out;
+}
+
+std::vector<std::uint16_t> FaultyHardware::nr_weight_permutation(std::size_t idx,
+                                                                 const Matrix& w) {
+    // Neuron granularity: one reorder unit = one logical weight row spanning
+    // all 8 bit-slice cells. Cost of placing row r at physical row p = number
+    // of stuck cells whose level differs from the stored slice. NR's
+    // documented weaknesses are kept faithfully: SA0 and SA1 count alike (no
+    // criticality model) and a mismatch near the MSB weighs the same as one
+    // near the LSB (no significance model) — the unit is too coarse (§V-D).
+    const auto& region = params_[idx];
+    const std::size_t n = w.rows();
+    const std::size_t phys = region.grid.rows();
+    FARE_CHECK(n <= phys, "weight matrix taller than its crossbar column");
+
+    if (nr_perm_.size() <= idx) nr_perm_.resize(params_.size());
+    if (nr_perm_fresh_.size() <= idx) nr_perm_fresh_.resize(params_.size(), false);
+    auto& cached = nr_perm_[idx];
+    if (cached.size() != n) cached = identity_perm(static_cast<std::uint16_t>(n));
+    // Stationary within an epoch: reuse the epoch's permutation (see header).
+    if (nr_perm_fresh_[idx]) return cached;
+    // Small discount for keeping the previous placement across the epoch
+    // boundary (avoids gratuitous relocation after a BIST refresh).
+    constexpr double kStickiness = 0.25;
+    const auto& prev = cached;
+
+    // Slice the current weights once.
+    std::vector<CellSlices> sliced(n * w.cols());
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < w.cols(); ++c)
+            sliced[r * w.cols() + c] = slice_fixed(float_to_fixed(w(r, c)));
+
+    // Exact min-cost assignment of n logical rows onto phys physical rows.
+    std::vector<double> cost(n * phys, 0.0);
+    for (std::size_t p = 0; p < phys; ++p) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            for (int s = 0; s < kCellsPerWeight; ++s) {
+                const auto fault = region.grid.slice_fault(p, c, s);
+                if (!fault.has_value()) continue;
+                const std::uint8_t stuck = (*fault == FaultType::kSA0) ? 0 : 0x3;
+                for (std::size_t r = 0; r < n; ++r) {
+                    const std::uint8_t stored =
+                        sliced[r * w.cols() + c][static_cast<std::size_t>(s)];
+                    if (stored != stuck) cost[r * phys + p] += 1.0;
+                }
+            }
+        }
+    }
+    for (std::size_t r = 0; r < n; ++r) cost[r * phys + prev[r]] -= kStickiness;
+
+    const AssignmentResult assignment = hungarian_min_cost(n, phys, cost);
+    std::vector<std::uint16_t> perm(n, 0);
+    for (std::size_t r = 0; r < n; ++r)
+        perm[r] = static_cast<std::uint16_t>(assignment.row_to_col[r]);
+    cached = perm;
+    nr_perm_fresh_[idx] = true;
+    return perm;
+}
+
+BitMatrix FaultyHardware::effective_adjacency(std::size_t batch_idx,
+                                              const BitMatrix& ideal) {
+    if (!config_.faults_on_adjacency) return ideal;
+    FARE_CHECK(batch_idx < mappings_.size(), "unknown batch index");
+    return mapper_.apply(ideal, mappings_[batch_idx], adjacency_pool_maps());
+}
+
+void FaultyHardware::on_epoch_end(std::size_t epoch) {
+    (void)epoch;
+    if (config_.post_total_density <= 0.0) return;
+    const double per_epoch =
+        config_.post_total_density / static_cast<double>(config_.post_epochs);
+    accelerator_.inject_post_deployment_faults(per_epoch, config_.post_sa1_fraction,
+                                               wear_rng_);
+    // BIST refresh of the regions in use (the paper re-enables BIST at every
+    // epoch boundary, ~0.13% time overhead).
+    refresh_weight_grids();
+    // Fault maps changed: next batch recomputes the NR reorder.
+    std::fill(nr_perm_fresh_.begin(), nr_perm_fresh_.end(), false);
+    if (scheme_ == Scheme::kFARe) {
+        // Row-only re-permutation on top of the standing assignment Pi.
+        const auto maps = adjacency_pool_maps();
+        for (std::size_t b = 0; b < mappings_.size(); ++b)
+            mapper_.repermute(mappings_[b], batch_bits_[b], maps);
+    } else if (scheme_ == Scheme::kNeuronReorder) {
+        const auto maps = adjacency_pool_maps();
+        for (std::size_t b = 0; b < mappings_.size(); ++b) {
+            AdjacencyMapping remapped = mapper_.map_row_reorder(batch_bits_[b], maps);
+            mappings_[b] = std::move(remapped);
+        }
+    }
+}
+
+double FaultyHardware::total_mapping_cost() const {
+    double sum = 0.0;
+    for (const auto& m : mappings_) sum += m.total_cost();
+    return sum;
+}
+
+std::unique_ptr<HardwareModel> make_hardware(Scheme scheme,
+                                             const FaultyHardwareConfig& config) {
+    if (scheme == Scheme::kFaultFree)
+        return std::make_unique<IdealQuantizedHardware>();
+    return std::make_unique<FaultyHardware>(scheme, config);
+}
+
+}  // namespace fare

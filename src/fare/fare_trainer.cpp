@@ -1,0 +1,48 @@
+#include "fare/fare_trainer.hpp"
+
+namespace fare {
+
+SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
+                           const TrainConfig& train_config,
+                           const FaultyHardwareConfig& hw_config) {
+    SchemeRunResult result;
+    result.scheme = scheme;
+    auto hardware = make_hardware(scheme, hw_config);
+    Trainer trainer(dataset, train_config, hardware.get());
+    result.train = trainer.run();
+    if (auto* faulty = dynamic_cast<FaultyHardware*>(hardware.get())) {
+        result.total_mapping_cost = faulty->total_mapping_cost();
+        result.bist_scans = faulty->bist_scans();
+    }
+    return result;
+}
+
+SchemeRunResult run_fault_free(const Dataset& dataset,
+                               const TrainConfig& train_config) {
+    SchemeRunResult result;
+    result.scheme = Scheme::kFaultFree;
+    IdealQuantizedHardware hardware;
+    Trainer trainer(dataset, train_config, &hardware);
+    result.train = trainer.run();
+    return result;
+}
+
+DeploymentResult run_deployment(const Dataset& dataset,
+                                const TrainConfig& train_config, Scheme scheme,
+                                const FaultyHardwareConfig& hw_config) {
+    DeploymentResult result;
+    // Train on ideal hardware.
+    IdealQuantizedHardware ideal;
+    Trainer host_trainer(dataset, train_config, &ideal);
+    result.trained_accuracy = host_trainer.run().test_accuracy;
+
+    // Deploy the trained weights onto the faulty chip under `scheme`.
+    auto hardware = make_hardware(scheme, hw_config);
+    Trainer edge(dataset, train_config, hardware.get());
+    edge.import_params(host_trainer.export_params());
+    edge.prepare_hardware();
+    result.deployed_accuracy = edge.evaluate_test_accuracy();
+    return result;
+}
+
+}  // namespace fare

@@ -1,0 +1,41 @@
+// High-level orchestration: train one (dataset, model, scheme) combination on
+// simulated faulty hardware and report the metrics the paper's figures use.
+#pragma once
+
+#include <memory>
+
+#include "fare/baselines.hpp"
+#include "gnn/trainer.hpp"
+
+namespace fare {
+
+struct SchemeRunResult {
+    Scheme scheme = Scheme::kFaultFree;
+    TrainResult train;
+    /// Mapping quality diagnostics (0 for fault-free).
+    double total_mapping_cost = 0.0;
+    std::size_t bist_scans = 0;
+};
+
+/// Build the hardware model for `scheme`, run the full training loop and
+/// final test evaluation.
+SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
+                           const TrainConfig& train_config,
+                           const FaultyHardwareConfig& hw_config);
+
+/// Fault-free reference run (ideal quantised hardware).
+SchemeRunResult run_fault_free(const Dataset& dataset, const TrainConfig& train_config);
+
+/// Deployment scenario (extension): train on ideal hardware (e.g. in the
+/// cloud), then deploy the trained weights onto a faulty edge accelerator
+/// under `scheme`'s mapping and evaluate there — the inference-side
+/// counterpart of the paper's training story.
+struct DeploymentResult {
+    double trained_accuracy = 0.0;   ///< test accuracy on ideal hardware
+    double deployed_accuracy = 0.0;  ///< test accuracy on the faulty chip
+};
+DeploymentResult run_deployment(const Dataset& dataset,
+                                const TrainConfig& train_config, Scheme scheme,
+                                const FaultyHardwareConfig& hw_config);
+
+}  // namespace fare

@@ -1,0 +1,74 @@
+#include "fare/hungarian.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+// Jonker–Volgenant style shortest augmenting path with potentials.
+// Standard 1-indexed formulation; row i in [1, n], column j in [1, m].
+AssignmentResult hungarian_min_cost(std::size_t rows, std::size_t cols,
+                                    const std::vector<double>& cost) {
+    FARE_CHECK(rows <= cols, "hungarian requires rows <= cols");
+    FARE_CHECK(cost.size() == rows * cols, "cost matrix size mismatch");
+    const std::size_t n = rows, m = cols;
+    const double inf = std::numeric_limits<double>::infinity();
+
+    std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+    std::vector<std::size_t> match(m + 1, 0);  // column -> row (0 = free)
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::vector<double> minv(m + 1, inf);
+        std::vector<bool> used(m + 1, false);
+        std::vector<std::size_t> way(m + 1, 0);
+        std::size_t j0 = 0;
+        match[0] = i;
+        do {
+            used[j0] = true;
+            const std::size_t i0 = match[j0];
+            double delta = inf;
+            std::size_t j1 = 0;
+            for (std::size_t j = 1; j <= m; ++j) {
+                if (used[j]) continue;
+                const double cur =
+                    cost[(i0 - 1) * m + (j - 1)] - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (std::size_t j = 0; j <= m; ++j) {
+                if (used[j]) {
+                    u[match[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (match[j0] != 0);
+        // Augment along the alternating path.
+        do {
+            const std::size_t j1 = way[j0];
+            match[j0] = match[j1];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    AssignmentResult result;
+    result.row_to_col.assign(n, -1);
+    for (std::size_t j = 1; j <= m; ++j) {
+        if (match[j] != 0) {
+            result.row_to_col[match[j] - 1] = static_cast<int>(j - 1);
+            result.total_cost += cost[(match[j] - 1) * m + (j - 1)];
+        }
+    }
+    return result;
+}
+
+}  // namespace fare

@@ -1,0 +1,27 @@
+// Exact minimum-cost assignment (Hungarian algorithm, Jonker–Volgenant
+// shortest-augmenting-path variant, O(n^2 m)).
+//
+// Used for the *outer* problem of Algorithm 1 (line 18): assigning the b
+// adjacency blocks to the m crossbars given the cost(i,j) matrix — b and m
+// are small (tens), so an exact solve is cheap. Also serves as the exact
+// reference the b-Suitor property tests compare against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fare {
+
+struct AssignmentResult {
+    /// For each row i (block), the assigned column (crossbar), or -1 when
+    /// rows > cols makes assignment impossible.
+    std::vector<int> row_to_col;
+    double total_cost = 0.0;
+};
+
+/// Minimum-cost assignment of `rows` rows to `cols` columns, rows <= cols.
+/// cost is row-major (rows x cols). Every row is assigned a distinct column.
+AssignmentResult hungarian_min_cost(std::size_t rows, std::size_t cols,
+                                    const std::vector<double>& cost);
+
+}  // namespace fare

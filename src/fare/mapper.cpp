@@ -1,0 +1,253 @@
+#include "fare/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "fare/hungarian.hpp"
+
+namespace fare {
+
+double AdjacencyMapping::total_cost() const {
+    double sum = 0.0;
+    for (const auto& a : assignments) sum += a.cost;
+    return sum;
+}
+
+FaultAwareMapper::FaultAwareMapper(const MapperConfig& config) : config_(config) {
+    FARE_CHECK(config.block_size > 0, "block size must be positive");
+}
+
+BinaryBlock FaultAwareMapper::extract_block(const BitMatrix& adj, std::size_t bi,
+                                            std::size_t bj) const {
+    const std::uint16_t n = config_.block_size;
+    BinaryBlock block;
+    block.size = n;
+    block.bits.assign(static_cast<std::size_t>(n) * n, 0);
+    for (std::uint16_t r = 0; r < n; ++r) {
+        const std::size_t src_r = bi * n + r;
+        if (src_r >= adj.rows) break;
+        for (std::uint16_t c = 0; c < n; ++c) {
+            const std::size_t src_c = bj * n + c;
+            if (src_c >= adj.cols) break;
+            block.set(r, c, adj.at(src_r, src_c));
+        }
+    }
+    return block;
+}
+
+RowMatchResult FaultAwareMapper::match_rows(const BinaryBlock& block,
+                                            const FaultMap& map,
+                                            const RowMatchWeights& weights) const {
+    return config_.exact_row_matching ? best_row_permutation_exact(block, map, weights)
+                                      : best_row_permutation(block, map, weights);
+}
+
+AdjacencyMapping FaultAwareMapper::map_batch(
+    const BitMatrix& adj, const std::vector<FaultMap>& crossbars) const {
+    const std::uint16_t n = config_.block_size;
+    AdjacencyMapping mapping;
+    mapping.grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
+    mapping.matrix_size = mapping.grid * n;
+    const std::size_t b_total = mapping.grid * mapping.grid;
+
+    // Extract all blocks and their edge densities.
+    std::vector<BinaryBlock> blocks;
+    blocks.reserve(b_total);
+    for (std::size_t bi = 0; bi < mapping.grid; ++bi)
+        for (std::size_t bj = 0; bj < mapping.grid; ++bj)
+            blocks.push_back(extract_block(adj, bi, bj));
+    std::vector<double> density(b_total);
+    for (std::size_t i = 0; i < b_total; ++i) density[i] = blocks[i].edge_density();
+    const double min_density = *std::min_element(density.begin(), density.end());
+
+    FARE_CHECK(crossbars.size() >= b_total,
+               "need at least as many crossbars as adjacency blocks");
+
+    // cost(i, j) for every block x crossbar pair, via row matching.
+    std::vector<std::size_t> live_blocks(b_total);
+    std::iota(live_blocks.begin(), live_blocks.end(), 0u);
+    std::vector<std::size_t> live_xbars(crossbars.size());
+    std::iota(live_xbars.begin(), live_xbars.end(), 0u);
+
+    // Candidate pruning: keep only the cleanest crossbars (by weighted fault
+    // count) before paying for the full cost matrix.
+    if (config_.max_crossbar_candidates > 0) {
+        const std::size_t keep =
+            std::max(config_.max_crossbar_candidates, b_total);
+        if (live_xbars.size() > keep) {
+            auto weighted_faults = [&](std::size_t j) {
+                return static_cast<double>(crossbars[j].num_sa0()) *
+                           config_.weights.sa0 +
+                       static_cast<double>(crossbars[j].num_sa1()) *
+                           config_.weights.sa1;
+            };
+            std::stable_sort(live_xbars.begin(), live_xbars.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return weighted_faults(a) < weighted_faults(b);
+                             });
+            live_xbars.resize(keep);
+            std::sort(live_xbars.begin(), live_xbars.end());
+        }
+    }
+
+    const std::size_t m = crossbars.size();
+    std::vector<RowMatchResult> results(b_total * m);
+    for (std::size_t i = 0; i < b_total; ++i)
+        for (std::size_t j : live_xbars)
+            results[i * m + j] = match_rows(blocks[i], crossbars[j], config_.weights);
+
+    // Crossbar-removal rule (Algorithm 1 line 12): if even the most
+    // compatible block cannot overlap crossbar j's SA1 faults down to the
+    // sparsest block's edge density, exclude the crossbar — worst offenders
+    // first, but never below one crossbar per block.
+    if (config_.enable_crossbar_removal) {
+        const double cells = static_cast<double>(n) * static_cast<double>(n);
+        std::vector<std::pair<double, std::size_t>> candidates;  // (nonoverlap, j)
+        for (std::size_t j : live_xbars) {
+            double min_nonoverlap = std::numeric_limits<double>::infinity();
+            for (std::size_t i : live_blocks)
+                min_nonoverlap =
+                    std::min(min_nonoverlap, results[i * m + j].sa1_nonoverlap);
+            if (min_nonoverlap / cells > min_density)
+                candidates.emplace_back(min_nonoverlap, j);
+        }
+        std::sort(candidates.rbegin(), candidates.rend());
+        const std::size_t max_removals = live_xbars.size() - live_blocks.size();
+        if (candidates.size() > max_removals) candidates.resize(max_removals);
+        for (const auto& [nonoverlap, j] : candidates) {
+            mapping.removed_crossbars.push_back(j);
+            live_xbars.erase(std::find(live_xbars.begin(), live_xbars.end(), j));
+        }
+    }
+
+    // Block-removal rule (Algorithm 1 line 14): with b = m there is no slack
+    // left; drop the sparsest block to the host to regain freedom.
+    if (config_.enable_block_removal && live_blocks.size() == live_xbars.size() &&
+        live_blocks.size() > 1) {
+        double min_nonoverlap = std::numeric_limits<double>::infinity();
+        for (std::size_t j : live_xbars)
+            for (std::size_t i : live_blocks)
+                min_nonoverlap =
+                    std::min(min_nonoverlap, results[i * m + j].sa1_nonoverlap);
+        if (min_nonoverlap > 0.0) {
+            const std::size_t sparsest =
+                *std::min_element(live_blocks.begin(), live_blocks.end(),
+                                  [&](std::size_t a, std::size_t bidx) {
+                                      return density[a] < density[bidx];
+                                  });
+            mapping.host_blocks.push_back(sparsest);
+            live_blocks.erase(
+                std::find(live_blocks.begin(), live_blocks.end(), sparsest));
+        }
+    }
+
+    // Outer assignment (Algorithm 1 line 18): exact min-cost matching of the
+    // surviving blocks onto the surviving crossbars.
+    std::vector<double> cost(live_blocks.size() * live_xbars.size(), 0.0);
+    for (std::size_t bi = 0; bi < live_blocks.size(); ++bi)
+        for (std::size_t xj = 0; xj < live_xbars.size(); ++xj)
+            cost[bi * live_xbars.size() + xj] =
+                results[live_blocks[bi] * m + live_xbars[xj]].cost;
+    const AssignmentResult assignment =
+        hungarian_min_cost(live_blocks.size(), live_xbars.size(), cost);
+
+    for (std::size_t bi = 0; bi < live_blocks.size(); ++bi) {
+        const std::size_t i = live_blocks[bi];
+        const std::size_t j = live_xbars[static_cast<std::size_t>(
+            assignment.row_to_col[bi])];
+        BlockAssignment ba;
+        ba.block_index = i;
+        ba.crossbar_index = j;
+        ba.row_perm = results[i * m + j].perm;
+        ba.cost = results[i * m + j].cost;
+        mapping.assignments.push_back(std::move(ba));
+    }
+    return mapping;
+}
+
+AdjacencyMapping FaultAwareMapper::map_identity(
+    const BitMatrix& adj, const std::vector<FaultMap>& crossbars) const {
+    const std::uint16_t n = config_.block_size;
+    AdjacencyMapping mapping;
+    mapping.grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
+    mapping.matrix_size = mapping.grid * n;
+    const std::size_t b_total = mapping.grid * mapping.grid;
+    FARE_CHECK(crossbars.size() >= b_total,
+               "need at least as many crossbars as adjacency blocks");
+    for (std::size_t i = 0; i < b_total; ++i) {
+        BlockAssignment ba;
+        ba.block_index = i;
+        ba.crossbar_index = i;
+        ba.row_perm = identity_perm(n);
+        ba.cost = mapping_cost(extract_block(adj, i / mapping.grid, i % mapping.grid),
+                               crossbars[i], ba.row_perm, config_.weights);
+        mapping.assignments.push_back(std::move(ba));
+    }
+    return mapping;
+}
+
+AdjacencyMapping FaultAwareMapper::map_row_reorder(
+    const BitMatrix& adj, const std::vector<FaultMap>& crossbars) const {
+    const std::uint16_t n = config_.block_size;
+    AdjacencyMapping mapping;
+    mapping.grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
+    mapping.matrix_size = mapping.grid * n;
+    const std::size_t b_total = mapping.grid * mapping.grid;
+    FARE_CHECK(crossbars.size() >= b_total,
+               "need at least as many crossbars as adjacency blocks");
+    // NR treats SA0 and SA1 alike (no criticality weighting) and keeps the
+    // identity block-to-crossbar placement.
+    RowMatchWeights equal{1.0, 1.0};
+    for (std::size_t i = 0; i < b_total; ++i) {
+        const BinaryBlock block =
+            extract_block(adj, i / mapping.grid, i % mapping.grid);
+        RowMatchResult r = match_rows(block, crossbars[i], equal);
+        BlockAssignment ba;
+        ba.block_index = i;
+        ba.crossbar_index = i;
+        ba.row_perm = std::move(r.perm);
+        ba.cost = r.cost;
+        mapping.assignments.push_back(std::move(ba));
+    }
+    return mapping;
+}
+
+BitMatrix FaultAwareMapper::apply(const BitMatrix& adj,
+                                  const AdjacencyMapping& mapping,
+                                  const std::vector<FaultMap>& crossbars) const {
+    const std::uint16_t n = config_.block_size;
+    BitMatrix out = adj;
+    for (const BlockAssignment& ba : mapping.assignments) {
+        const std::size_t bi = ba.block_index / mapping.grid;
+        const std::size_t bj = ba.block_index % mapping.grid;
+        const BinaryBlock block = extract_block(adj, bi, bj);
+        const BinaryBlock eff =
+            corrupt_adjacency_block(block, crossbars[ba.crossbar_index], ba.row_perm);
+        for (std::uint16_t r = 0; r < n; ++r) {
+            const std::size_t dst_r = bi * n + r;
+            if (dst_r >= out.rows) break;
+            for (std::uint16_t c = 0; c < n; ++c) {
+                const std::size_t dst_c = bj * n + c;
+                if (dst_c >= out.cols) break;
+                out.set(dst_r, dst_c, eff.at(r, c));
+            }
+        }
+    }
+    return out;  // host blocks keep their ideal bits
+}
+
+void FaultAwareMapper::repermute(AdjacencyMapping& mapping, const BitMatrix& adj,
+                                 const std::vector<FaultMap>& crossbars) const {
+    for (BlockAssignment& ba : mapping.assignments) {
+        const BinaryBlock block = extract_block(adj, ba.block_index / mapping.grid,
+                                                ba.block_index % mapping.grid);
+        RowMatchResult r =
+            match_rows(block, crossbars[ba.crossbar_index], config_.weights);
+        ba.row_perm = std::move(r.perm);
+        ba.cost = r.cost;
+    }
+}
+
+}  // namespace fare

@@ -1,0 +1,115 @@
+// Fault-aware adjacency mapping — Algorithm 1 of the paper.
+//
+// Inputs: the batch adjacency matrix A_i, the set C of available crossbars
+// and their BIST fault maps F. Output: the fault-aware mapping Pi — for
+// every (n x n) block of A_i, which crossbar stores it and with which row
+// permutation.
+//
+// Steps (paper §IV-A):
+//   1. decompose A_i into disjoint equal (n x n) blocks B (n = crossbar rows);
+//   2. cost(i,j) = weighted mismatch count of the best row permutation of
+//      block a_i on crossbar c_j — solved as weighted bipartite matching
+//      with b-Suitor [15];
+//   3. crossbar-removal rule: if even the best block leaves a SA1 non-overlap
+//      fraction above the sparsest block's edge density, drop that crossbar
+//      (Algorithm 1 line 12);
+//   4. block-removal rule: if b = m after removals, drop the sparsest block —
+//      it is handled fault-free on the host (Algorithm 1 line 14; densities
+//      as low as 0.001 make this cheap);
+//   5. outer assignment of blocks to crossbars: exact min-cost matching
+//      (Hungarian) on the cost(i,j) matrix (Algorithm 1 line 18).
+//
+// Post-deployment faults: repermute() recomputes the row permutations only,
+// keeping the block-to-crossbar assignment Pi — the paper's epoch-boundary
+// fix-up, computed on the host while the current batch executes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fare/row_matcher.hpp"
+#include "numeric/bitmatrix.hpp"
+#include "reram/fault_model.hpp"
+
+namespace fare {
+
+struct MapperConfig {
+    std::uint16_t block_size = 128;  ///< n (crossbar rows)
+    RowMatchWeights weights;
+    bool exact_row_matching = false;  ///< Hungarian instead of b-Suitor
+    bool enable_crossbar_removal = true;
+    bool enable_block_removal = true;
+    /// When > 0 and the pool is larger, prune it to this many candidate
+    /// crossbars (the cleanest by weighted fault count) before the full
+    /// cost-matrix computation — "efficient resource utilization" (§IV-A)
+    /// without a quadratic blow-up on large pools. 0 = consider every
+    /// crossbar.
+    std::size_t max_crossbar_candidates = 0;
+};
+
+struct BlockAssignment {
+    std::size_t block_index = 0;      ///< row-major block id in the grid
+    std::size_t crossbar_index = 0;   ///< index into the crossbar pool
+    std::vector<std::uint16_t> row_perm;
+    double cost = 0.0;
+};
+
+struct AdjacencyMapping {
+    std::size_t matrix_size = 0;  ///< padded N (multiple of block size)
+    std::size_t grid = 0;         ///< blocks per side
+    std::vector<BlockAssignment> assignments;
+    /// Blocks dropped by the block-removal rule; their aggregation runs
+    /// fault-free on the host.
+    std::vector<std::size_t> host_blocks;
+    /// Crossbars excluded by the removal rule.
+    std::vector<std::size_t> removed_crossbars;
+
+    double total_cost() const;
+};
+
+class FaultAwareMapper {
+public:
+    explicit FaultAwareMapper(const MapperConfig& config = {});
+
+    const MapperConfig& config() const { return config_; }
+    void set_max_crossbar_candidates(std::size_t n) {
+        config_.max_crossbar_candidates = n;
+    }
+
+    /// Extract block (bi, bj) of `adj`, zero-padded to block_size.
+    BinaryBlock extract_block(const BitMatrix& adj, std::size_t bi,
+                              std::size_t bj) const;
+
+    /// Run Algorithm 1 for one batch adjacency over the crossbar pool.
+    AdjacencyMapping map_batch(const BitMatrix& adj,
+                               const std::vector<FaultMap>& crossbars) const;
+
+    /// Trivial mapping used by the fault-unaware baseline: block k on
+    /// crossbar k, identity permutation.
+    AdjacencyMapping map_identity(const BitMatrix& adj,
+                                  const std::vector<FaultMap>& crossbars) const;
+
+    /// Neuron-reordering-style mapping: identity block assignment but
+    /// row permutations chosen with SA0 = SA1 weighting (no criticality).
+    AdjacencyMapping map_row_reorder(const BitMatrix& adj,
+                                     const std::vector<FaultMap>& crossbars) const;
+
+    /// Effective adjacency bits after storing `adj` under `mapping` on the
+    /// faulty crossbars (stuck cells flip stored bits; host blocks pass
+    /// through unchanged).
+    BitMatrix apply(const BitMatrix& adj, const AdjacencyMapping& mapping,
+                    const std::vector<FaultMap>& crossbars) const;
+
+    /// Post-deployment fix-up: recompute row permutations against fresh
+    /// fault maps, keeping the block-to-crossbar assignment.
+    void repermute(AdjacencyMapping& mapping, const BitMatrix& adj,
+                   const std::vector<FaultMap>& crossbars) const;
+
+private:
+    RowMatchResult match_rows(const BinaryBlock& block, const FaultMap& map,
+                              const RowMatchWeights& weights) const;
+
+    MapperConfig config_;
+};
+
+}  // namespace fare

@@ -1,0 +1,29 @@
+#include "fare/weight_clipper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+WeightClipper::WeightClipper(float threshold) : threshold_(threshold) {
+    FARE_CHECK(threshold > 0.0f, "clip threshold must be positive");
+}
+
+float WeightClipper::clip(float v) const {
+    return std::clamp(v, -threshold_, threshold_);
+}
+
+std::size_t WeightClipper::clip_in_place(Matrix& w) const {
+    std::size_t clipped = 0;
+    for (auto& v : w.flat()) {
+        const float c = clip(v);
+        if (c != v) {
+            v = c;
+            ++clipped;
+        }
+    }
+    return clipped;
+}
+
+}  // namespace fare

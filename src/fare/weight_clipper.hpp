@@ -1,0 +1,33 @@
+// Weight clipping for the combination phase (paper §IV-B).
+//
+// A single SA1 near the MSB can explode a stored weight (Fig. 1a); the tile's
+// 16-bit comparator + 2:1 mux clamps every read-out weight to
+// [-threshold, +threshold]. The threshold is a constant hyperparameter;
+// clipping acts as implicit regularisation and lets backpropagation steer the
+// healthy weights around the clamped ones.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+class WeightClipper {
+public:
+    explicit WeightClipper(float threshold = 1.0f);
+
+    float threshold() const { return threshold_; }
+
+    /// Clamp a single read-out value (what one comparator+mux pass does).
+    float clip(float v) const;
+
+    /// Clamp a whole effective weight matrix in place; returns the number of
+    /// clamped elements (comparator trip count, used in timing accounting).
+    std::size_t clip_in_place(Matrix& w) const;
+
+private:
+    float threshold_;
+};
+
+}  // namespace fare

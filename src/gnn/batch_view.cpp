@@ -1,0 +1,112 @@
+#include "gnn/batch_view.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+BatchGraphView BatchGraphView::from_bits(const BitMatrix& adj) {
+    FARE_CHECK(adj.rows == adj.cols, "adjacency must be square");
+    BatchGraphView v;
+    v.n_ = adj.rows;
+    v.offsets_.assign(v.n_ + 1, 0);
+    for (std::size_t r = 0; r < v.n_; ++r) {
+        std::size_t count = 0;
+        for (std::size_t c = 0; c < v.n_; ++c)
+            if (adj.at(r, c) != 0 || c == r) ++count;
+        v.offsets_[r + 1] = v.offsets_[r] + count;
+    }
+    v.cols_.resize(v.offsets_.back());
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < v.n_; ++r)
+        for (std::size_t c = 0; c < v.n_; ++c)
+            if (adj.at(r, c) != 0 || c == r)
+                v.cols_[pos++] = static_cast<std::uint32_t>(c);
+    v.finalize();
+    return v;
+}
+
+BatchGraphView BatchGraphView::from_graph(const CSRGraph& g) {
+    BatchGraphView v;
+    v.n_ = g.num_nodes();
+    v.offsets_.assign(v.n_ + 1, 0);
+    for (NodeId r = 0; r < v.n_; ++r)
+        v.offsets_[r + 1] = v.offsets_[r] + g.degree(r) + 1;  // +1 self-loop
+    v.cols_.resize(v.offsets_.back());
+    std::size_t pos = 0;
+    for (NodeId r = 0; r < v.n_; ++r) {
+        bool self_emitted = false;
+        for (NodeId c : g.neighbors(r)) {
+            if (!self_emitted && c > r) {
+                v.cols_[pos++] = r;
+                self_emitted = true;
+            }
+            v.cols_[pos++] = c;
+        }
+        if (!self_emitted) v.cols_[pos++] = r;
+    }
+    v.finalize();
+    return v;
+}
+
+void BatchGraphView::finalize() {
+    std::vector<float> out_deg(n_, 0.0f);
+    std::vector<float> in_deg(n_, 0.0f);
+    for (std::size_t r = 0; r < n_; ++r) {
+        out_deg[r] = static_cast<float>(offsets_[r + 1] - offsets_[r]);
+        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) in_deg[cols_[e]] += 1.0f;
+    }
+    gcn_vals_.resize(cols_.size());
+    mean_vals_.resize(cols_.size());
+    for (std::size_t r = 0; r < n_; ++r) {
+        const float inv_out = out_deg[r] > 0 ? 1.0f / out_deg[r] : 0.0f;
+        const float inv_sqrt_out = out_deg[r] > 0 ? 1.0f / std::sqrt(out_deg[r]) : 0.0f;
+        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+            const float din = in_deg[cols_[e]];
+            gcn_vals_[e] = din > 0 ? inv_sqrt_out / std::sqrt(din) : 0.0f;
+            mean_vals_[e] = inv_out;
+        }
+    }
+}
+
+Matrix BatchGraphView::multiply(const std::vector<float>& vals, const Matrix& x) const {
+    FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
+    Matrix y(n_, x.cols());
+    for (std::size_t r = 0; r < n_; ++r) {
+        auto yrow = y.row(r);
+        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+            const float w = vals[e];
+            auto xrow = x.row(cols_[e]);
+            for (std::size_t f = 0; f < x.cols(); ++f) yrow[f] += w * xrow[f];
+        }
+    }
+    return y;
+}
+
+Matrix BatchGraphView::multiply_t(const std::vector<float>& vals, const Matrix& x) const {
+    FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
+    Matrix y(n_, x.cols());
+    for (std::size_t r = 0; r < n_; ++r) {
+        auto xrow = x.row(r);
+        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+            const float w = vals[e];
+            auto yrow = y.row(cols_[e]);
+            for (std::size_t f = 0; f < x.cols(); ++f) yrow[f] += w * xrow[f];
+        }
+    }
+    return y;
+}
+
+Matrix BatchGraphView::gcn_multiply(const Matrix& x) const { return multiply(gcn_vals_, x); }
+Matrix BatchGraphView::gcn_multiply_t(const Matrix& x) const {
+    return multiply_t(gcn_vals_, x);
+}
+Matrix BatchGraphView::mean_multiply(const Matrix& x) const {
+    return multiply(mean_vals_, x);
+}
+Matrix BatchGraphView::mean_multiply_t(const Matrix& x) const {
+    return multiply_t(mean_vals_, x);
+}
+
+}  // namespace fare

@@ -1,0 +1,61 @@
+// Sparse view of one batch's (possibly fault-corrupted) adjacency, carrying
+// the normalisations each GNN layer type needs.
+//
+// The view is built from the *effective* adjacency bits — i.e. after FARe /
+// baseline mapping and stuck-at corruption — so edge insertions (SA1) and
+// deletions (SA0) propagate into aggregation exactly as on the hardware.
+// Corrupted adjacency is generally asymmetric (a fault flips one cell, not
+// its mirror), so the view keeps explicit transpose structure for backward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/bitmatrix.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+class BatchGraphView {
+public:
+    BatchGraphView() = default;
+
+    /// Build from effective adjacency bits. Self-loops are always added
+    /// (GNN aggregation uses A + I).
+    static BatchGraphView from_bits(const BitMatrix& adj);
+
+    /// Fault-free fast path straight from CSR (no dense materialisation).
+    static BatchGraphView from_graph(const CSRGraph& g);
+
+    std::size_t num_nodes() const { return n_; }
+    std::size_t num_entries() const { return cols_.size(); }
+
+    /// Neighbour structure (self-loops included) for attention layers.
+    std::span<const std::uint32_t> row_neighbors(std::size_t r) const {
+        return {cols_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+    }
+    std::span<const std::size_t> offsets() const { return offsets_; }
+
+    /// Y = A_gcn * X where A_gcn = D_out^-1/2 (A + I) D_in^-1/2.
+    Matrix gcn_multiply(const Matrix& x) const;
+    /// Y = A_gcn^T * X (backward).
+    Matrix gcn_multiply_t(const Matrix& x) const;
+
+    /// Y = A_mean * X where A_mean = D_out^-1 (A + I) (row-mean aggregation).
+    Matrix mean_multiply(const Matrix& x) const;
+    /// Y = A_mean^T * X (backward).
+    Matrix mean_multiply_t(const Matrix& x) const;
+
+private:
+    Matrix multiply(const std::vector<float>& vals, const Matrix& x) const;
+    Matrix multiply_t(const std::vector<float>& vals, const Matrix& x) const;
+    void finalize();  // compute degrees and edge weights from structure
+
+    std::size_t n_ = 0;
+    std::vector<std::size_t> offsets_;  // CSR structure incl. self-loops
+    std::vector<std::uint32_t> cols_;
+    std::vector<float> gcn_vals_;
+    std::vector<float> mean_vals_;
+};
+
+}  // namespace fare

@@ -1,0 +1,53 @@
+// GCN layer: Y = act(A_gcn (X W)) with A_gcn = D^-1/2 (A + I) D^-1/2
+// (Kipf & Welling). The two matmuls are exactly the paper's combination
+// (X W on weight crossbars) and aggregation (A_gcn * on adjacency crossbars)
+// phases.
+#include "common/rng.hpp"
+#include "gnn/activations.hpp"
+#include "gnn/layers.hpp"
+
+namespace fare {
+
+namespace {
+
+class GCNLayer final : public Layer {
+public:
+    GCNLayer(std::size_t in, std::size_t out, bool with_relu, Rng& rng)
+        : with_relu_(with_relu), w_(in, out), grad_w_(in, out) {
+        w_.xavier_init(rng);
+        w_eff_ = w_;
+    }
+
+    Matrix forward(const Matrix& x, const BatchGraphView& g) override {
+        x_ = x;
+        const Matrix h = matmul(x, w_eff_);   // combination phase
+        pre_ = g.gcn_multiply(h);             // aggregation phase
+        return with_relu_ ? relu(pre_) : pre_;
+    }
+
+    Matrix backward(const Matrix& grad_out, const BatchGraphView& g) override {
+        const Matrix g_pre =
+            with_relu_ ? relu_backward(grad_out, pre_) : grad_out;
+        const Matrix g_h = g.gcn_multiply_t(g_pre);
+        grad_w_ += matmul_at_b(x_, g_h);
+        return matmul_a_bt(g_h, w_eff_);
+    }
+
+    std::vector<Matrix*> params() override { return {&w_}; }
+    std::vector<Matrix*> grads() override { return {&grad_w_}; }
+    std::vector<Matrix*> effective_params() override { return {&w_eff_}; }
+
+private:
+    bool with_relu_;
+    Matrix w_, grad_w_, w_eff_;
+    Matrix x_, pre_;  // forward caches
+};
+
+}  // namespace
+
+std::unique_ptr<Layer> make_gcn_layer(std::size_t in, std::size_t out, bool with_relu,
+                                      Rng& rng) {
+    return std::make_unique<GCNLayer>(in, out, with_relu, rng);
+}
+
+}  // namespace fare

@@ -1,0 +1,58 @@
+// Abstraction of the (possibly faulty) ReRAM hardware as seen by the
+// training loop.
+//
+// The trainer asks the hardware model three questions every batch:
+//   1. what effective weights do the weight crossbars return for the
+//      logical weights just written (corruption + optional clipping)?
+//   2. what effective adjacency bits do the adjacency crossbars return for
+//      the batch's subgraph after the scheme's mapping decision?
+//   3. what happens at an epoch boundary (BIST rescan, wear-driven
+//      post-deployment faults, re-permutation)?
+//
+// The default implementation is ideal hardware (identity). FARe and the
+// baseline schemes implement this interface in src/fare/.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/bitmatrix.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+class HardwareModel {
+public:
+    virtual ~HardwareModel() = default;
+
+    /// Called once before training with the model's logical parameters, in
+    /// flattened index order. Lets the hardware allocate crossbar regions.
+    virtual void bind_params(const std::vector<Matrix*>& params) { (void)params; }
+
+    /// Called once before training with the ideal adjacency bits of every
+    /// batch, in batch order. This is the paper's preprocessing phase: FARe
+    /// computes the fault-aware mapping Pi here.
+    virtual void preprocess(const std::vector<BitMatrix>& batch_adjacency) {
+        (void)batch_adjacency;
+    }
+
+    /// Effective weights the crossbars return after the logical `w` is
+    /// written to parameter region `idx`. Default: ideal hardware.
+    virtual Matrix effective_weights(std::size_t idx, const Matrix& w) {
+        (void)idx;
+        return w;
+    }
+
+    /// Effective adjacency bits for batch `batch_idx` whose ideal bits are
+    /// `ideal`. Default: ideal hardware.
+    virtual BitMatrix effective_adjacency(std::size_t batch_idx,
+                                          const BitMatrix& ideal) {
+        (void)batch_idx;
+        return ideal;
+    }
+
+    /// Epoch boundary hook (0-based epoch that just finished).
+    virtual void on_epoch_end(std::size_t epoch) { (void)epoch; }
+};
+
+}  // namespace fare

@@ -1,0 +1,63 @@
+// GNN layer interface.
+//
+// Layers keep two copies of every parameter: the *logical* weights the
+// optimizer updates (host-side master copy) and the *effective* weights the
+// forward/backward computation uses — what the faulty crossbars actually
+// return after corruption and clipping. The trainer refreshes the effective
+// copies from the hardware model before every batch; with ideal hardware
+// they simply mirror the logical weights. Gradients are computed w.r.t. the
+// effective weights (that is what the analog tiles differentiate through)
+// and applied to the logical weights, mirroring on-device training with a
+// host-resident optimizer state (paper §III-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/batch_view.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+class Rng;
+
+enum class GnnKind { kGCN, kGAT, kSAGE };
+const char* gnn_kind_name(GnnKind kind);
+
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Forward pass; caches whatever backward needs.
+    virtual Matrix forward(const Matrix& x, const BatchGraphView& g) = 0;
+
+    /// Backward pass for the most recent forward on the same view.
+    /// Accumulates parameter gradients and returns grad w.r.t. the input.
+    virtual Matrix backward(const Matrix& grad_out, const BatchGraphView& g) = 0;
+
+    /// Logical (master) parameters, matched index-for-index with grads()
+    /// and effective_params().
+    virtual std::vector<Matrix*> params() = 0;
+    virtual std::vector<Matrix*> grads() = 0;
+    /// Hardware-visible copies used in compute; refreshed by the trainer.
+    virtual std::vector<Matrix*> effective_params() = 0;
+
+    void zero_grads();
+    /// Copy logical -> effective (ideal hardware).
+    void sync_effective();
+    std::size_t num_weights();
+};
+
+/// Graph Convolutional Network layer: Y = act(A_gcn (X W)).
+std::unique_ptr<Layer> make_gcn_layer(std::size_t in, std::size_t out, bool with_relu,
+                                      Rng& rng);
+
+/// Graph Attention layer (single head): Y = act(sum_j alpha_ij (X W)_j).
+std::unique_ptr<Layer> make_gat_layer(std::size_t in, std::size_t out, bool with_relu,
+                                      Rng& rng);
+
+/// GraphSAGE layer (mean aggregator): Y = act(X W_self + (A_mean X) W_neigh).
+std::unique_ptr<Layer> make_sage_layer(std::size_t in, std::size_t out, bool with_relu,
+                                       Rng& rng);
+
+}  // namespace fare

@@ -1,0 +1,43 @@
+#include "gnn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gnn/activations.hpp"
+
+namespace fare {
+
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<int>& labels,
+                                 const std::vector<bool>& mask) {
+    FARE_CHECK(labels.size() == logits.rows(), "labels size mismatch");
+    FARE_CHECK(mask.size() == logits.rows(), "mask size mismatch");
+    LossResult out;
+    out.grad = Matrix(logits.rows(), logits.cols());
+    const Matrix probs = softmax_rows(logits);
+
+    double loss_acc = 0.0;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (!mask[r]) continue;
+        ++out.count;
+    }
+    if (out.count == 0) return out;
+    const float inv_count = 1.0f / static_cast<float>(out.count);
+
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (!mask[r]) continue;
+        const int y = labels[r];
+        FARE_CHECK(y >= 0 && static_cast<std::size_t>(y) < logits.cols(),
+                   "label out of range");
+        const float p = std::max(probs(r, static_cast<std::size_t>(y)), 1e-12f);
+        loss_acc -= std::log(static_cast<double>(p));
+        auto grow = out.grad.row(r);
+        auto prow = probs.row(r);
+        for (std::size_t c = 0; c < logits.cols(); ++c)
+            grow[c] = prow[c] * inv_count;
+        grow[static_cast<std::size_t>(y)] -= inv_count;
+    }
+    out.loss = static_cast<float>(loss_acc / static_cast<double>(out.count));
+    return out;
+}
+
+}  // namespace fare

@@ -1,0 +1,21 @@
+// Masked softmax cross-entropy for node classification.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+struct LossResult {
+    float loss = 0.0f;     ///< mean NLL over masked nodes
+    Matrix grad;           ///< d loss / d logits (zero rows for unmasked nodes)
+    std::size_t count = 0; ///< number of masked (supervised) nodes
+};
+
+/// Softmax cross-entropy over the rows selected by `mask` (local node ->
+/// supervised?). `labels` holds one class per local node.
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<int>& labels,
+                                 const std::vector<bool>& mask);
+
+}  // namespace fare

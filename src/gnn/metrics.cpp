@@ -1,0 +1,65 @@
+#include "gnn/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace fare {
+
+namespace {
+int argmax_row(const Matrix& logits, std::size_t r) {
+    auto row = logits.row(r);
+    int best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c)
+        if (row[c] > row[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+    return best;
+}
+}  // namespace
+
+double accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<bool>& mask) {
+    MetricAccumulator acc(static_cast<int>(logits.cols()));
+    acc.update(logits, labels, mask);
+    return acc.accuracy();
+}
+
+double macro_f1(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<bool>& mask, int num_classes) {
+    MetricAccumulator acc(num_classes);
+    acc.update(logits, labels, mask);
+    return acc.macro_f1();
+}
+
+void MetricAccumulator::update(const Matrix& logits, const std::vector<int>& labels,
+                               const std::vector<bool>& mask) {
+    FARE_CHECK(labels.size() == logits.rows() && mask.size() == logits.rows(),
+               "metric input size mismatch");
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (!mask[r]) continue;
+        const int pred = argmax_row(logits, r);
+        const int truth = labels[r];
+        ++total;
+        if (pred == truth) ++correct;
+        if (static_cast<std::size_t>(truth) < tp.size()) {
+            if (pred == truth)
+                ++tp[static_cast<std::size_t>(truth)];
+            else
+                ++fn[static_cast<std::size_t>(truth)];
+        }
+        if (pred != truth && static_cast<std::size_t>(pred) < fp.size())
+            ++fp[static_cast<std::size_t>(pred)];
+    }
+}
+
+double MetricAccumulator::macro_f1() const {
+    double sum = 0.0;
+    std::size_t present = 0;
+    for (std::size_t c = 0; c < tp.size(); ++c) {
+        const auto support = tp[c] + fn[c];
+        if (support == 0) continue;
+        ++present;
+        const double denom = static_cast<double>(2 * tp[c] + fp[c] + fn[c]);
+        if (denom > 0.0) sum += 2.0 * static_cast<double>(tp[c]) / denom;
+    }
+    return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+}  // namespace fare

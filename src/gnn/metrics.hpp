@@ -1,0 +1,39 @@
+// Classification metrics over masked node sets.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+/// argmax accuracy over nodes where mask[r] is true. Returns 0 when no node
+/// is masked.
+double accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<bool>& mask);
+
+/// Macro-averaged F1 over classes present in the masked set.
+double macro_f1(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<bool>& mask, int num_classes);
+
+/// Running counters so batched evaluation can accumulate across subgraphs.
+struct MetricAccumulator {
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    std::vector<std::size_t> tp, fp, fn;  // per class
+
+    explicit MetricAccumulator(int num_classes = 0)
+        : tp(static_cast<std::size_t>(num_classes), 0),
+          fp(static_cast<std::size_t>(num_classes), 0),
+          fn(static_cast<std::size_t>(num_classes), 0) {}
+
+    void update(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<bool>& mask);
+
+    double accuracy() const {
+        return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+    }
+    double macro_f1() const;
+};
+
+}  // namespace fare

@@ -1,0 +1,185 @@
+#include "gnn/trainer.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "gnn/loss.hpp"
+#include "gnn/optimizer.hpp"
+#include "graph/partitioner.hpp"
+
+namespace fare {
+
+Trainer::Trainer(const Dataset& dataset, const TrainConfig& config,
+                 HardwareModel* hardware)
+    : dataset_(dataset), config_(config), hardware_(hardware) {
+    FARE_CHECK(config.epochs >= 1, "need at least one epoch");
+    FARE_CHECK(config.num_partitions >= config.partitions_per_batch,
+               "more partitions per batch than partitions");
+
+    ModelConfig mc;
+    mc.kind = config.kind;
+    mc.in_features = dataset.num_features();
+    mc.hidden = config.hidden;
+    mc.num_classes = static_cast<std::size_t>(dataset.num_classes);
+    mc.num_layers = config.num_layers;
+    mc.seed = config.seed;
+    model_ = std::make_unique<Model>(mc);
+
+    // Host preprocessing: partition once, form fixed cluster batches. The
+    // batch composition stays fixed across epochs (the paper computes the
+    // fault-aware mapping Pi once in preprocessing); only the processing
+    // order is shuffled per epoch.
+    PartitionConfig pc;
+    pc.seed = config.seed;
+    const auto parts = partition_multilevel(dataset.graph, config.num_partitions, pc);
+    auto subs = make_cluster_batches(dataset.graph, parts, config.partitions_per_batch,
+                                     config.seed);
+
+    batches_.reserve(subs.size());
+    for (auto& sub : subs) {
+        BatchData b;
+        const std::size_t n = sub.nodes.size();
+        b.features = Matrix(n, dataset.num_features());
+        b.labels.resize(n);
+        b.train_mask.assign(n, false);
+        b.val_mask.assign(n, false);
+        b.test_mask.assign(n, false);
+        for (std::size_t i = 0; i < n; ++i) {
+            const NodeId g = sub.nodes[i];
+            auto dst = b.features.row(i);
+            auto src = dataset.features.row(g);
+            std::copy(src.begin(), src.end(), dst.begin());
+            b.labels[i] = dataset.labels[g];
+            switch (dataset.split[g]) {
+                case Split::kTrain: b.train_mask[i] = true; break;
+                case Split::kVal: b.val_mask[i] = true; break;
+                case Split::kTest: b.test_mask[i] = true; break;
+            }
+        }
+        b.ideal_view = BatchGraphView::from_graph(sub.graph);
+        batch_bits_.push_back(BitMatrix::from_graph(sub.graph));
+        b.sub = std::move(sub);
+        batches_.push_back(std::move(b));
+    }
+}
+
+void Trainer::refresh_effective_weights() {
+    auto params = model_->params();
+    auto eff = model_->effective_params();
+    if (hardware_ == nullptr) {
+        model_->sync_effective();
+        return;
+    }
+    for (std::size_t i = 0; i < params.size(); ++i)
+        *eff[i] = hardware_->effective_weights(i, *params[i]);
+}
+
+BatchGraphView Trainer::effective_view(std::size_t batch_idx, const BatchData& batch) {
+    if (hardware_ == nullptr) return batch.ideal_view;
+    BitMatrix bits = hardware_->effective_adjacency(batch_idx, batch_bits_[batch_idx]);
+    return BatchGraphView::from_bits(bits);
+}
+
+void Trainer::evaluate(MetricAccumulator& acc, Split split) {
+    refresh_effective_weights();
+    for (std::size_t bi = 0; bi < batches_.size(); ++bi) {
+        auto& batch = batches_[bi];
+        const BatchGraphView view = effective_view(bi, batch);
+        const Matrix logits = model_->forward(batch.features, view);
+        const auto& mask = split == Split::kTrain  ? batch.train_mask
+                           : split == Split::kVal ? batch.val_mask
+                                                  : batch.test_mask;
+        acc.update(logits, batch.labels, mask);
+    }
+}
+
+std::vector<Matrix> Trainer::export_params() {
+    std::vector<Matrix> out;
+    for (Matrix* p : model_->params()) out.push_back(*p);
+    return out;
+}
+
+void Trainer::import_params(const std::vector<Matrix>& params) {
+    auto dst = model_->params();
+    FARE_CHECK(params.size() == dst.size(), "parameter count mismatch on import");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        FARE_CHECK(params[i].rows() == dst[i]->rows() &&
+                       params[i].cols() == dst[i]->cols(),
+                   "parameter shape mismatch on import");
+        *dst[i] = params[i];
+    }
+}
+
+void Trainer::prepare_hardware() {
+    if (hardware_ == nullptr) return;
+    hardware_->bind_params(model_->params());
+    hardware_->preprocess(batch_bits_);
+}
+
+double Trainer::evaluate_test_accuracy() {
+    MetricAccumulator acc(dataset_.num_classes);
+    evaluate(acc, Split::kTest);
+    return acc.accuracy();
+}
+
+TrainResult Trainer::run() {
+    TrainResult result;
+    Stopwatch prep_watch;
+    prepare_hardware();
+    result.preprocess_seconds = prep_watch.elapsed_seconds();
+
+    Adam optimizer(config_.lr);
+    Rng epoch_rng(config_.seed ^ 0xE70C5ULL);
+    Stopwatch train_watch;
+
+    std::vector<std::size_t> order(batches_.size());
+    std::iota(order.begin(), order.end(), 0u);
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        epoch_rng.shuffle(order);
+        float loss_acc = 0.0f;
+        std::size_t loss_batches = 0;
+        MetricAccumulator train_acc(dataset_.num_classes);
+
+        for (std::size_t bi : order) {
+            auto& batch = batches_[bi];
+            refresh_effective_weights();
+            const BatchGraphView view = effective_view(bi, batch);
+
+            model_->zero_grads();
+            const Matrix logits = model_->forward(batch.features, view);
+            const LossResult loss =
+                softmax_cross_entropy(logits, batch.labels, batch.train_mask);
+            if (loss.count == 0) continue;
+            train_acc.update(logits, batch.labels, batch.train_mask);
+            model_->backward(loss.grad, view);
+            optimizer.step(model_->params(), model_->grads());
+            loss_acc += loss.loss;
+            ++loss_batches;
+        }
+
+        if (hardware_ != nullptr) hardware_->on_epoch_end(epoch);
+
+        if (config_.record_curve) {
+            EpochStats stats;
+            stats.train_loss = loss_batches ? loss_acc / static_cast<float>(loss_batches)
+                                            : 0.0f;
+            stats.train_accuracy = train_acc.accuracy();
+            MetricAccumulator val(dataset_.num_classes);
+            evaluate(val, Split::kVal);
+            stats.val_accuracy = val.accuracy();
+            result.curve.push_back(stats);
+        }
+    }
+
+    MetricAccumulator test(dataset_.num_classes);
+    evaluate(test, Split::kTest);
+    result.test_accuracy = test.accuracy();
+    result.test_macro_f1 = test.macro_f1();
+    result.train_seconds = train_watch.elapsed_seconds();
+    return result;
+}
+
+}  // namespace fare

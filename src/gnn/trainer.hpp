@@ -1,0 +1,100 @@
+// Mini-batch GNN trainer over (possibly faulty) simulated ReRAM hardware.
+//
+// Follows the paper's pipeline (Fig. 2): the graph is METIS-partitioned
+// once on the host, partitions are grouped into cluster batches, and each
+// training step writes the batch's adjacency blocks and the updated weights
+// to crossbars, runs aggregation + combination, and backpropagates. The
+// HardwareModel decides what the crossbars actually return.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gnn/hardware_model.hpp"
+#include "gnn/metrics.hpp"
+#include "gnn/model.hpp"
+#include "graph/dataset.hpp"
+#include "graph/subgraph.hpp"
+
+namespace fare {
+
+struct TrainConfig {
+    GnnKind kind = GnnKind::kGCN;
+    std::size_t hidden = 32;
+    std::size_t num_layers = 2;
+    float lr = 0.01f;               // Table II
+    std::size_t epochs = 40;
+    int num_partitions = 40;        // METIS partitions (Table II, scaled)
+    int partitions_per_batch = 4;   // "Batch" in Table II
+    std::uint64_t seed = 1;
+    bool record_curve = true;       // per-epoch metrics (Fig. 4)
+};
+
+struct EpochStats {
+    float train_loss = 0.0f;
+    double train_accuracy = 0.0;
+    double val_accuracy = 0.0;
+};
+
+struct TrainResult {
+    std::vector<EpochStats> curve;
+    double test_accuracy = 0.0;
+    double test_macro_f1 = 0.0;
+    double preprocess_seconds = 0.0;  ///< measured host mapping time
+    double train_seconds = 0.0;
+};
+
+class Trainer {
+public:
+    /// `hardware` may be null => ideal (fault-free) hardware. Not owned.
+    Trainer(const Dataset& dataset, const TrainConfig& config,
+            HardwareModel* hardware = nullptr);
+
+    /// Run the full training loop and final test evaluation.
+    TrainResult run();
+
+    /// Copy-out / copy-in of the model's logical parameters, e.g. to deploy
+    /// a host-trained model onto (different) faulty hardware.
+    std::vector<Matrix> export_params();
+    void import_params(const std::vector<Matrix>& params);
+
+    /// Bind + preprocess the attached hardware without training (run() does
+    /// this implicitly; needed before evaluate_test_accuracy() on a trainer
+    /// that only evaluates).
+    void prepare_hardware();
+
+    /// Test accuracy of the current weights on the attached hardware,
+    /// without any training.
+    double evaluate_test_accuracy();
+
+    Model& model() { return *model_; }
+    std::size_t num_batches() const { return batches_.size(); }
+    /// Ideal adjacency bits per batch (exposed for hardware preprocessing
+    /// inspection in tests/examples).
+    const std::vector<BitMatrix>& batch_adjacency() const { return batch_bits_; }
+
+private:
+    struct BatchData {
+        Subgraph sub;
+        BatchGraphView ideal_view;
+        Matrix features;
+        std::vector<int> labels;
+        std::vector<bool> train_mask, val_mask, test_mask;
+    };
+
+    void refresh_effective_weights();
+    BatchGraphView effective_view(std::size_t batch_idx, const BatchData& batch);
+    /// Forward all batches with current effective weights, accumulating
+    /// metrics for the chosen split mask.
+    void evaluate(MetricAccumulator& acc, Split split);
+
+    const Dataset& dataset_;
+    TrainConfig config_;
+    HardwareModel* hardware_;
+    std::unique_ptr<Model> model_;
+    std::vector<BatchData> batches_;
+    std::vector<BitMatrix> batch_bits_;
+};
+
+}  // namespace fare

@@ -1,0 +1,73 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+CSRGraph CSRGraph::from_edges(NodeId num_nodes,
+                              const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    CSRGraph g;
+    g.num_nodes_ = num_nodes;
+
+    // Normalise: drop self-loops, orient u < v, dedup.
+    std::vector<std::pair<NodeId, NodeId>> norm;
+    norm.reserve(edges.size());
+    for (auto [u, v] : edges) {
+        FARE_CHECK(u < num_nodes && v < num_nodes, "edge endpoint out of range");
+        if (u == v) continue;
+        norm.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    std::sort(norm.begin(), norm.end());
+    norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+    // Counting pass for both directions.
+    std::vector<std::size_t> counts(num_nodes + 1, 0);
+    for (auto [u, v] : norm) {
+        ++counts[u + 1];
+        ++counts[v + 1];
+    }
+    for (NodeId i = 0; i < num_nodes; ++i) counts[i + 1] += counts[i];
+    g.offsets_ = counts;
+
+    g.adjacency_.resize(norm.size() * 2);
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (auto [u, v] : norm) {
+        g.adjacency_[cursor[u]++] = v;
+        g.adjacency_[cursor[v]++] = u;
+    }
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+        auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+        std::sort(begin, end);
+    }
+    return g;
+}
+
+bool CSRGraph::has_edge(NodeId u, NodeId v) const {
+    FARE_CHECK(u < num_nodes_ && v < num_nodes_, "has_edge endpoint out of range");
+    auto nb = neighbors(u);
+    return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> CSRGraph::edge_list() const {
+    std::vector<std::pair<NodeId, NodeId>> out;
+    out.reserve(num_edges());
+    for (NodeId u = 0; u < num_nodes_; ++u)
+        for (NodeId v : neighbors(u))
+            if (u < v) out.emplace_back(u, v);
+    return out;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+    FARE_CHECK(u < num_nodes_ && v < num_nodes_, "edge endpoint out of range");
+    if (u == v) return;
+    edges_.emplace_back(u, v);
+}
+
+CSRGraph GraphBuilder::finalize() const {
+    return CSRGraph::from_edges(num_nodes_, edges_);
+}
+
+}  // namespace fare

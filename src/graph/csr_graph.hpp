@@ -1,0 +1,71 @@
+// Compressed-sparse-row graph representation.
+//
+// Graphs are undirected and stored with both edge directions materialised so
+// neighbourhood iteration is a contiguous scan. This is the substrate for the
+// synthetic datasets, the partitioner and the batch adjacency matrices that
+// FARe maps onto crossbars.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fare {
+
+using NodeId = std::uint32_t;
+
+/// Immutable CSR graph. Build via from_edges() or a GraphBuilder.
+class CSRGraph {
+public:
+    CSRGraph() = default;
+
+    /// Build from an undirected edge list. Duplicate edges and self-loops are
+    /// removed; both directions are stored.
+    static CSRGraph from_edges(NodeId num_nodes,
+                               const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+    NodeId num_nodes() const { return num_nodes_; }
+    /// Number of undirected edges (each counted once).
+    std::size_t num_edges() const { return adjacency_.size() / 2; }
+    /// Number of stored directed arcs (2x undirected edge count).
+    std::size_t num_arcs() const { return adjacency_.size(); }
+
+    std::span<const NodeId> neighbors(NodeId v) const {
+        return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+    }
+
+    std::size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+    bool has_edge(NodeId u, NodeId v) const;
+
+    std::span<const std::size_t> offsets() const { return offsets_; }
+    std::span<const NodeId> adjacency() const { return adjacency_; }
+
+    /// All undirected edges (u < v), e.g. for re-generation or serialisation.
+    std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+private:
+    NodeId num_nodes_ = 0;
+    std::vector<std::size_t> offsets_;  // size num_nodes_+1
+    std::vector<NodeId> adjacency_;     // sorted within each node's range
+};
+
+/// Incremental builder that tolerates duplicates; finalise() dedups and sorts.
+class GraphBuilder {
+public:
+    explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+    /// Record an undirected edge; self-loops are ignored.
+    void add_edge(NodeId u, NodeId v);
+
+    std::size_t pending_edges() const { return edges_.size(); }
+
+    CSRGraph finalize() const;
+
+private:
+    NodeId num_nodes_;
+    std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace fare

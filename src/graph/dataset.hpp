@@ -1,0 +1,34 @@
+// A node-classification dataset: graph + node features + labels + split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fare {
+
+/// Which split a node belongs to.
+enum class Split : std::uint8_t { kTrain, kVal, kTest };
+
+struct Dataset {
+    std::string name;
+    CSRGraph graph;
+    Matrix features;           ///< num_nodes x num_features
+    std::vector<int> labels;   ///< one class id per node
+    int num_classes = 0;
+    std::vector<Split> split;  ///< one entry per node
+
+    std::size_t num_nodes() const { return graph.num_nodes(); }
+    std::size_t num_features() const { return features.cols(); }
+
+    std::vector<NodeId> nodes_in(Split s) const {
+        std::vector<NodeId> out;
+        for (NodeId v = 0; v < graph.num_nodes(); ++v)
+            if (split[v] == s) out.push_back(v);
+        return out;
+    }
+};
+
+}  // namespace fare

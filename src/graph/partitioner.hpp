@@ -1,0 +1,55 @@
+// Multilevel k-way graph partitioner — the repo's METIS stand-in.
+//
+// The paper partitions each dataset with METIS [17] to form Cluster-GCN-style
+// mini-batches (Table II: 250-15,000 partitions). We reproduce METIS's
+// algorithmic skeleton from scratch:
+//
+//   1. coarsening by heavy-edge matching until the graph is small,
+//   2. initial partitioning by greedy region growing on the coarsest graph,
+//   3. uncoarsening with boundary FM refinement at every level.
+//
+// Quality target: locality-preserving balanced clusters, which is all the
+// mini-batch pipeline needs (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace fare {
+
+struct PartitionConfig {
+    /// Allowed imbalance: max part weight <= (1 + epsilon) * ideal.
+    double epsilon = 0.10;
+    /// Stop coarsening when the graph has at most max(k * coarsen_factor,
+    /// coarsen_floor) nodes.
+    int coarsen_factor = 8;
+    int coarsen_floor = 128;
+    /// FM refinement passes per level.
+    int refine_passes = 4;
+    std::uint64_t seed = 1;
+};
+
+/// Result of a k-way partition.
+struct Partitioning {
+    int k = 0;
+    std::vector<int> assignment;  ///< node -> part in [0, k)
+
+    /// Undirected edges whose endpoints lie in different parts.
+    std::size_t edge_cut(const CSRGraph& g) const;
+    /// Max part size divided by ideal part size (1.0 = perfectly balanced).
+    double balance(const CSRGraph& g) const;
+    /// Nodes in each part.
+    std::vector<std::vector<NodeId>> part_members() const;
+};
+
+/// Multilevel k-way partition (METIS-style).
+Partitioning partition_multilevel(const CSRGraph& g, int k,
+                                  const PartitionConfig& cfg = {});
+
+/// Single-pass streaming partitioner (Linear Deterministic Greedy).
+/// Provided as a fast alternative and as a quality baseline in tests.
+Partitioning partition_ldg(const CSRGraph& g, int k, std::uint64_t seed = 1);
+
+}  // namespace fare

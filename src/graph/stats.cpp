@@ -1,0 +1,71 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+DegreeStats degree_stats(const CSRGraph& g) {
+    DegreeStats s;
+    if (g.num_nodes() == 0) return s;
+    std::vector<std::size_t> degrees(g.num_nodes());
+    std::size_t total = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        degrees[v] = g.degree(v);
+        total += degrees[v];
+    }
+    std::sort(degrees.begin(), degrees.end());
+    s.mean = static_cast<double>(total) / static_cast<double>(g.num_nodes());
+    s.max = static_cast<double>(degrees.back());
+    const std::size_t idx = std::min<std::size_t>(
+        degrees.size() - 1, static_cast<std::size_t>(0.99 * static_cast<double>(degrees.size())));
+    s.p99 = static_cast<double>(degrees[idx]);
+    return s;
+}
+
+double edge_homophily(const CSRGraph& g, const std::vector<int>& labels) {
+    FARE_CHECK(labels.size() == g.num_nodes(), "labels size mismatch");
+    std::size_t same = 0;
+    std::size_t total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u >= v) continue;
+            ++total;
+            if (labels[u] == labels[v]) ++same;
+        }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(same) / static_cast<double>(total);
+}
+
+std::size_t connected_components(const CSRGraph& g) {
+    std::vector<bool> seen(g.num_nodes(), false);
+    std::vector<NodeId> stack;
+    std::size_t components = 0;
+    for (NodeId start = 0; start < g.num_nodes(); ++start) {
+        if (seen[start]) continue;
+        ++components;
+        stack.push_back(start);
+        seen[start] = true;
+        while (!stack.empty()) {
+            const NodeId v = stack.back();
+            stack.pop_back();
+            for (NodeId u : g.neighbors(v)) {
+                if (!seen[u]) {
+                    seen[u] = true;
+                    stack.push_back(u);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+double density(const CSRGraph& g) {
+    const double n = static_cast<double>(g.num_nodes());
+    if (n < 2.0) return 0.0;
+    return static_cast<double>(g.num_edges()) / (n * (n - 1.0) / 2.0);
+}
+
+}  // namespace fare

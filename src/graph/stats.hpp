@@ -1,0 +1,28 @@
+// Graph statistics used to validate the synthetic dataset generators and to
+// report dataset characteristics in the Table II bench.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace fare {
+
+struct DegreeStats {
+    double mean = 0.0;
+    double max = 0.0;
+    double p99 = 0.0;  ///< 99th-percentile degree (tail heaviness indicator)
+};
+
+DegreeStats degree_stats(const CSRGraph& g);
+
+/// Fraction of undirected edges whose endpoints share a label.
+double edge_homophily(const CSRGraph& g, const std::vector<int>& labels);
+
+/// Number of connected components.
+std::size_t connected_components(const CSRGraph& g);
+
+/// Graph density: edges / (n choose 2).
+double density(const CSRGraph& g);
+
+}  // namespace fare

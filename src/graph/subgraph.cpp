@@ -1,0 +1,62 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fare {
+
+Subgraph induced_subgraph(const CSRGraph& g, std::vector<NodeId> nodes) {
+    Subgraph sg;
+    // Global -> local lookup. Dense vector: graphs here are small.
+    std::vector<NodeId> local(g.num_nodes(), std::numeric_limits<NodeId>::max());
+    for (NodeId i = 0; i < nodes.size(); ++i) {
+        FARE_CHECK(nodes[i] < g.num_nodes(), "subgraph node out of range");
+        FARE_CHECK(local[nodes[i]] == std::numeric_limits<NodeId>::max(),
+                   "duplicate node in subgraph");
+        local[nodes[i]] = i;
+    }
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId i = 0; i < nodes.size(); ++i) {
+        for (NodeId u : g.neighbors(nodes[i])) {
+            const NodeId lu = local[u];
+            if (lu != std::numeric_limits<NodeId>::max() && i < lu)
+                edges.emplace_back(i, lu);
+        }
+    }
+    sg.graph = CSRGraph::from_edges(static_cast<NodeId>(nodes.size()), edges);
+    sg.nodes = std::move(nodes);
+    return sg;
+}
+
+std::vector<Subgraph> make_cluster_batches(const CSRGraph& g, const Partitioning& parts,
+                                           int partitions_per_batch,
+                                           std::uint64_t seed) {
+    FARE_CHECK(partitions_per_batch >= 1, "partitions_per_batch must be >= 1");
+    Rng rng(seed);
+    std::vector<int> order(static_cast<std::size_t>(parts.k));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    auto members = parts.part_members();
+    std::vector<Subgraph> batches;
+    for (std::size_t i = 0; i < order.size();
+         i += static_cast<std::size_t>(partitions_per_batch)) {
+        std::vector<NodeId> nodes;
+        const std::size_t end =
+            std::min(order.size(), i + static_cast<std::size_t>(partitions_per_batch));
+        for (std::size_t j = i; j < end; ++j) {
+            const auto& part = members[static_cast<std::size_t>(order[j])];
+            nodes.insert(nodes.end(), part.begin(), part.end());
+        }
+        if (nodes.empty()) continue;
+        std::sort(nodes.begin(), nodes.end());
+        batches.push_back(induced_subgraph(g, std::move(nodes)));
+    }
+    return batches;
+}
+
+}  // namespace fare

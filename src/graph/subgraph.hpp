@@ -1,0 +1,34 @@
+// Induced subgraphs and Cluster-GCN-style mini-batches.
+//
+// Mini-batch GNN training on the ReRAM pipeline (paper §III-A, Fig. 2)
+// processes the graph as batches of partition clusters: a batch's adjacency
+// matrix is the induced subgraph over the union of a few partitions, and that
+// matrix is what FARe's mapper writes onto the crossbars.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partitioner.hpp"
+
+namespace fare {
+
+/// A batch: an induced subgraph plus the global ids of its nodes.
+struct Subgraph {
+    std::vector<NodeId> nodes;  ///< local index -> global node id
+    CSRGraph graph;             ///< induced graph on `nodes` (local ids)
+};
+
+/// Induced subgraph over `nodes` (global ids; order defines local ids).
+Subgraph induced_subgraph(const CSRGraph& g, std::vector<NodeId> nodes);
+
+/// Group the k partitions into batches of `partitions_per_batch` clusters
+/// (Cluster-GCN). Partition order is shuffled per epoch via `seed`.
+/// The final batch may contain fewer clusters.
+std::vector<Subgraph> make_cluster_batches(const CSRGraph& g,
+                                           const Partitioning& parts,
+                                           int partitions_per_batch,
+                                           std::uint64_t seed);
+
+}  // namespace fare

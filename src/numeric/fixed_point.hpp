@@ -1,0 +1,53 @@
+// 16-bit fixed-point representation used by the simulated ReRAM hardware.
+//
+// The paper (Sec. III-A): "weights on ReRAM-based architectures are commonly
+// represented using 16-bit fixed-point precision. The 16 bits are distributed
+// across multiple cells with architectures often adopting a 2-bit
+// representation per cell." We use a Q8.8 format stored SIGN-MAGNITUDE on
+// the cells (bit 15 = sign, bits 14..0 = magnitude), split into 8 cells of
+// 2 bits, most-significant slice first, recombined by the tile's
+// shift-and-add unit. Sign-magnitude matches differential-array ReRAM
+// practice and gives the fault semantics the paper describes (Fig. 1a):
+// a stuck-at-1 in a high slice sets large magnitude bits — "weight
+// explosion" — while a stuck-at-0 merely clears (mostly already-zero)
+// magnitude bits of small weights.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fare {
+
+/// Number of fraction bits in the Q-format (Q8.8).
+inline constexpr int kFixedFractionBits = 8;
+/// Total bits per weight.
+inline constexpr int kFixedTotalBits = 16;
+/// Bits stored per ReRAM cell (Table III: 2-bit/cell resolution).
+inline constexpr int kBitsPerCell = 2;
+/// Cells per 16-bit weight (= 8).
+inline constexpr int kCellsPerWeight = kFixedTotalBits / kBitsPerCell;
+/// Largest representable magnitude (sign-magnitude Q8.8, symmetric range).
+inline constexpr float kFixedMax = 127.99609375f;   // 0x7FFF / 256
+inline constexpr float kFixedMin = -127.99609375f;  // -0x7FFF / 256
+
+/// One weight's bit-slices: slice[0] holds the two most significant bits.
+using CellSlices = std::array<std::uint8_t, kCellsPerWeight>;
+
+/// Quantise a float to the Q8.8 grid (round to nearest, saturate at the
+/// symmetric format limits; -32768 is never produced).
+std::int16_t float_to_fixed(float v);
+
+/// Exact inverse of the quantiser on in-range values.
+float fixed_to_float(std::int16_t q);
+
+/// Split a value into 8 cells of 2 bits of its sign-magnitude encoding
+/// (sign bit + 15 magnitude bits), MSB slice first.
+CellSlices slice_fixed(std::int16_t q);
+
+/// Recombine cell slices into the signed value (shift-and-add + sign).
+std::int16_t unslice_fixed(const CellSlices& slices);
+
+/// Quantisation step (1/256 for Q8.8).
+inline constexpr float kFixedStep = 1.0f / (1 << kFixedFractionBits);
+
+}  // namespace fare

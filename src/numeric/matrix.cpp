@@ -1,0 +1,145 @@
+#include "numeric/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fare {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+        FARE_CHECK(row.size() == cols_, "ragged initializer list");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+    FARE_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+    FARE_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+void Matrix::xavier_init(Rng& rng) {
+    const float limit = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+    for (auto& v : data_) v = rng.uniform(-limit, limit);
+}
+
+void Matrix::fill(float v) {
+    for (auto& x : data_) x = v;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+}
+
+float Matrix::norm() const {
+    double acc = 0.0;
+    for (float v : data_) acc += static_cast<double>(v) * v;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::max_abs() const {
+    float m = 0.0f;
+    for (float v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    FARE_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    FARE_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in -=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    FARE_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+    Matrix c(a.rows(), b.cols());
+    // ikj loop order keeps the inner loop contiguous over both b and c.
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        auto crow = c.row(i);
+        auto arow = a.row(i);
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = arow[k];
+            if (aik == 0.0f) continue;
+            auto brow = b.row(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+    FARE_CHECK(a.rows() == b.rows(), "matmul_at_b shape mismatch");
+    Matrix c(a.cols(), b.cols());
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        auto arow = a.row(k);
+        auto brow = b.row(k);
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f) continue;
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+    FARE_CHECK(a.cols() == b.cols(), "matmul_a_bt shape mismatch");
+    Matrix c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        auto arow = a.row(i);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            auto brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+    FARE_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) c.flat()[i] = a.flat()[i] * b.flat()[i];
+    return c;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+    FARE_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "max_abs_diff shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a.flat()[i] - b.flat()[i]));
+    return m;
+}
+
+}  // namespace fare

@@ -1,0 +1,81 @@
+// Dense row-major float matrix plus the small set of kernels the GNN stack
+// needs (GEMM, transpose, row ops). Deliberately minimal: the point of this
+// repo is the fault-tolerance system, not a BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace fare {
+
+class Rng;
+
+/// Row-major dense matrix of float.
+///
+/// Value-semantic (copyable/movable); shape is part of the logical state and
+/// is validated on every binary operation.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+    /// Build from nested initializer list (rows of equal length).
+    Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    float& at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+    std::span<float> flat() { return data_; }
+    std::span<const float> flat() const { return data_; }
+
+    /// Fill with Xavier/Glorot uniform initialisation for a (fan_in, fan_out)
+    /// weight matrix.
+    void xavier_init(Rng& rng);
+
+    void fill(float v);
+    Matrix transposed() const;
+
+    /// Frobenius norm.
+    float norm() const;
+    float max_abs() const;
+
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator-=(const Matrix& other);
+    Matrix& operator*=(float scalar);
+
+    friend bool operator==(const Matrix& a, const Matrix& b);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/// C = A * B. Shapes validated.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materialising A^T.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materialising B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Elementwise Hadamard product.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Max |a - b| over all elements; shapes must match.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace fare

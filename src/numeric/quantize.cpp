@@ -1,0 +1,26 @@
+#include "numeric/quantize.hpp"
+
+namespace fare {
+
+FixedMatrix quantize(const Matrix& m) {
+    FixedMatrix q;
+    q.rows = m.rows();
+    q.cols = m.cols();
+    q.data.resize(m.size());
+    auto src = m.flat();
+    for (std::size_t i = 0; i < src.size(); ++i) q.data[i] = float_to_fixed(src[i]);
+    return q;
+}
+
+Matrix dequantize(const FixedMatrix& q) {
+    Matrix m(q.rows, q.cols);
+    auto dst = m.flat();
+    for (std::size_t i = 0; i < q.data.size(); ++i) dst[i] = fixed_to_float(q.data[i]);
+    return m;
+}
+
+Matrix quantize_dequantize(const Matrix& m) {
+    return dequantize(quantize(m));
+}
+
+}  // namespace fare

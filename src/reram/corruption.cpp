@@ -1,0 +1,121 @@
+#include "reram/corruption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+WeightFaultGrid::WeightFaultGrid(std::size_t rows, std::size_t cols,
+                                 const std::vector<FaultMap>& grid_maps,
+                                 std::uint16_t xb_rows, std::uint16_t xb_cols)
+    : rows_(rows), cols_(cols) {
+    FARE_CHECK(xb_cols % kCellsPerWeight == 0,
+               "crossbar width must hold whole weights");
+    const std::size_t wpx = static_cast<std::size_t>(xb_cols) / kCellsPerWeight;
+    const std::size_t grid_rows = (rows + xb_rows - 1) / xb_rows;
+    const std::size_t grid_cols = (cols + wpx - 1) / wpx;
+    FARE_CHECK(grid_maps.size() == grid_rows * grid_cols,
+               "need one fault map per grid crossbar");
+
+    const std::size_t cell_cols = cols * static_cast<std::size_t>(kCellsPerWeight);
+    cells_.assign(rows * cell_cols, 0);
+    for (std::size_t gr = 0; gr < grid_rows; ++gr) {
+        for (std::size_t gc = 0; gc < grid_cols; ++gc) {
+            const auto& map = grid_maps[gr * grid_cols + gc];
+            FARE_CHECK(map.rows() == xb_rows && map.cols() == xb_cols,
+                       "fault map geometry mismatch");
+            for (const CellFault& f : map.all_faults()) {
+                const std::size_t r = gr * xb_rows + f.row;
+                if (r >= rows) continue;
+                const std::size_t weight_c = gc * wpx + f.col / kCellsPerWeight;
+                if (weight_c >= cols) continue;
+                const std::size_t s = f.col % kCellsPerWeight;
+                cells_[r * cell_cols + weight_c * kCellsPerWeight + s] =
+                    static_cast<std::uint8_t>(f.type);
+                ++num_faults_;
+            }
+        }
+    }
+}
+
+std::optional<FaultType> WeightFaultGrid::slice_fault(std::size_t r, std::size_t c,
+                                                      int s) const {
+    FARE_CHECK(r < rows_ && c < cols_ && s >= 0 && s < kCellsPerWeight,
+               "slice_fault index out of range");
+    const std::size_t cell_cols = cols_ * static_cast<std::size_t>(kCellsPerWeight);
+    const auto v = cells_[r * cell_cols + c * kCellsPerWeight + static_cast<std::size_t>(s)];
+    if (v == 0) return std::nullopt;
+    return static_cast<FaultType>(v);
+}
+
+std::int16_t corrupt_fixed(std::int16_t q, const WeightFaultGrid& grid, std::size_t r,
+                           std::size_t c) {
+    CellSlices slices = slice_fixed(q);
+    for (int s = 0; s < kCellsPerWeight; ++s) {
+        const auto fault = grid.slice_fault(r, c, s);
+        if (!fault.has_value()) continue;
+        slices[static_cast<std::size_t>(s)] =
+            (*fault == FaultType::kSA0) ? 0 : 0x3;
+    }
+    return unslice_fixed(slices);
+}
+
+Matrix corrupt_weights(const Matrix& w, const WeightFaultGrid& grid,
+                       std::optional<float> clip) {
+    return corrupt_weights_permuted(
+        w, grid, identity_perm(static_cast<std::uint16_t>(w.rows())), clip);
+}
+
+Matrix corrupt_weights_permuted(const Matrix& w, const WeightFaultGrid& grid,
+                                const std::vector<std::uint16_t>& perm,
+                                std::optional<float> clip) {
+    FARE_CHECK(grid.rows() >= w.rows() && grid.cols() == w.cols(),
+               "fault grid does not cover weight matrix");
+    FARE_CHECK(perm.size() == w.rows(), "permutation size mismatch");
+    Matrix out(w.rows(), w.cols());
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        const std::size_t pr = perm[r];
+        FARE_CHECK(pr < grid.rows(), "permutation target out of range");
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            const std::int16_t q = float_to_fixed(w(r, c));
+            float v = fixed_to_float(corrupt_fixed(q, grid, pr, c));
+            if (clip.has_value()) v = std::clamp(v, -*clip, *clip);
+            out(r, c) = v;
+        }
+    }
+    return out;
+}
+
+double BinaryBlock::edge_density() const {
+    if (bits.empty()) return 0.0;
+    std::size_t ones = 0;
+    for (auto b : bits) ones += b;
+    return static_cast<double>(ones) / static_cast<double>(bits.size());
+}
+
+BinaryBlock corrupt_adjacency_block(const BinaryBlock& block, const FaultMap& map,
+                                    const std::vector<std::uint16_t>& perm) {
+    FARE_CHECK(map.rows() >= block.size && map.cols() >= block.size,
+               "fault map smaller than block");
+    FARE_CHECK(perm.size() == block.size, "permutation size mismatch");
+    BinaryBlock out = block;
+    for (std::uint16_t r = 0; r < block.size; ++r) {
+        const std::uint16_t pr = perm[r];
+        for (std::uint16_t c = 0; c < block.size; ++c) {
+            const auto fault = map.at(pr, c);
+            if (!fault.has_value()) continue;
+            out.set(r, c, *fault == FaultType::kSA0 ? 0 : 1);
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint16_t> identity_perm(std::uint16_t n) {
+    std::vector<std::uint16_t> perm(n);
+    for (std::uint16_t i = 0; i < n; ++i) perm[i] = i;
+    return perm;
+}
+
+}  // namespace fare

@@ -1,0 +1,89 @@
+// Value-corruption fast path: the effect of stuck cells on stored matrices.
+//
+// Training applies faults by corrupting the *values* a crossbar would return
+// rather than simulating every analog MVM — exactly what the paper's
+// PyTorch-on-NeuroSim wrapper does (§V-A). Unit tests assert these functions
+// are bit-identical to reading back through reram/mvm_engine.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "numeric/quantize.hpp"
+#include "reram/fault_model.hpp"
+
+namespace fare {
+
+/// Dense per-cell fault grid covering a (rows x cols*8) cell region that
+/// stores a (rows x cols) weight matrix, assembled from per-crossbar fault
+/// maps in the same grid layout ProgrammedWeights uses.
+class WeightFaultGrid {
+public:
+    WeightFaultGrid() = default;
+
+    /// Build for a (rows x cols) weight matrix from fault maps of the
+    /// row-major crossbar grid (same geometry as ProgrammedWeights).
+    WeightFaultGrid(std::size_t rows, std::size_t cols,
+                    const std::vector<FaultMap>& grid_maps,
+                    std::uint16_t xb_rows = 128, std::uint16_t xb_cols = 128);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return cells_.empty(); }
+
+    /// Fault on slice s (0 = MSB slice) of weight (r, c), if any.
+    std::optional<FaultType> slice_fault(std::size_t r, std::size_t c, int s) const;
+
+    /// Total faulty cells covering the weight region.
+    std::size_t num_faults() const { return num_faults_; }
+
+private:
+    std::size_t rows_ = 0, cols_ = 0;
+    std::vector<std::uint8_t> cells_;  // (rows x cols*8), 0 = healthy
+    std::size_t num_faults_ = 0;
+};
+
+/// Apply stuck-cell corruption to a single fixed-point value.
+std::int16_t corrupt_fixed(std::int16_t q, const WeightFaultGrid& grid, std::size_t r,
+                           std::size_t c);
+
+/// Effective weight matrix the tile computes with: quantise -> slice ->
+/// stuck-cell overlay -> shift-and-add -> dequantise, then optionally clamp
+/// to [-clip, clip] (the 16-bit comparator + 2:1 mux clipping unit).
+Matrix corrupt_weights(const Matrix& w, const WeightFaultGrid& grid,
+                       std::optional<float> clip = std::nullopt);
+
+/// Same, but with a logical->physical row permutation applied first (the
+/// neuron-reordering baseline moves whole weight rows): logical row r is
+/// stored at physical row perm[r].
+Matrix corrupt_weights_permuted(const Matrix& w, const WeightFaultGrid& grid,
+                                const std::vector<std::uint16_t>& perm,
+                                std::optional<float> clip = std::nullopt);
+
+/// Dense binary adjacency block (paper: adjacency is stored 1 bit per cell).
+struct BinaryBlock {
+    std::uint16_t size = 0;            ///< block is (size x size)
+    std::vector<std::uint8_t> bits;    ///< row-major 0/1
+
+    std::uint8_t at(std::uint16_t r, std::uint16_t c) const {
+        return bits[static_cast<std::size_t>(r) * size + c];
+    }
+    void set(std::uint16_t r, std::uint16_t c, std::uint8_t v) {
+        bits[static_cast<std::size_t>(r) * size + c] = v;
+    }
+    /// Fraction of ones (the paper's "edge density" of a block).
+    double edge_density() const;
+};
+
+/// Effective adjacency block after storing it on a faulty crossbar with
+/// logical row r placed at physical row perm[r]: SA1 adds an edge bit, SA0
+/// deletes one (paper Fig. 1b).
+BinaryBlock corrupt_adjacency_block(const BinaryBlock& block, const FaultMap& map,
+                                    const std::vector<std::uint16_t>& perm);
+
+/// Identity permutation of length n.
+std::vector<std::uint16_t> identity_perm(std::uint16_t n);
+
+}  // namespace fare

@@ -1,0 +1,63 @@
+// Functional model of one ReRAM crossbar array.
+//
+// Cells store `kBitsPerCell`-bit conductance levels (Table III: 2-bit/cell).
+// Programming a faulty cell silently has no effect — reads return the stuck
+// level: SA0 reads 0 (high-resistance state), SA1 reads the maximum level
+// (low-resistance state). Write endurance is tracked per cell-write so the
+// accelerator can account for wear-induced post-deployment faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/fixed_point.hpp"
+#include "reram/fault_model.hpp"
+
+namespace fare {
+
+class Crossbar {
+public:
+    Crossbar(std::uint16_t rows, std::uint16_t cols);
+
+    std::uint16_t rows() const { return rows_; }
+    std::uint16_t cols() const { return cols_; }
+
+    /// Attach / replace the fault overlay (e.g. after wear).
+    void set_fault_map(FaultMap map);
+    const FaultMap& fault_map() const { return faults_; }
+
+    /// Program one cell with a 2-bit level. Counts one write; stuck cells
+    /// ignore the write.
+    void program(std::uint16_t row, std::uint16_t col, std::uint8_t level);
+
+    /// Program an entire row of levels (vector width = cols).
+    void program_row(std::uint16_t row, const std::vector<std::uint8_t>& levels);
+
+    /// Effective level seen by the sense circuitry (fault overlay applied).
+    std::uint8_t read(std::uint16_t row, std::uint16_t col) const;
+
+    /// Pristine stored level ignoring faults (test/debug only — real hardware
+    /// cannot observe this).
+    std::uint8_t stored(std::uint16_t row, std::uint16_t col) const;
+
+    /// Total cell writes since construction (endurance accounting).
+    std::uint64_t total_writes() const { return writes_; }
+
+    /// Maximum programmable level for the cell resolution (3 for 2-bit).
+    static constexpr std::uint8_t max_level() {
+        return static_cast<std::uint8_t>((1u << kBitsPerCell) - 1u);
+    }
+
+private:
+    std::size_t index(std::uint16_t r, std::uint16_t c) const {
+        return static_cast<std::size_t>(r) * cols_ + c;
+    }
+
+    std::uint16_t rows_;
+    std::uint16_t cols_;
+    std::vector<std::uint8_t> cells_;
+    FaultMap faults_;
+    std::uint64_t writes_ = 0;
+};
+
+}  // namespace fare

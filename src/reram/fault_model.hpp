@@ -1,0 +1,108 @@
+// Stuck-at-fault (SAF) model for ReRAM crossbars.
+//
+// Paper §II-A / §V-A: SAFs pin a cell to low resistance (stuck-at-1) or high
+// resistance (stuck-at-0); they cluster around fault centres, which the paper
+// models as a Poisson distribution of fault counts *across* crossbars with a
+// uniform distribution *within* each crossbar, and a configurable SA0:SA1
+// ratio (9:1 from characterisation data [6], plus a pessimistic 1:1).
+// Pre-deployment faults exist at t = 0-; post-deployment faults accumulate
+// with write wear and are injected incrementally between epochs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fare {
+
+class Rng;
+
+enum class FaultType : std::uint8_t { kSA0 = 1, kSA1 = 2 };
+
+struct CellFault {
+    std::uint16_t row = 0;
+    std::uint16_t col = 0;
+    FaultType type = FaultType::kSA0;
+};
+
+/// Fault map of a single crossbar: dense lookup grid + sparse listing.
+class FaultMap {
+public:
+    FaultMap() = default;
+    FaultMap(std::uint16_t rows, std::uint16_t cols);
+
+    std::uint16_t rows() const { return rows_; }
+    std::uint16_t cols() const { return cols_; }
+
+    /// Add (or overwrite) a fault at a cell.
+    void add(std::uint16_t row, std::uint16_t col, FaultType type);
+
+    /// Fault at a cell, if any.
+    std::optional<FaultType> at(std::uint16_t row, std::uint16_t col) const;
+
+    bool is_faulty(std::uint16_t row, std::uint16_t col) const {
+        return grid_[index(row, col)] != 0;
+    }
+
+    /// All faults, sorted by (row, col).
+    std::vector<CellFault> all_faults() const;
+
+    /// Faults within one crossbar row, sorted by column.
+    std::vector<CellFault> row_faults(std::uint16_t row) const;
+
+    std::size_t num_faults() const { return num_sa0_ + num_sa1_; }
+    std::size_t num_sa0() const { return num_sa0_; }
+    std::size_t num_sa1() const { return num_sa1_; }
+
+    /// Fraction of faulty cells.
+    double fault_density() const;
+
+private:
+    std::size_t index(std::uint16_t r, std::uint16_t c) const {
+        return static_cast<std::size_t>(r) * cols_ + c;
+    }
+
+    std::uint16_t rows_ = 0;
+    std::uint16_t cols_ = 0;
+    std::vector<std::uint8_t> grid_;  // 0 = healthy, else FaultType
+    std::size_t num_sa0_ = 0;
+    std::size_t num_sa1_ = 0;
+};
+
+/// Injection parameters (paper §V-A).
+struct FaultInjectionConfig {
+    /// Fraction of all cells that are faulty ("fault density").
+    double density = 0.05;
+    /// Fraction of faults that are SA1 (0.1 => SA0:SA1 = 9:1; 0.5 => 1:1).
+    double sa1_fraction = 0.1;
+    /// Clustering of faults across crossbars ("fault centers" [6]): each
+    /// crossbar's fault count is Poisson with a Gamma-distributed rate of
+    /// this shape (a Gamma–Poisson mixture). Small shape => strongly
+    /// clustered: many near-clean crossbars, a few fault centers. <= 0
+    /// degenerates to a pure Poisson with fixed rate (no clustering).
+    double cluster_shape = 1.5;
+    std::uint64_t seed = 1;
+};
+
+/// Sample fault maps for `num_crossbars` crossbars: Poisson-distributed fault
+/// counts across crossbars, uniform placement within each crossbar.
+std::vector<FaultMap> inject_faults(std::size_t num_crossbars, std::uint16_t rows,
+                                    std::uint16_t cols,
+                                    const FaultInjectionConfig& config);
+
+/// Add post-deployment faults on top of existing maps: `added_density` more
+/// of each crossbar's cells become faulty (skipping already-faulty cells).
+void inject_additional_faults(std::vector<FaultMap>& maps, double added_density,
+                              double sa1_fraction, Rng& rng);
+
+/// Aggregate density over a set of crossbars.
+double mean_fault_density(const std::vector<FaultMap>& maps);
+
+/// Hardware redundancy baseline [8]: replace the `num_spares` columns with
+/// the most (SA1-weighted) faults by spare columns, i.e. drop their faults
+/// from the map. Spares are assumed fault-free — the usual optimistic
+/// assumption for the redundancy baseline.
+FaultMap repair_worst_columns(const FaultMap& map, std::size_t num_spares,
+                              double sa1_weight = 4.0);
+
+}  // namespace fare

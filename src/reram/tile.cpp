@@ -1,0 +1,30 @@
+#include "reram/tile.hpp"
+
+#include "common/error.hpp"
+
+namespace fare {
+
+Tile::Tile(const TileSpec& spec) : spec_(spec) {
+    FARE_CHECK(spec.crossbars_per_tile > 0, "tile needs at least one crossbar");
+    crossbars_.reserve(static_cast<std::size_t>(spec.crossbars_per_tile));
+    for (int i = 0; i < spec.crossbars_per_tile; ++i)
+        crossbars_.emplace_back(spec.crossbar_rows, spec.crossbar_cols);
+}
+
+Crossbar& Tile::crossbar(std::size_t i) {
+    FARE_CHECK(i < crossbars_.size(), "crossbar index out of range");
+    return crossbars_[i];
+}
+
+const Crossbar& Tile::crossbar(std::size_t i) const {
+    FARE_CHECK(i < crossbars_.size(), "crossbar index out of range");
+    return crossbars_[i];
+}
+
+std::uint64_t Tile::total_writes() const {
+    std::uint64_t sum = 0;
+    for (const auto& xb : crossbars_) sum += xb.total_writes();
+    return sum;
+}
+
+}  // namespace fare

@@ -1,0 +1,45 @@
+#include "sim/experiment.hpp"
+
+namespace fare {
+
+FaultyHardwareConfig default_hardware(double density, double sa1_fraction,
+                                      std::uint64_t seed) {
+    FaultyHardwareConfig hw;
+    hw.accelerator.num_tiles = 1;  // one Table III tile: 96 crossbars
+    hw.injection.density = density;
+    hw.injection.sa1_fraction = sa1_fraction;
+    hw.injection.seed = seed;
+    hw.post_sa1_fraction = sa1_fraction;
+    return hw;
+}
+
+const std::vector<Scheme>& figure_schemes() {
+    static const std::vector<Scheme> schemes = {
+        Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kNeuronReorder,
+        Scheme::kClippingOnly, Scheme::kFARe};
+    return schemes;
+}
+
+SchemeRunResult run_accuracy_cell(const WorkloadSpec& workload, Scheme scheme,
+                                  double density, double sa1_fraction,
+                                  std::uint64_t seed) {
+    const Dataset dataset = workload.make_dataset(seed);
+    const TrainConfig tc = workload.train_config(seed);
+    if (scheme == Scheme::kFaultFree) return run_fault_free(dataset, tc);
+    return run_scheme(dataset, scheme, tc,
+                      default_hardware(density, sa1_fraction, seed));
+}
+
+SchemeRunResult run_postdeploy_cell(const WorkloadSpec& workload, Scheme scheme,
+                                    double density, double post_total,
+                                    double sa1_fraction, std::uint64_t seed) {
+    const Dataset dataset = workload.make_dataset(seed);
+    const TrainConfig tc = workload.train_config(seed);
+    if (scheme == Scheme::kFaultFree) return run_fault_free(dataset, tc);
+    FaultyHardwareConfig hw = default_hardware(density, sa1_fraction, seed);
+    hw.post_total_density = post_total;
+    hw.post_epochs = tc.epochs;
+    return run_scheme(dataset, scheme, tc, hw);
+}
+
+}  // namespace fare

@@ -1,0 +1,33 @@
+// Shared experiment plumbing for the benchmark harness: default hardware
+// configurations, single-cell runners for the accuracy figures, and the
+// scheme lists in the paper's plotting order.
+#pragma once
+
+#include <vector>
+
+#include "fare/fare_trainer.hpp"
+#include "sim/registry.hpp"
+
+namespace fare {
+
+/// Default simulated chip: one Table III tile (96 crossbars of 128x128).
+FaultyHardwareConfig default_hardware(double density, double sa1_fraction,
+                                      std::uint64_t seed);
+
+/// The scheme order used in Figs. 4-7.
+const std::vector<Scheme>& figure_schemes();
+
+/// One accuracy cell: train `workload` under `scheme` with the given
+/// pre-deployment fault density / SA1 fraction; returns the scheme-run
+/// result (test accuracy on the faulty hardware).
+SchemeRunResult run_accuracy_cell(const WorkloadSpec& workload, Scheme scheme,
+                                  double density, double sa1_fraction,
+                                  std::uint64_t seed);
+
+/// One post-deployment cell (Fig. 6): pre-deployment `density` plus
+/// `post_total` additional density spread across all epochs.
+SchemeRunResult run_postdeploy_cell(const WorkloadSpec& workload, Scheme scheme,
+                                    double density, double post_total,
+                                    double sa1_fraction, std::uint64_t seed);
+
+}  // namespace fare

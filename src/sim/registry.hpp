@@ -1,0 +1,50 @@
+// Registry of the paper's evaluation workloads (Table II), scaled down per
+// DESIGN.md §1: each entry binds a synthetic dataset generator to the GNN
+// model the paper trains on it, the mini-batch configuration, and the
+// timing-model workload description used by Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gnn/trainer.hpp"
+#include "graph/dataset.hpp"
+#include "reram/timing_model.hpp"
+
+namespace fare {
+
+struct WorkloadSpec {
+    std::string dataset;  ///< "PPI", "Reddit", "Amazon2M", "Ogbl"
+    GnnKind kind = GnnKind::kGCN;
+
+    /// Instantiate the (synthetic) dataset.
+    Dataset make_dataset(std::uint64_t seed = 1) const;
+
+    /// Training configuration (Table II hyperparameters, scaled).
+    TrainConfig train_config(std::uint64_t seed = 1) const;
+
+    /// Timing-model description for Fig. 7 — uses the *paper-scale* batch
+    /// counts and hidden sizes so the normalized-time ratios reflect the
+    /// workloads the paper timed, not our scaled-down replicas.
+    WorkloadTiming paper_scale_timing() const;
+
+    std::string label() const;  ///< e.g. "Reddit (GCN)"
+};
+
+/// The six dataset/model combinations of Fig. 5, in the paper's order:
+/// PPI (GCN), PPI (GAT), Reddit (GCN), Ogbl (SAGE), Amazon2M (GCN),
+/// Amazon2M (SAGE).
+const std::vector<WorkloadSpec>& fig5_workloads();
+
+/// The three combinations of Fig. 6: PPI (GAT), Reddit (GCN), Amazon2M (SAGE).
+const std::vector<WorkloadSpec>& fig6_workloads();
+
+/// The four combinations of Fig. 7: Ogbl (SAGE), Reddit (GCN), PPI (GAT),
+/// Amazon2M (GCN).
+const std::vector<WorkloadSpec>& fig7_workloads();
+
+/// Look up one workload by names ("Reddit", GnnKind::kGCN). Throws on miss.
+WorkloadSpec find_workload(const std::string& dataset, GnnKind kind);
+
+}  // namespace fare

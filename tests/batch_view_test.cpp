@@ -1,0 +1,103 @@
+#include "gnn/batch_view.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fare {
+namespace {
+
+TEST(BatchViewTest, SelfLoopsAlwaysPresent) {
+    BitMatrix adj(3, 3);  // empty graph
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+    EXPECT_EQ(v.num_entries(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        auto nb = v.row_neighbors(r);
+        ASSERT_EQ(nb.size(), 1u);
+        EXPECT_EQ(nb[0], r);
+    }
+}
+
+TEST(BatchViewTest, FromBitsAndFromGraphAgree) {
+    const CSRGraph g = CSRGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+    const BatchGraphView a = BatchGraphView::from_graph(g);
+    const BatchGraphView b = BatchGraphView::from_bits(BitMatrix::from_graph(g));
+    ASSERT_EQ(a.num_entries(), b.num_entries());
+
+    Rng rng(1);
+    Matrix x(5, 4);
+    for (auto& v : x.flat()) v = rng.uniform(-1.0f, 1.0f);
+    EXPECT_LT(max_abs_diff(a.gcn_multiply(x), b.gcn_multiply(x)), 1e-6f);
+    EXPECT_LT(max_abs_diff(a.mean_multiply(x), b.mean_multiply(x)), 1e-6f);
+}
+
+TEST(BatchViewTest, GcnNormalizationSymmetricGraph) {
+    // Two nodes, one edge: A+I = all-ones 2x2; degrees = 2.
+    // gcn weight = 1/sqrt(2*2) = 0.5 everywhere.
+    BitMatrix adj(2, 2);
+    adj.set(0, 1, 1);
+    adj.set(1, 0, 1);
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+    Matrix x{{1.0f}, {3.0f}};
+    const Matrix y = v.gcn_multiply(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 0.5f * 1.0f + 0.5f * 3.0f);
+    EXPECT_FLOAT_EQ(y(1, 0), 2.0f);
+}
+
+TEST(BatchViewTest, MeanAggregationRowStochastic) {
+    BitMatrix adj(3, 3);
+    adj.set(0, 1, 1);
+    adj.set(0, 2, 1);
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+    Matrix ones(3, 1, 1.0f);
+    const Matrix y = v.mean_multiply(ones);
+    // Row-mean of ones is exactly one for every node.
+    for (std::size_t r = 0; r < 3; ++r) EXPECT_NEAR(y(r, 0), 1.0f, 1e-6f);
+}
+
+TEST(BatchViewTest, TransposeIsAdjoint) {
+    // <A x, y> == <x, A^T y> for random inputs — validates the backward op.
+    BitMatrix adj(6, 6);
+    Rng rng(7);
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            if (r != c && rng.next_bool(0.4)) adj.set(r, c, 1);
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+
+    Matrix x(6, 3), y(6, 3);
+    for (auto& t : x.flat()) t = rng.uniform(-1.0f, 1.0f);
+    for (auto& t : y.flat()) t = rng.uniform(-1.0f, 1.0f);
+
+    auto dot = [](const Matrix& a, const Matrix& b) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            acc += static_cast<double>(a.flat()[i]) * b.flat()[i];
+        return acc;
+    };
+    EXPECT_NEAR(dot(v.gcn_multiply(x), y), dot(x, v.gcn_multiply_t(y)), 1e-4);
+    EXPECT_NEAR(dot(v.mean_multiply(x), y), dot(x, v.mean_multiply_t(y)), 1e-4);
+}
+
+TEST(BatchViewTest, AsymmetricCorruptionHandled) {
+    // A fault flips A(0,1) only; A(1,0) stays 0 — the view must not assume
+    // symmetry.
+    BitMatrix adj(2, 2);
+    adj.set(0, 1, 1);
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+    EXPECT_EQ(v.row_neighbors(0).size(), 2u);  // self + 1
+    EXPECT_EQ(v.row_neighbors(1).size(), 1u);  // self only
+}
+
+TEST(BatchViewTest, InputHeightValidated) {
+    BitMatrix adj(3, 3);
+    const BatchGraphView v = BatchGraphView::from_bits(adj);
+    Matrix x(4, 2);
+    EXPECT_THROW(v.gcn_multiply(x), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,81 @@
+#include "reram/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fare {
+namespace {
+
+TEST(CrossbarTest, ProgramAndRead) {
+    Crossbar xb(8, 8);
+    xb.program(2, 3, 2);
+    EXPECT_EQ(xb.read(2, 3), 2);
+    EXPECT_EQ(xb.read(0, 0), 0);
+}
+
+TEST(CrossbarTest, MaxLevelFor2BitCells) {
+    EXPECT_EQ(Crossbar::max_level(), 3);
+    Crossbar xb(4, 4);
+    EXPECT_THROW(xb.program(0, 0, 4), InvalidArgument);
+}
+
+TEST(CrossbarTest, Sa0ReadsZeroRegardlessOfWrite) {
+    Crossbar xb(4, 4);
+    FaultMap map(4, 4);
+    map.add(1, 1, FaultType::kSA0);
+    xb.set_fault_map(map);
+    xb.program(1, 1, 3);
+    EXPECT_EQ(xb.read(1, 1), 0);
+    EXPECT_EQ(xb.stored(1, 1), 3);  // write landed, read is stuck
+}
+
+TEST(CrossbarTest, Sa1ReadsMaxRegardlessOfWrite) {
+    Crossbar xb(4, 4);
+    FaultMap map(4, 4);
+    map.add(2, 0, FaultType::kSA1);
+    xb.set_fault_map(map);
+    xb.program(2, 0, 0);
+    EXPECT_EQ(xb.read(2, 0), Crossbar::max_level());
+}
+
+TEST(CrossbarTest, WriteEnduranceCounted) {
+    Crossbar xb(4, 4);
+    EXPECT_EQ(xb.total_writes(), 0u);
+    xb.program(0, 0, 1);
+    xb.program(0, 0, 2);
+    EXPECT_EQ(xb.total_writes(), 2u);
+    xb.program_row(1, {0, 1, 2, 3});
+    EXPECT_EQ(xb.total_writes(), 6u);
+}
+
+TEST(CrossbarTest, ProgramRowValidatesWidth) {
+    Crossbar xb(4, 4);
+    EXPECT_THROW(xb.program_row(0, {1, 2}), InvalidArgument);
+}
+
+TEST(CrossbarTest, FaultMapDimensionsValidated) {
+    Crossbar xb(4, 4);
+    EXPECT_THROW(xb.set_fault_map(FaultMap(8, 8)), InvalidArgument);
+}
+
+TEST(CrossbarTest, BoundsChecked) {
+    Crossbar xb(4, 4);
+    EXPECT_THROW(xb.program(4, 0, 0), InvalidArgument);
+    EXPECT_THROW(xb.read(0, 4), InvalidArgument);
+    EXPECT_THROW(Crossbar(0, 4), InvalidArgument);
+}
+
+TEST(CrossbarTest, ReplacingFaultMapChangesBehaviour) {
+    Crossbar xb(4, 4);
+    xb.program(0, 0, 2);
+    FaultMap map(4, 4);
+    map.add(0, 0, FaultType::kSA1);
+    xb.set_fault_map(map);
+    EXPECT_EQ(xb.read(0, 0), 3);
+    xb.set_fault_map(FaultMap(4, 4));  // healed (hypothetically)
+    EXPECT_EQ(xb.read(0, 0), 2);       // stored value resurfaces
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,87 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/stats.hpp"
+
+namespace fare {
+namespace {
+
+TEST(CSRGraphTest, BuildsFromEdgeList) {
+    CSRGraph g = CSRGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+    EXPECT_EQ(g.num_nodes(), 4u);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(g.num_arcs(), 6u);
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));  // symmetric
+    EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CSRGraphTest, DropsSelfLoopsAndDuplicates) {
+    CSRGraph g = CSRGraph::from_edges(3, {{0, 1}, {1, 0}, {0, 0}, {0, 1}});
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(CSRGraphTest, NeighborsSorted) {
+    CSRGraph g = CSRGraph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+    auto nb = g.neighbors(2);
+    ASSERT_EQ(nb.size(), 4u);
+    for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(CSRGraphTest, EdgeListRoundTrip) {
+    const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 3}, {2, 3}};
+    CSRGraph g = CSRGraph::from_edges(4, edges);
+    EXPECT_EQ(g.edge_list(), edges);
+}
+
+TEST(CSRGraphTest, OutOfRangeEdgeRejected) {
+    EXPECT_THROW(CSRGraph::from_edges(2, {{0, 2}}), InvalidArgument);
+}
+
+TEST(CSRGraphTest, EmptyGraph) {
+    CSRGraph g = CSRGraph::from_edges(3, {});
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_EQ(g.degree(0), 0u);
+    EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(GraphBuilderTest, AccumulatesAndFinalizes) {
+    GraphBuilder b(4);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 2);  // ignored self-loop
+    EXPECT_EQ(b.pending_edges(), 2u);
+    CSRGraph g = b.finalize();
+    EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphStatsTest, DegreeStats) {
+    // Star: center degree 4, leaves degree 1.
+    CSRGraph g = CSRGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    const DegreeStats s = degree_stats(g);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+}
+
+TEST(GraphStatsTest, Homophily) {
+    CSRGraph g = CSRGraph::from_edges(4, {{0, 1}, {2, 3}, {1, 2}});
+    const std::vector<int> labels{0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(edge_homophily(g, labels), 2.0 / 3.0);
+}
+
+TEST(GraphStatsTest, ConnectedComponents) {
+    CSRGraph g = CSRGraph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+    EXPECT_EQ(connected_components(g), 3u);  // {0,1,2}, {3,4}, {5}
+}
+
+TEST(GraphStatsTest, Density) {
+    CSRGraph g = CSRGraph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+    EXPECT_DOUBLE_EQ(density(g), 1.0);  // complete graph
+}
+
+}  // namespace
+}  // namespace fare

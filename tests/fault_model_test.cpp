@@ -1,0 +1,178 @@
+#include "reram/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fare {
+namespace {
+
+TEST(FaultMapTest, AddAndLookup) {
+    FaultMap map(8, 8);
+    map.add(1, 2, FaultType::kSA0);
+    map.add(3, 4, FaultType::kSA1);
+    EXPECT_EQ(map.at(1, 2), FaultType::kSA0);
+    EXPECT_EQ(map.at(3, 4), FaultType::kSA1);
+    EXPECT_FALSE(map.at(0, 0).has_value());
+    EXPECT_EQ(map.num_sa0(), 1u);
+    EXPECT_EQ(map.num_sa1(), 1u);
+    EXPECT_TRUE(map.is_faulty(1, 2));
+    EXPECT_FALSE(map.is_faulty(2, 1));
+}
+
+TEST(FaultMapTest, OverwriteUpdatesCounts) {
+    FaultMap map(4, 4);
+    map.add(0, 0, FaultType::kSA0);
+    map.add(0, 0, FaultType::kSA1);
+    EXPECT_EQ(map.num_sa0(), 0u);
+    EXPECT_EQ(map.num_sa1(), 1u);
+    EXPECT_EQ(map.num_faults(), 1u);
+}
+
+TEST(FaultMapTest, RowFaultsSortedByColumn) {
+    FaultMap map(4, 8);
+    map.add(2, 5, FaultType::kSA0);
+    map.add(2, 1, FaultType::kSA1);
+    map.add(1, 0, FaultType::kSA0);
+    const auto row = map.row_faults(2);
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0].col, 1u);
+    EXPECT_EQ(row[1].col, 5u);
+}
+
+TEST(FaultMapTest, AllFaultsComplete) {
+    FaultMap map(4, 4);
+    map.add(0, 1, FaultType::kSA0);
+    map.add(3, 3, FaultType::kSA1);
+    EXPECT_EQ(map.all_faults().size(), 2u);
+    EXPECT_DOUBLE_EQ(map.fault_density(), 2.0 / 16.0);
+}
+
+TEST(FaultMapTest, BoundsChecked) {
+    FaultMap map(4, 4);
+    EXPECT_THROW(map.add(4, 0, FaultType::kSA0), InvalidArgument);
+    EXPECT_THROW(map.at(0, 4), InvalidArgument);
+}
+
+TEST(InjectTest, OverallDensityMatchesTarget) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.05;
+    cfg.sa1_fraction = 0.1;
+    cfg.seed = 1;
+    const auto maps = inject_faults(64, 128, 128, cfg);
+    ASSERT_EQ(maps.size(), 64u);
+    EXPECT_NEAR(mean_fault_density(maps), 0.05, 0.012);
+}
+
+TEST(InjectTest, Sa1FractionMatches) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.05;
+    cfg.sa1_fraction = 0.1;
+    cfg.seed = 2;
+    const auto maps = inject_faults(32, 128, 128, cfg);
+    std::size_t sa0 = 0, sa1 = 0;
+    for (const auto& m : maps) {
+        sa0 += m.num_sa0();
+        sa1 += m.num_sa1();
+    }
+    const double frac = static_cast<double>(sa1) / static_cast<double>(sa0 + sa1);
+    EXPECT_NEAR(frac, 0.1, 0.02);
+}
+
+TEST(InjectTest, ClusteringCreatesDispersion) {
+    // With a Gamma-Poisson mixture (fault centres), the cross-crossbar
+    // variance far exceeds a pure Poisson's.
+    FaultInjectionConfig clustered;
+    clustered.density = 0.05;
+    clustered.cluster_shape = 1.5;
+    clustered.seed = 3;
+    FaultInjectionConfig pure = clustered;
+    pure.cluster_shape = 0.0;
+
+    auto spread = [](const std::vector<FaultMap>& maps) {
+        double mean = 0.0, var = 0.0;
+        for (const auto& m : maps) mean += static_cast<double>(m.num_faults());
+        mean /= static_cast<double>(maps.size());
+        for (const auto& m : maps) {
+            const double d = static_cast<double>(m.num_faults()) - mean;
+            var += d * d;
+        }
+        return var / static_cast<double>(maps.size());
+    };
+    const auto c = inject_faults(96, 128, 128, clustered);
+    const auto p = inject_faults(96, 128, 128, pure);
+    EXPECT_GT(spread(c), spread(p) * 10.0);
+}
+
+TEST(InjectTest, ClusteringKeepsMeanDensity) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.03;
+    cfg.cluster_shape = 1.5;
+    cfg.seed = 5;
+    const auto maps = inject_faults(256, 128, 128, cfg);
+    EXPECT_NEAR(mean_fault_density(maps), 0.03, 0.006);
+}
+
+TEST(InjectTest, DeterministicPerSeed) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.02;
+    cfg.seed = 7;
+    const auto a = inject_faults(4, 64, 64, cfg);
+    const auto b = inject_faults(4, 64, 64, cfg);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].num_faults(), b[i].num_faults());
+        const auto fa = a[i].all_faults();
+        const auto fb = b[i].all_faults();
+        for (std::size_t j = 0; j < fa.size(); ++j) {
+            EXPECT_EQ(fa[j].row, fb[j].row);
+            EXPECT_EQ(fa[j].col, fb[j].col);
+            EXPECT_EQ(fa[j].type, fb[j].type);
+        }
+    }
+}
+
+TEST(InjectTest, InvalidDensityRejected) {
+    FaultInjectionConfig cfg;
+    cfg.density = 1.5;
+    EXPECT_THROW(inject_faults(1, 8, 8, cfg), InvalidArgument);
+}
+
+TEST(InjectTest, PostDeploymentAddsOnTop) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.02;
+    cfg.seed = 9;
+    auto maps = inject_faults(16, 128, 128, cfg);
+    const double before = mean_fault_density(maps);
+    Rng rng(10);
+    inject_additional_faults(maps, 0.01, 0.1, rng);
+    const double after = mean_fault_density(maps);
+    EXPECT_NEAR(after - before, 0.01, 0.004);
+}
+
+TEST(InjectTest, ZeroDensityProducesNoFaults) {
+    FaultInjectionConfig cfg;
+    cfg.density = 0.0;
+    const auto maps = inject_faults(4, 32, 32, cfg);
+    for (const auto& m : maps) EXPECT_EQ(m.num_faults(), 0u);
+}
+
+/// Density sweep: achieved density tracks the target across the paper's
+/// 1-5% range.
+class DensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweep, TrackingAccurate) {
+    FaultInjectionConfig cfg;
+    cfg.density = GetParam();
+    cfg.seed = 21;
+    const auto maps = inject_faults(128, 128, 128, cfg);
+    EXPECT_NEAR(mean_fault_density(maps), GetParam(), GetParam() * 0.25 + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, DensitySweep,
+                         ::testing::Values(0.01, 0.02, 0.03, 0.05));
+
+}  // namespace
+}  // namespace fare

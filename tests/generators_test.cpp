@@ -1,0 +1,134 @@
+#include "graph/generators.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+
+namespace fare {
+namespace {
+
+void check_dataset_invariants(const Dataset& ds) {
+    ASSERT_GT(ds.num_nodes(), 0u);
+    EXPECT_EQ(ds.labels.size(), ds.num_nodes());
+    EXPECT_EQ(ds.split.size(), ds.num_nodes());
+    EXPECT_EQ(ds.features.rows(), ds.num_nodes());
+    for (int label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, ds.num_classes);
+    }
+    // No isolated nodes (generators attach them).
+    for (NodeId v = 0; v < ds.graph.num_nodes(); ++v)
+        EXPECT_GT(ds.graph.degree(v), 0u) << "isolated node " << v;
+    // Split fractions roughly 60/20/20.
+    const double n = static_cast<double>(ds.num_nodes());
+    EXPECT_NEAR(static_cast<double>(ds.nodes_in(Split::kTrain).size()) / n, 0.6, 0.05);
+    EXPECT_NEAR(static_cast<double>(ds.nodes_in(Split::kVal).size()) / n, 0.2, 0.05);
+    EXPECT_NEAR(static_cast<double>(ds.nodes_in(Split::kTest).size()) / n, 0.2, 0.05);
+}
+
+TEST(GeneratorsTest, SbmRespectsSpec) {
+    SbmSpec spec;
+    spec.num_nodes = 600;
+    spec.num_classes = 4;
+    spec.num_features = 16;
+    spec.avg_degree = 10.0;
+    spec.homophily = 0.85;
+    spec.seed = 3;
+    const Dataset ds = make_sbm_dataset(spec);
+    check_dataset_invariants(ds);
+    EXPECT_EQ(ds.num_classes, 4);
+    EXPECT_EQ(ds.num_features(), 16u);
+    EXPECT_NEAR(degree_stats(ds.graph).mean, 10.0, 2.5);
+    // Homophily close to requested (dedup pulls it around slightly).
+    EXPECT_NEAR(edge_homophily(ds.graph, ds.labels), 0.85, 0.08);
+}
+
+TEST(GeneratorsTest, SbmDeterministicPerSeed) {
+    SbmSpec spec;
+    spec.num_nodes = 300;
+    spec.seed = 11;
+    const Dataset a = make_sbm_dataset(spec);
+    const Dataset b = make_sbm_dataset(spec);
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.features, b.features);
+}
+
+TEST(GeneratorsTest, SbmSeedsDiffer) {
+    SbmSpec spec;
+    spec.num_nodes = 300;
+    spec.seed = 1;
+    const Dataset a = make_sbm_dataset(spec);
+    spec.seed = 2;
+    const Dataset b = make_sbm_dataset(spec);
+    EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(GeneratorsTest, PowerLawSkewsDegrees) {
+    SbmSpec uniform;
+    uniform.num_nodes = 1500;
+    uniform.avg_degree = 14.0;
+    uniform.power_law_alpha = 0.0;
+    uniform.seed = 5;
+    SbmSpec skewed = uniform;
+    skewed.power_law_alpha = 1.8;
+    const auto du = degree_stats(make_sbm_dataset(uniform).graph);
+    const auto dk = degree_stats(make_sbm_dataset(skewed).graph);
+    // Heavy-tailed propensities produce a much larger maximum degree.
+    EXPECT_GT(dk.max, du.max * 2.0);
+}
+
+TEST(GeneratorsTest, CitationGrowthProducesPreferentialHubs) {
+    CitationSpec spec;
+    spec.num_nodes = 1200;
+    spec.edges_per_node = 5;
+    spec.seed = 7;
+    const Dataset ds = make_citation_dataset(spec);
+    check_dataset_invariants(ds);
+    const DegreeStats s = degree_stats(ds.graph);
+    EXPECT_GT(s.max, s.mean * 4.0);  // hubs exist
+}
+
+TEST(GeneratorsTest, HomophilyKnobMoves) {
+    SbmSpec lo;
+    lo.num_nodes = 800;
+    lo.homophily = 0.3;
+    lo.seed = 9;
+    SbmSpec hi = lo;
+    hi.homophily = 0.9;
+    const double h_lo =
+        edge_homophily(make_sbm_dataset(lo).graph, make_sbm_dataset(lo).labels);
+    const double h_hi =
+        edge_homophily(make_sbm_dataset(hi).graph, make_sbm_dataset(hi).labels);
+    EXPECT_GT(h_hi, h_lo + 0.3);
+}
+
+/// The four Table II stand-ins all produce valid, learnable datasets.
+class PaperDatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperDatasetTest, Invariants) {
+    const std::string name = GetParam();
+    Dataset ds;
+    if (name == "PPI") ds = make_ppi(1);
+    else if (name == "Reddit") ds = make_reddit(1);
+    else if (name == "Amazon2M") ds = make_amazon2m(1);
+    else ds = make_ogbl(1);
+    EXPECT_EQ(ds.name, name);
+    check_dataset_invariants(ds);
+    // All stand-ins are homophilous enough for a GNN to exploit structure.
+    EXPECT_GT(edge_homophily(ds.graph, ds.labels), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, PaperDatasetTest,
+                         ::testing::Values("PPI", "Reddit", "Amazon2M", "Ogbl"));
+
+TEST(GeneratorsTest, InvalidSpecRejected) {
+    SbmSpec spec;
+    spec.homophily = 1.5;
+    EXPECT_THROW(make_sbm_dataset(spec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fare

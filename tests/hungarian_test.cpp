@@ -1,0 +1,105 @@
+#include "fare/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fare {
+namespace {
+
+/// Brute-force min-cost assignment over all permutations (rows <= cols).
+double brute_force(std::size_t rows, std::size_t cols, const std::vector<double>& cost) {
+    std::vector<std::size_t> col_ids(cols);
+    std::iota(col_ids.begin(), col_ids.end(), 0u);
+    double best = 1e300;
+    do {
+        double total = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) total += cost[r * cols + col_ids[r]];
+        best = std::min(best, total);
+    } while (std::next_permutation(col_ids.begin(), col_ids.end()));
+    return best;
+}
+
+TEST(HungarianTest, KnownSquareInstance) {
+    // Classic 3x3: optimal = 5 (0->1, 1->0, 2->2 => 1+2+2).
+    const std::vector<double> cost{4, 1, 3,
+                                   2, 0, 5,
+                                   3, 2, 2};
+    const AssignmentResult r = hungarian_min_cost(3, 3, cost);
+    EXPECT_DOUBLE_EQ(r.total_cost, 5.0);
+    // Distinct columns.
+    std::vector<int> cols = r.row_to_col;
+    std::sort(cols.begin(), cols.end());
+    EXPECT_EQ(cols, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, RectangularPicksCheapColumns) {
+    // 1 row, 4 columns.
+    const std::vector<double> cost{7, 3, 9, 1};
+    const AssignmentResult r = hungarian_min_cost(1, 4, cost);
+    EXPECT_EQ(r.row_to_col[0], 3);
+    EXPECT_DOUBLE_EQ(r.total_cost, 1.0);
+}
+
+TEST(HungarianTest, ZeroCostMatrix) {
+    const std::vector<double> cost(6, 0.0);
+    const AssignmentResult r = hungarian_min_cost(2, 3, cost);
+    EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+    EXPECT_NE(r.row_to_col[0], r.row_to_col[1]);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomInstances) {
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t rows = 1 + rng.next_below(4);
+        const std::size_t cols = rows + rng.next_below(3);
+        std::vector<double> cost(rows * cols);
+        for (auto& c : cost) c = rng.uniform(0.0f, 20.0f);
+        const AssignmentResult r = hungarian_min_cost(rows, cols, cost);
+        EXPECT_NEAR(r.total_cost, brute_force(rows, cols, cost), 1e-9)
+            << "trial " << trial;
+        // Assignment validity.
+        std::vector<bool> used(cols, false);
+        for (int c : r.row_to_col) {
+            ASSERT_GE(c, 0);
+            ASSERT_LT(static_cast<std::size_t>(c), cols);
+            EXPECT_FALSE(used[static_cast<std::size_t>(c)]);
+            used[static_cast<std::size_t>(c)] = true;
+        }
+    }
+}
+
+TEST(HungarianTest, NegativeCostsSupported) {
+    const std::vector<double> cost{-5, 2,
+                                   3, -1};
+    const AssignmentResult r = hungarian_min_cost(2, 2, cost);
+    EXPECT_DOUBLE_EQ(r.total_cost, -6.0);
+}
+
+TEST(HungarianTest, InvalidShapesRejected) {
+    EXPECT_THROW(hungarian_min_cost(3, 2, std::vector<double>(6, 0.0)),
+                 InvalidArgument);
+    EXPECT_THROW(hungarian_min_cost(2, 2, std::vector<double>(3, 0.0)),
+                 InvalidArgument);
+}
+
+TEST(HungarianTest, LargeInstanceRunsFast) {
+    Rng rng(9);
+    const std::size_t n = 128;
+    std::vector<double> cost(n * n);
+    for (auto& c : cost) c = rng.uniform(0.0f, 100.0f);
+    const AssignmentResult r = hungarian_min_cost(n, n, cost);
+    EXPECT_GT(r.total_cost, 0.0);
+    // Sanity: optimal <= greedy row-min sum is false in general, but optimal
+    // <= identity assignment cost always holds.
+    double identity = 0.0;
+    for (std::size_t i = 0; i < n; ++i) identity += cost[i * n + i];
+    EXPECT_LE(r.total_cost, identity);
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,87 @@
+#include "gnn/loss.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fare {
+namespace {
+
+TEST(LossTest, PerfectPredictionLowLoss) {
+    Matrix logits{{10.0f, -10.0f}, {-10.0f, 10.0f}};
+    const LossResult r =
+        softmax_cross_entropy(logits, {0, 1}, {true, true});
+    EXPECT_LT(r.loss, 1e-3f);
+    EXPECT_EQ(r.count, 2u);
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+    Matrix logits(3, 4, 0.0f);
+    const LossResult r =
+        softmax_cross_entropy(logits, {0, 1, 2}, {true, true, true});
+    EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, MaskExcludesNodes) {
+    Matrix logits{{10.0f, -10.0f}, {10.0f, -10.0f}};
+    // Second node is badly wrong but masked out.
+    const LossResult r = softmax_cross_entropy(logits, {0, 1}, {true, false});
+    EXPECT_LT(r.loss, 1e-3f);
+    EXPECT_EQ(r.count, 1u);
+    // Gradient rows of unmasked nodes are zero.
+    EXPECT_FLOAT_EQ(r.grad(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(r.grad(1, 1), 0.0f);
+}
+
+TEST(LossTest, EmptyMaskIsZero) {
+    Matrix logits(2, 2, 1.0f);
+    const LossResult r = softmax_cross_entropy(logits, {0, 1}, {false, false});
+    EXPECT_EQ(r.count, 0u);
+    EXPECT_FLOAT_EQ(r.loss, 0.0f);
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+    // softmax-CE gradient per supervised row: p - onehot, which sums to 0.
+    Matrix logits{{0.3f, -1.2f, 2.0f}};
+    const LossResult r = softmax_cross_entropy(logits, {2}, {true});
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) sum += r.grad(0, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+    Matrix logits{{0.5f, -0.25f, 1.5f}, {2.0f, 0.0f, -1.0f}};
+    const std::vector<int> labels{2, 0};
+    const std::vector<bool> mask{true, true};
+    const LossResult base = softmax_cross_entropy(logits, labels, mask);
+
+    const float eps = 1e-3f;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            Matrix bumped = logits;
+            bumped(r, c) += eps;
+            const LossResult hi = softmax_cross_entropy(bumped, labels, mask);
+            bumped(r, c) -= 2 * eps;
+            const LossResult lo = softmax_cross_entropy(bumped, labels, mask);
+            const float numeric = (hi.loss - lo.loss) / (2 * eps);
+            EXPECT_NEAR(base.grad(r, c), numeric, 2e-3f)
+                << "at (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(LossTest, LabelRangeValidated) {
+    Matrix logits(1, 2, 0.0f);
+    EXPECT_THROW(softmax_cross_entropy(logits, {5}, {true}), InvalidArgument);
+}
+
+TEST(LossTest, SizeMismatchValidated) {
+    Matrix logits(2, 2, 0.0f);
+    EXPECT_THROW(softmax_cross_entropy(logits, {0}, {true, true}), InvalidArgument);
+    EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}, {true}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,211 @@
+#include "fare/mapper.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace fare {
+namespace {
+
+BitMatrix random_adjacency(std::size_t n, double density, Rng& rng) {
+    BitMatrix adj(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            if (r != c && rng.next_bool(density)) {
+                adj.set(r, c, 1);
+                adj.set(c, r, 1);
+            }
+    return adj;
+}
+
+std::vector<FaultMap> random_pool(std::size_t m, std::uint16_t n, double density,
+                                  double sa1, Rng& rng) {
+    FaultInjectionConfig cfg;
+    cfg.density = density;
+    cfg.sa1_fraction = sa1;
+    cfg.cluster_shape = 1.5;
+    cfg.seed = rng.next_u64();
+    return inject_faults(m, n, n, cfg);
+}
+
+MapperConfig small_mapper(std::uint16_t block = 16) {
+    MapperConfig cfg;
+    cfg.block_size = block;
+    return cfg;
+}
+
+TEST(MapperTest, ExtractBlockPadsEdges) {
+    FaultAwareMapper mapper(small_mapper(16));
+    BitMatrix adj(20, 20);
+    adj.set(0, 1, 1);
+    adj.set(17, 18, 1);
+    const BinaryBlock b00 = mapper.extract_block(adj, 0, 0);
+    EXPECT_EQ(b00.size, 16);
+    EXPECT_EQ(b00.at(0, 1), 1);
+    const BinaryBlock b11 = mapper.extract_block(adj, 1, 1);
+    EXPECT_EQ(b11.at(1, 2), 1);   // (17,18) - 16 offset
+    EXPECT_EQ(b11.at(15, 15), 0); // padding stays zero
+}
+
+TEST(MapperTest, MapBatchAssignsEveryBlockDistinctly) {
+    Rng rng(3);
+    FaultAwareMapper mapper(small_mapper(16));
+    const BitMatrix adj = random_adjacency(40, 0.1, rng);  // 3x3 = 9 blocks
+    const auto pool = random_pool(20, 16, 0.05, 0.3, rng);
+    const AdjacencyMapping mapping = mapper.map_batch(adj, pool);
+    EXPECT_EQ(mapping.grid, 3u);
+    EXPECT_EQ(mapping.assignments.size() + mapping.host_blocks.size(), 9u);
+    std::vector<std::size_t> used;
+    for (const auto& a : mapping.assignments) {
+        used.push_back(a.crossbar_index);
+        EXPECT_EQ(a.row_perm.size(), 16u);
+    }
+    std::sort(used.begin(), used.end());
+    EXPECT_EQ(std::unique(used.begin(), used.end()), used.end());
+}
+
+TEST(MapperTest, FaultAwareBeatsIdentityCost) {
+    Rng rng(5);
+    FaultAwareMapper mapper(small_mapper(16));
+    double aware = 0.0, naive = 0.0;
+    for (int trial = 0; trial < 10; ++trial) {
+        const BitMatrix adj = random_adjacency(48, 0.08, rng);
+        const auto pool = random_pool(18, 16, 0.05, 0.5, rng);
+        aware += mapper.map_batch(adj, pool).total_cost();
+        naive += mapper.map_identity(adj, pool).total_cost();
+    }
+    EXPECT_LT(aware, naive * 0.55);
+}
+
+TEST(MapperTest, RowReorderBetweenIdentityAndFaultAware) {
+    Rng rng(7);
+    FaultAwareMapper mapper(small_mapper(16));
+    double aware = 0.0, reorder = 0.0, naive = 0.0;
+    for (int trial = 0; trial < 10; ++trial) {
+        const BitMatrix adj = random_adjacency(48, 0.08, rng);
+        const auto pool = random_pool(18, 16, 0.05, 0.5, rng);
+        // Evaluate all three with FARe's weighting for comparability.
+        const RowMatchWeights w = mapper.config().weights;
+        auto eval = [&](const AdjacencyMapping& m) {
+            double total = 0.0;
+            for (const auto& a : m.assignments) {
+                const BinaryBlock block = mapper.extract_block(
+                    adj, a.block_index / m.grid, a.block_index % m.grid);
+                total += mapping_cost(block, pool[a.crossbar_index], a.row_perm, w);
+            }
+            return total;
+        };
+        aware += eval(mapper.map_batch(adj, pool));
+        reorder += eval(mapper.map_row_reorder(adj, pool));
+        naive += eval(mapper.map_identity(adj, pool));
+    }
+    EXPECT_LT(aware, reorder);
+    EXPECT_LT(reorder, naive);
+}
+
+TEST(MapperTest, ApplyCorruptsOnlyMappedBlocks) {
+    Rng rng(9);
+    FaultAwareMapper mapper(small_mapper(16));
+    const BitMatrix adj = random_adjacency(32, 0.1, rng);
+    // Clean crossbars: apply must be the identity.
+    std::vector<FaultMap> clean(8, FaultMap(16, 16));
+    const AdjacencyMapping mapping = mapper.map_batch(adj, clean);
+    const BitMatrix out = mapper.apply(adj, mapping, clean);
+    EXPECT_EQ(out.bits, adj.bits);
+}
+
+TEST(MapperTest, ApplyReflectsStuckBits) {
+    FaultAwareMapper mapper(small_mapper(4));
+    BitMatrix adj(4, 4);  // single all-zero block
+    std::vector<FaultMap> pool(2, FaultMap(4, 4));
+    pool[0].add(0, 0, FaultType::kSA1);
+    pool[1].add(0, 0, FaultType::kSA1);
+    // Identity mapping pins the block to crossbar 0 with no permutation.
+    const AdjacencyMapping mapping = mapper.map_identity(adj, pool);
+    const BitMatrix out = mapper.apply(adj, mapping, pool);
+    EXPECT_EQ(out.at(0, 0), 1);  // SA1 inserted the edge bit
+}
+
+TEST(MapperTest, FaultAwareAvoidsHotCrossbar) {
+    // Two crossbars: one saturated with SA1, one clean. The single block
+    // must land on the clean one.
+    FaultAwareMapper mapper(small_mapper(8));
+    BitMatrix adj(8, 8);
+    adj.set(0, 1, 1);
+    std::vector<FaultMap> pool(2, FaultMap(8, 8));
+    for (std::uint16_t r = 0; r < 8; ++r)
+        for (std::uint16_t c = 0; c < 8; ++c)
+            if ((r + c) % 2 == 0) pool[0].add(r, c, FaultType::kSA1);
+    const AdjacencyMapping mapping = mapper.map_batch(adj, pool);
+    ASSERT_EQ(mapping.assignments.size(), 1u);
+    EXPECT_EQ(mapping.assignments[0].crossbar_index, 1u);
+}
+
+TEST(MapperTest, RepermuteKeepsAssignment) {
+    Rng rng(11);
+    FaultAwareMapper mapper(small_mapper(16));
+    const BitMatrix adj = random_adjacency(32, 0.1, rng);
+    auto pool = random_pool(8, 16, 0.03, 0.3, rng);
+    AdjacencyMapping mapping = mapper.map_batch(adj, pool);
+    std::vector<std::size_t> before;
+    for (const auto& a : mapping.assignments) before.push_back(a.crossbar_index);
+
+    // Post-deployment wear: add faults, then repermute rows only.
+    Rng wear(13);
+    inject_additional_faults(pool, 0.02, 0.3, wear);
+    mapper.repermute(mapping, adj, pool);
+    std::vector<std::size_t> after;
+    for (const auto& a : mapping.assignments) after.push_back(a.crossbar_index);
+    EXPECT_EQ(before, after);  // Pi unchanged; only row perms refreshed
+}
+
+TEST(MapperTest, CandidatePruningKeepsQuality) {
+    Rng rng(15);
+    MapperConfig cfg = small_mapper(16);
+    FaultAwareMapper full(cfg);
+    cfg.max_crossbar_candidates = 8;
+    FaultAwareMapper pruned(cfg);
+    const BitMatrix adj = random_adjacency(32, 0.1, rng);  // 4 blocks
+    const auto pool = random_pool(32, 16, 0.05, 0.5, rng);
+    const double c_full = full.map_batch(adj, pool).total_cost();
+    const double c_pruned = pruned.map_batch(adj, pool).total_cost();
+    // Pruning to the cleanest 8 of 32 should stay close to the full search.
+    EXPECT_LE(c_pruned, c_full * 1.5 + 4.0);
+}
+
+TEST(MapperTest, TooFewCrossbarsRejected) {
+    Rng rng(17);
+    FaultAwareMapper mapper(small_mapper(16));
+    const BitMatrix adj = random_adjacency(40, 0.1, rng);  // 9 blocks
+    const auto pool = random_pool(4, 16, 0.02, 0.3, rng);
+    EXPECT_THROW(mapper.map_batch(adj, pool), InvalidArgument);
+}
+
+TEST(MapperTest, BlockRemovalDropsSparsestWhenTight) {
+    // b == m and a crossbar whose SA1 cannot overlap anything: the sparsest
+    // block goes to the host.
+    FaultAwareMapper mapper(small_mapper(4));
+    BitMatrix adj(8, 8);  // 4 blocks; block (0,0) gets some edges
+    adj.set(0, 1, 1);
+    adj.set(1, 0, 1);
+    adj.set(0, 2, 1);
+    std::vector<FaultMap> pool(4, FaultMap(4, 4));
+    for (auto& map : pool) map.add(0, 3, FaultType::kSA1);  // nothing to overlap
+    const AdjacencyMapping mapping = mapper.map_batch(adj, pool);
+    EXPECT_EQ(mapping.host_blocks.size(), 1u);
+    EXPECT_EQ(mapping.assignments.size(), 3u);
+    // Host block passes through apply() unchanged.
+    const BitMatrix out = mapper.apply(adj, mapping, pool);
+    const std::size_t host = mapping.host_blocks[0];
+    const std::size_t bi = host / mapping.grid, bj = host % mapping.grid;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(out.at(bi * 4 + r, bj * 4 + c), adj.at(bi * 4 + r, bj * 4 + c));
+}
+
+}  // namespace
+}  // namespace fare

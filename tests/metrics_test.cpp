@@ -1,0 +1,63 @@
+#include "gnn/metrics.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fare {
+namespace {
+
+TEST(MetricsTest, PerfectAccuracy) {
+    Matrix logits{{2.0f, 0.0f}, {0.0f, 2.0f}};
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}, {true, true}), 1.0);
+}
+
+TEST(MetricsTest, HalfAccuracy) {
+    Matrix logits{{2.0f, 0.0f}, {2.0f, 0.0f}};
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}, {true, true}), 0.5);
+}
+
+TEST(MetricsTest, MaskFiltersNodes) {
+    Matrix logits{{2.0f, 0.0f}, {2.0f, 0.0f}};
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}, {true, false}), 1.0);
+}
+
+TEST(MetricsTest, EmptyMaskGivesZero) {
+    Matrix logits{{1.0f, 0.0f}};
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0}, {false}), 0.0);
+}
+
+TEST(MetricsTest, MacroF1PerfectIsOne) {
+    Matrix logits{{2.0f, 0.0f}, {0.0f, 2.0f}};
+    EXPECT_DOUBLE_EQ(macro_f1(logits, {0, 1}, {true, true}, 2), 1.0);
+}
+
+TEST(MetricsTest, MacroF1PenalizesMinorityErrors) {
+    // 3 nodes of class 0 all right; 1 node of class 1 wrong.
+    Matrix logits{{2, 0}, {2, 0}, {2, 0}, {2, 0}};
+    const double f1 = macro_f1(logits, {0, 0, 0, 1}, {true, true, true, true}, 2);
+    const double acc = accuracy(logits, {0, 0, 0, 1}, {true, true, true, true});
+    EXPECT_DOUBLE_EQ(acc, 0.75);
+    // class0: tp=3 fp=1 fn=0 -> f1 = 6/7; class1: 0 -> macro = 3/7.
+    EXPECT_NEAR(f1, 3.0 / 7.0, 1e-9);
+}
+
+TEST(MetricsTest, AccumulatorMergesBatches) {
+    MetricAccumulator acc(2);
+    Matrix batch1{{2.0f, 0.0f}};
+    Matrix batch2{{0.0f, 2.0f}, {2.0f, 0.0f}};
+    acc.update(batch1, {0}, {true});
+    acc.update(batch2, {1, 1}, {true, true});
+    EXPECT_EQ(acc.total, 3u);
+    EXPECT_EQ(acc.correct, 2u);
+    EXPECT_NEAR(acc.accuracy(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, SizeMismatchValidated) {
+    MetricAccumulator acc(2);
+    Matrix logits(2, 2, 0.0f);
+    EXPECT_THROW(acc.update(logits, {0}, {true, true}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,117 @@
+#include "graph/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/generators.hpp"
+
+namespace fare {
+namespace {
+
+CSRGraph clustered_graph(std::uint64_t seed = 1) {
+    SbmSpec spec;
+    spec.num_nodes = 800;
+    spec.num_classes = 8;
+    spec.avg_degree = 12.0;
+    spec.homophily = 0.9;
+    spec.seed = seed;
+    return make_sbm_dataset(spec).graph;
+}
+
+void check_valid(const Partitioning& p, const CSRGraph& g, int k) {
+    ASSERT_EQ(p.k, k);
+    ASSERT_EQ(p.assignment.size(), g.num_nodes());
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(k), 0);
+    for (int a : p.assignment) {
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, k);
+        ++sizes[static_cast<std::size_t>(a)];
+    }
+    for (std::size_t part = 0; part < sizes.size(); ++part)
+        EXPECT_GT(sizes[part], 0u) << "empty part " << part;
+}
+
+TEST(PartitionerTest, MultilevelProducesValidBalancedPartition) {
+    const CSRGraph g = clustered_graph();
+    const Partitioning p = partition_multilevel(g, 8);
+    check_valid(p, g, 8);
+    EXPECT_LT(p.balance(g), 1.35);
+}
+
+TEST(PartitionerTest, SingletonPartition) {
+    const CSRGraph g = clustered_graph();
+    const Partitioning p = partition_multilevel(g, 1);
+    check_valid(p, g, 1);
+    EXPECT_EQ(p.edge_cut(g), 0u);
+}
+
+TEST(PartitionerTest, CutBeatsRandomAssignment) {
+    const CSRGraph g = clustered_graph(3);
+    const int k = 8;
+    const Partitioning p = partition_multilevel(g, k);
+
+    // Random assignment cuts ~ (1 - 1/k) of edges.
+    Partitioning random;
+    random.k = k;
+    random.assignment.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+        random.assignment[v] = static_cast<int>(v % k);
+    EXPECT_LT(p.edge_cut(g), random.edge_cut(g) / 2);
+}
+
+TEST(PartitionerTest, MultilevelBeatsOrMatchesLdg) {
+    const CSRGraph g = clustered_graph(5);
+    const Partitioning ml = partition_multilevel(g, 10);
+    const Partitioning ldg = partition_ldg(g, 10);
+    check_valid(ldg, g, 10);
+    // The multilevel partitioner should not be much worse than streaming LDG
+    // (typically it is clearly better on clustered graphs).
+    EXPECT_LT(static_cast<double>(ml.edge_cut(g)),
+              static_cast<double>(ldg.edge_cut(g)) * 1.1 + 50.0);
+}
+
+TEST(PartitionerTest, DeterministicForSeed) {
+    const CSRGraph g = clustered_graph(7);
+    PartitionConfig cfg;
+    cfg.seed = 99;
+    const Partitioning a = partition_multilevel(g, 6, cfg);
+    const Partitioning b = partition_multilevel(g, 6, cfg);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(PartitionerTest, RejectsMorePartsThanNodes) {
+    const CSRGraph g = CSRGraph::from_edges(3, {{0, 1}, {1, 2}});
+    EXPECT_THROW(partition_multilevel(g, 4), InvalidArgument);
+    EXPECT_THROW(partition_ldg(g, 4), InvalidArgument);
+    EXPECT_THROW(partition_multilevel(g, 0), InvalidArgument);
+}
+
+TEST(PartitionerTest, HandlesDisconnectedGraph) {
+    // Two disjoint cliques of 6.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId i = 0; i < 6; ++i)
+        for (NodeId j = i + 1; j < 6; ++j) {
+            edges.emplace_back(i, j);
+            edges.emplace_back(i + 6, j + 6);
+        }
+    const CSRGraph g = CSRGraph::from_edges(12, edges);
+    const Partitioning p = partition_multilevel(g, 2);
+    check_valid(p, g, 2);
+    EXPECT_EQ(p.edge_cut(g), 0u);  // natural split along the components
+}
+
+/// Sweep k: partitions stay valid and reasonably balanced.
+class PartitionKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionKSweep, ValidAndBalanced) {
+    const int k = GetParam();
+    const CSRGraph g = clustered_graph(11);
+    const Partitioning p = partition_multilevel(g, k);
+    check_valid(p, g, k);
+    EXPECT_LT(p.balance(g), 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, PartitionKSweep, ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,173 @@
+#include "fare/row_matcher.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace fare {
+namespace {
+
+BinaryBlock random_block(std::uint16_t n, double density, Rng& rng) {
+    BinaryBlock b;
+    b.size = n;
+    b.bits.assign(static_cast<std::size_t>(n) * n, 0);
+    for (auto& bit : b.bits) bit = rng.next_bool(density) ? 1 : 0;
+    return b;
+}
+
+FaultMap random_map(std::uint16_t n, double density, double sa1_frac, Rng& rng) {
+    FaultMap map(n, n);
+    for (std::uint16_t r = 0; r < n; ++r)
+        for (std::uint16_t c = 0; c < n; ++c)
+            if (rng.next_bool(density))
+                map.add(r, c,
+                        rng.next_bool(sa1_frac) ? FaultType::kSA1 : FaultType::kSA0);
+    return map;
+}
+
+void check_is_permutation(const std::vector<std::uint16_t>& perm, std::uint16_t phys) {
+    std::vector<bool> used(phys, false);
+    for (auto p : perm) {
+        ASSERT_LT(p, phys);
+        EXPECT_FALSE(used[p]) << "duplicate target " << p;
+        used[p] = true;
+    }
+}
+
+TEST(MappingCostTest, CountsWeightedMismatches) {
+    // Block: row0 = [1, 0]; SA0 under the 1 costs sa0, SA1 under the 0 costs sa1.
+    BinaryBlock block;
+    block.size = 2;
+    block.bits = {1, 0, 0, 0};
+    FaultMap map(2, 2);
+    map.add(0, 0, FaultType::kSA0);
+    map.add(0, 1, FaultType::kSA1);
+    const RowMatchWeights w{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(mapping_cost(block, map, identity_perm(2), w), 5.0);
+    EXPECT_EQ(sa1_nonoverlap_count(block, map, identity_perm(2)), 1u);
+}
+
+TEST(MappingCostTest, MatchingBitsCostNothing) {
+    BinaryBlock block;
+    block.size = 2;
+    block.bits = {1, 0, 0, 0};
+    FaultMap map(2, 2);
+    map.add(0, 0, FaultType::kSA1);  // stored 1, stuck 1
+    map.add(0, 1, FaultType::kSA0);  // stored 0, stuck 0
+    EXPECT_DOUBLE_EQ(mapping_cost(block, map, identity_perm(2), {}), 0.0);
+}
+
+TEST(RowMatcherTest, FindsZeroCostPermutationWhenOneExists) {
+    // Construct: physical row 0 has SA1 at col 0; block row 1 has a 1 there.
+    // Swapping rows 0 and 1 hides the fault completely.
+    BinaryBlock block;
+    block.size = 2;
+    block.bits = {0, 0, 1, 0};
+    FaultMap map(2, 2);
+    map.add(0, 0, FaultType::kSA1);
+    const RowMatchResult r = best_row_permutation(block, map);
+    check_is_permutation(r.perm, 2);
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    EXPECT_EQ(r.perm[1], 0u);  // block row 1 placed on faulty physical row 0
+}
+
+TEST(RowMatcherTest, UsesSpareCleanRows) {
+    // 2-row block on a 4-row crossbar whose rows 0 and 1 are poisoned: the
+    // matcher should park both block rows on the clean rows 2 and 3.
+    BinaryBlock block;
+    block.size = 2;
+    block.bits = {0, 0, 0, 0};
+    FaultMap map(4, 4);
+    map.add(0, 0, FaultType::kSA1);
+    map.add(1, 1, FaultType::kSA1);
+    const RowMatchResult r = best_row_permutation(block, map);
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    EXPECT_GE(r.perm[0], 2u);
+    EXPECT_GE(r.perm[1], 2u);
+}
+
+TEST(RowMatcherTest, ExactNeverWorseThanApproximate) {
+    Rng rng(11);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::uint16_t n = 12;
+        const BinaryBlock block = random_block(n, 0.15, rng);
+        const FaultMap map = random_map(n, 0.1, 0.3, rng);
+        const RowMatchResult approx = best_row_permutation(block, map);
+        const RowMatchResult exact = best_row_permutation_exact(block, map);
+        check_is_permutation(approx.perm, n);
+        check_is_permutation(exact.perm, n);
+        EXPECT_LE(exact.cost, approx.cost + 1e-9) << "trial " << trial;
+        // Evaluated costs agree with mapping_cost.
+        EXPECT_DOUBLE_EQ(approx.cost, mapping_cost(block, map, approx.perm, {}));
+    }
+}
+
+TEST(RowMatcherTest, BothBeatIdentityOnAverage) {
+    Rng rng(13);
+    double id_total = 0.0, approx_total = 0.0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint16_t n = 16;
+        const BinaryBlock block = random_block(n, 0.1, rng);
+        const FaultMap map = random_map(n, 0.08, 0.3, rng);
+        id_total += mapping_cost(block, map, identity_perm(n), {});
+        approx_total += best_row_permutation(block, map).cost;
+    }
+    EXPECT_LT(approx_total, id_total * 0.9);
+}
+
+TEST(RowMatcherTest, Sa1WeightingPrefersHidingSa1) {
+    // One SA1 and one SA0, exactly one block 1-bit that can hide either:
+    // with sa1 >> sa0 the matcher must hide the SA1 fault.
+    BinaryBlock block;
+    block.size = 2;
+    block.bits = {1, 0, 0, 0};  // row 0 has a 1 at col 0
+    FaultMap map(2, 2);
+    map.add(0, 0, FaultType::kSA0);  // would delete the 1 if row 0 stays
+    map.add(1, 0, FaultType::kSA1);  // would insert on a 0
+    // Hiding SA1: put block row 0 (the 1) on physical row 1. Residual: SA0
+    // under a 0 on row 0 — harmless. Total cost 0.
+    const RowMatchResult r = best_row_permutation(block, map, {1.0, 4.0});
+    EXPECT_EQ(r.perm[0], 1u);
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    EXPECT_DOUBLE_EQ(r.sa1_nonoverlap, 0.0);
+}
+
+TEST(RowMatcherTest, CleanCrossbarGivesZeroCost) {
+    Rng rng(17);
+    const BinaryBlock block = random_block(8, 0.2, rng);
+    const FaultMap map(8, 8);
+    const RowMatchResult r = best_row_permutation(block, map);
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    check_is_permutation(r.perm, 8);
+}
+
+TEST(RowMatcherTest, PermSizeValidated) {
+    BinaryBlock block;
+    block.size = 4;
+    block.bits.assign(16, 0);
+    FaultMap map(2, 2);  // smaller than block
+    EXPECT_THROW(best_row_permutation(block, map), InvalidArgument);
+}
+
+/// Density sweep: the permutation never increases cost vs identity.
+class RowMatcherSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RowMatcherSweep, NeverWorseThanIdentity) {
+    Rng rng(19);
+    const std::uint16_t n = 24;
+    const BinaryBlock block = random_block(n, 0.12, rng);
+    const FaultMap map = random_map(n, GetParam(), 0.5, rng);
+    const double id_cost = mapping_cost(block, map, identity_perm(n), {});
+    const RowMatchResult r = best_row_permutation(block, map);
+    EXPECT_LE(r.cost, id_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RowMatcherSweep,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace fare

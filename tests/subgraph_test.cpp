@@ -1,0 +1,99 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/generators.hpp"
+
+namespace fare {
+namespace {
+
+TEST(SubgraphTest, InducedSubgraphKeepsInternalEdges) {
+    // Path 0-1-2-3-4; induce {1,2,3}.
+    const CSRGraph g = CSRGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+    const Subgraph sg = induced_subgraph(g, {1, 2, 3});
+    EXPECT_EQ(sg.graph.num_nodes(), 3u);
+    EXPECT_EQ(sg.graph.num_edges(), 2u);  // 1-2 and 2-3 survive
+    EXPECT_TRUE(sg.graph.has_edge(0, 1)); // local ids
+    EXPECT_TRUE(sg.graph.has_edge(1, 2));
+    EXPECT_FALSE(sg.graph.has_edge(0, 2));
+}
+
+TEST(SubgraphTest, LocalIdsFollowInputOrder) {
+    const CSRGraph g = CSRGraph::from_edges(4, {{0, 3}});
+    const Subgraph sg = induced_subgraph(g, {3, 0});
+    EXPECT_EQ(sg.nodes[0], 3u);
+    EXPECT_EQ(sg.nodes[1], 0u);
+    EXPECT_TRUE(sg.graph.has_edge(0, 1));
+}
+
+TEST(SubgraphTest, DuplicateNodesRejected) {
+    const CSRGraph g = CSRGraph::from_edges(3, {{0, 1}});
+    EXPECT_THROW(induced_subgraph(g, {0, 0}), InvalidArgument);
+}
+
+TEST(SubgraphTest, OutOfRangeNodeRejected) {
+    const CSRGraph g = CSRGraph::from_edges(3, {{0, 1}});
+    EXPECT_THROW(induced_subgraph(g, {5}), InvalidArgument);
+}
+
+TEST(ClusterBatchTest, BatchesPartitionAllNodes) {
+    SbmSpec spec;
+    spec.num_nodes = 400;
+    spec.seed = 2;
+    const Dataset ds = make_sbm_dataset(spec);
+    const Partitioning parts = partition_multilevel(ds.graph, 12);
+    const auto batches = make_cluster_batches(ds.graph, parts, 3, 1);
+    EXPECT_EQ(batches.size(), 4u);  // 12 partitions / 3 per batch
+
+    std::vector<NodeId> all;
+    for (const auto& b : batches)
+        all.insert(all.end(), b.nodes.begin(), b.nodes.end());
+    std::sort(all.begin(), all.end());
+    std::vector<NodeId> expect(ds.graph.num_nodes());
+    std::iota(expect.begin(), expect.end(), 0u);
+    EXPECT_EQ(all, expect);  // every node in exactly one batch
+}
+
+TEST(ClusterBatchTest, BatchEdgesAreSubsetOfGraph) {
+    SbmSpec spec;
+    spec.num_nodes = 300;
+    spec.seed = 4;
+    const Dataset ds = make_sbm_dataset(spec);
+    const Partitioning parts = partition_multilevel(ds.graph, 10);
+    for (const auto& batch : make_cluster_batches(ds.graph, parts, 2, 7)) {
+        for (auto [lu, lv] : batch.graph.edge_list())
+            EXPECT_TRUE(ds.graph.has_edge(batch.nodes[lu], batch.nodes[lv]));
+    }
+}
+
+TEST(ClusterBatchTest, ShuffleSeedChangesGrouping) {
+    SbmSpec spec;
+    spec.num_nodes = 300;
+    spec.seed = 4;
+    const Dataset ds = make_sbm_dataset(spec);
+    const Partitioning parts = partition_multilevel(ds.graph, 10);
+    const auto a = make_cluster_batches(ds.graph, parts, 2, 1);
+    const auto b = make_cluster_batches(ds.graph, parts, 2, 2);
+    ASSERT_EQ(a.size(), b.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].nodes != b[i].nodes) any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ClusterBatchTest, UnevenLastBatch) {
+    SbmSpec spec;
+    spec.num_nodes = 200;
+    spec.seed = 6;
+    const Dataset ds = make_sbm_dataset(spec);
+    const Partitioning parts = partition_multilevel(ds.graph, 7);
+    const auto batches = make_cluster_batches(ds.graph, parts, 3, 1);
+    EXPECT_EQ(batches.size(), 3u);  // 3 + 3 + 1
+}
+
+}  // namespace
+}  // namespace fare

@@ -1,0 +1,122 @@
+#include "reram/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fare {
+namespace {
+
+WorkloadTiming paper_like_workload() {
+    WorkloadTiming w;
+    w.batches_per_epoch = 150;
+    w.epochs = 100;
+    w.avg_batch_nodes = 1553;
+    w.features = 602;
+    w.hidden = 1024;
+    w.layers = 2;
+    w.weight_rows_total = 602 + 1024;
+    return w;
+}
+
+TEST(TimingModelTest, MvmLatencyIsBitSerial) {
+    TimingModel model;
+    // 16 bits at 10 MHz = 1.6 us.
+    EXPECT_NEAR(model.crossbar_mvm_latency_s(), 1.6e-6, 1e-12);
+}
+
+TEST(TimingModelTest, WriteLatencyScalesWithRows) {
+    TimingModel model;
+    EXPECT_NEAR(model.write_latency_s(100), 1e-5, 1e-12);
+    EXPECT_GT(model.write_latency_s(200), model.write_latency_s(100));
+}
+
+TEST(TimingModelTest, PipelineDepthFormula) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    const auto breakdown = model.training_time(Scheme::kFaultFree, w);
+    const double stage = model.stage_delay_s(w);
+    const std::size_t stages = model.num_stages(w, false);
+    const double expect =
+        static_cast<double>(w.batches_per_epoch * w.epochs + stages - 1) * stage;
+    EXPECT_NEAR(breakdown.pipeline, expect, expect * 1e-12);
+    EXPECT_DOUBLE_EQ(breakdown.stalls, 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.preprocess, 0.0);
+}
+
+TEST(TimingModelTest, ClippingAddsOneStageOnly) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    EXPECT_EQ(model.num_stages(w, true), model.num_stages(w, false) + 1);
+    // N >> S makes the clipping overhead negligible (paper §V-E).
+    const double ratio = model.normalized_time(Scheme::kClippingOnly, w);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.001);
+}
+
+TEST(TimingModelTest, FareOverheadAboutOnePercent) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    const double ratio = model.normalized_time(Scheme::kFARe, w);
+    EXPECT_GT(ratio, 1.0005);
+    EXPECT_LT(ratio, 1.06);  // paper: ~1%
+}
+
+TEST(TimingModelTest, NeuronReorderStallsDominate) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    const double ratio = model.normalized_time(Scheme::kNeuronReorder, w);
+    // Paper Fig. 7: NR lands between ~2x and ~4x.
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(TimingModelTest, SchemeOrderingMatchesPaper) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    const double ff = model.normalized_time(Scheme::kFaultFree, w);
+    const double clip = model.normalized_time(Scheme::kClippingOnly, w);
+    const double fare = model.normalized_time(Scheme::kFARe, w);
+    const double nr = model.normalized_time(Scheme::kNeuronReorder, w);
+    EXPECT_DOUBLE_EQ(ff, 1.0);
+    EXPECT_LE(ff, clip);
+    EXPECT_LT(clip, fare);
+    EXPECT_LT(fare, nr);
+}
+
+TEST(TimingModelTest, FaultUnawareEqualsFaultFree) {
+    TimingModel model;
+    const WorkloadTiming w = paper_like_workload();
+    EXPECT_DOUBLE_EQ(model.normalized_time(Scheme::kFaultUnaware, w), 1.0);
+}
+
+TEST(TimingModelTest, SchemeNames) {
+    EXPECT_STREQ(scheme_name(Scheme::kFaultFree), "fault-free");
+    EXPECT_STREQ(scheme_name(Scheme::kFARe), "FARe");
+    EXPECT_STREQ(scheme_name(Scheme::kNeuronReorder), "NR");
+}
+
+TEST(TimingModelTest, InvalidConfigRejected) {
+    TimingConfig cfg;
+    cfg.host_ops_per_sec = 0.0;
+    EXPECT_THROW(TimingModel{cfg}, InvalidArgument);
+}
+
+/// NR's penalty grows with hidden width (bigger reorder units).
+class NrHiddenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NrHiddenSweep, MonotoneInHidden) {
+    TimingModel model;
+    WorkloadTiming w = paper_like_workload();
+    w.hidden = GetParam();
+    WorkloadTiming w2 = w;
+    w2.hidden = GetParam() * 2;
+    EXPECT_LE(model.training_time(Scheme::kNeuronReorder, w).stalls,
+              model.training_time(Scheme::kNeuronReorder, w2).stalls);
+}
+
+INSTANTIATE_TEST_SUITE_P(HiddenSweep, NrHiddenSweep,
+                         ::testing::Values(128u, 256u, 512u, 1024u));
+
+}  // namespace
+}  // namespace fare

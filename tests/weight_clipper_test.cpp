@@ -1,0 +1,46 @@
+#include "fare/weight_clipper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fare {
+namespace {
+
+TEST(WeightClipperTest, ClampsBothSides) {
+    WeightClipper clipper(2.0f);
+    EXPECT_FLOAT_EQ(clipper.clip(5.0f), 2.0f);
+    EXPECT_FLOAT_EQ(clipper.clip(-64.0f), -2.0f);
+    EXPECT_FLOAT_EQ(clipper.clip(1.5f), 1.5f);
+    EXPECT_FLOAT_EQ(clipper.clip(0.0f), 0.0f);
+}
+
+TEST(WeightClipperTest, InPlaceCountsTrips) {
+    WeightClipper clipper(1.0f);
+    Matrix w{{0.5f, 3.0f}, {-2.0f, 0.9f}};
+    const std::size_t trips = clipper.clip_in_place(w);
+    EXPECT_EQ(trips, 2u);
+    EXPECT_FLOAT_EQ(w(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(w(1, 0), -1.0f);
+    EXPECT_FLOAT_EQ(w(0, 0), 0.5f);
+}
+
+TEST(WeightClipperTest, NoTripsWhenWithinThreshold) {
+    WeightClipper clipper(10.0f);
+    Matrix w{{1.0f, -2.0f}};
+    EXPECT_EQ(clipper.clip_in_place(w), 0u);
+}
+
+TEST(WeightClipperTest, ThresholdValidated) {
+    EXPECT_THROW(WeightClipper(0.0f), InvalidArgument);
+    EXPECT_THROW(WeightClipper(-1.0f), InvalidArgument);
+}
+
+TEST(WeightClipperTest, BoundaryValueUntouched) {
+    WeightClipper clipper(2.0f);
+    Matrix w{{2.0f, -2.0f}};
+    EXPECT_EQ(clipper.clip_in_place(w), 0u);
+}
+
+}  // namespace
+}  // namespace fare
