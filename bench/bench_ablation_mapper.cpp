@@ -17,7 +17,8 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "fare/mapper.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 namespace {
 
@@ -166,15 +167,36 @@ int main() {
     std::cout << "Fault-clustering sensitivity:\n" << c.to_ascii() << '\n';
 
     // Accuracy ablation: SA1 weighting on a real training run (1:1, 5%).
+    // Two cells differing only in the chip's row-matching weights, run as one
+    // parallel plan.
     std::cout << "Accuracy ablation (Reddit GCN, 5%, 1:1): SA1 weighting...\n";
-    const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const Dataset ds = w.make_dataset(1);
-    const TrainConfig tc = w.train_config(1);
-    FaultyHardwareConfig weighted = default_hardware(0.05, 0.5, 1);
-    FaultyHardwareConfig unweighted = weighted;
+    HardwareOverrides unweighted;
     unweighted.match_weights = {1.0, 1.0};
-    const auto a = run_scheme(ds, Scheme::kFARe, tc, weighted);
-    const auto b = run_scheme(ds, Scheme::kFARe, tc, unweighted);
+    ExperimentPlan plan = SweepBuilder("ablation_sa1_weighting")
+                              .workload(find_workload("Reddit", GnnKind::kGCN))
+                              .density(0.05)
+                              .sa1_fraction(0.5)
+                              .scheme(Scheme::kFARe)
+                              .seed(1)
+                              .build();
+    const ExperimentPlan equal_weights =
+        SweepBuilder("ablation_equal_weights")
+            .workload(find_workload("Reddit", GnnKind::kGCN))
+            .density(0.05)
+            .sa1_fraction(0.5)
+            .scheme(Scheme::kFARe)
+            .hardware(unweighted)
+            .seed(1)
+            .build();
+    plan.cells.insert(plan.cells.end(), equal_weights.cells.begin(),
+                      equal_weights.cells.end());
+
+    SimSession session;
+    session.add_sink(std::make_unique<JsonLinesSink>(
+        default_bench_out_path("ablation_mapper")));
+    const ResultSet ablation = session.run(plan);
+    const SchemeRunResult& a = ablation.cells[0].run;
+    const SchemeRunResult& b = ablation.cells[1].run;
     std::cout << "  SA1-weighted cost (x4): acc = " << fmt(a.train.test_accuracy, 3)
               << ", residual mapping cost = " << fmt(a.total_mapping_cost, 0) << '\n'
               << "  equal weights:          acc = " << fmt(b.train.test_accuracy, 3)

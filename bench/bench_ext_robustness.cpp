@@ -11,37 +11,50 @@
 //       non-ideality?
 //   E4. Deployment (inference-side) scenario: train on ideal hardware, then
 //       run inference on the faulty chip under each scheme's mapping.
+//
+// Each section is one named plan on a shared SimSession; the JSON sink
+// writes one BENCH_ext_*.json per plan.
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
-    const std::uint64_t seed = 1;
     const WorkloadSpec workload = find_workload("Reddit", GnnKind::kGCN);
-    const Dataset dataset = workload.make_dataset(seed);
-    const TrainConfig tc = workload.train_config(seed);
+
+    SessionOptions options;
+    options.progress = &std::cout;
+    SimSession session(options);
+    session.add_sink(std::make_unique<JsonLinesSink>());
 
     std::cout << "=== E1: redundant-column baseline, Reddit (GCN), 1:1 ===\n\n";
     {
+        const std::vector<double> densities{0.01, 0.03, 0.05};
+        const ExperimentPlan plan =
+            SweepBuilder("ext_redundant_cols")
+                .workload(workload)
+                .densities(densities)
+                .sa1_fraction(0.5)
+                .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware,
+                          Scheme::kRedundantCols, Scheme::kFARe})
+                .seed(1)
+                .build();
+        const ResultSet results = session.run(plan);
+
         Table t({"Density", "fault-unaware", "Redundant Columns (15% spares)",
                  "FARe"});
-        const double ff =
-            run_fault_free(dataset, tc).train.test_accuracy;
-        for (const double density : {0.01, 0.03, 0.05}) {
-            const auto hw = default_hardware(density, 0.5, seed);
+        for (const double density : densities) {
             t.add_row(
                 {fmt_pct(density, 0),
-                 fmt(run_scheme(dataset, Scheme::kFaultUnaware, tc, hw)
-                         .train.test_accuracy, 3),
-                 fmt(run_scheme(dataset, Scheme::kRedundantCols, tc, hw)
-                         .train.test_accuracy, 3),
-                 fmt(run_scheme(dataset, Scheme::kFARe, tc, hw)
-                         .train.test_accuracy, 3)});
-            std::cout << "." << std::flush;
+                 fmt(results.accuracy(workload, Scheme::kFaultUnaware, density), 3),
+                 fmt(results.accuracy(workload, Scheme::kRedundantCols, density), 3),
+                 fmt(results.accuracy(workload, Scheme::kFARe, density), 3)});
         }
-        std::cout << "\n(fault-free reference: " << fmt(ff, 3) << ")\n"
+        std::cout << "(fault-free reference: "
+                  << fmt(results.accuracy(workload, Scheme::kFaultFree), 3)
+                  << ")\n"
                   << t.to_ascii() << '\n';
     }
 
@@ -67,37 +80,59 @@ int main() {
 
     std::cout << "=== E3: read-noise robustness, Reddit (GCN), 3% SAFs, 1:1 ===\n\n";
     {
+        const std::vector<double> sigmas{0.0, 0.02, 0.05, 0.1};
+        // Sigma is not a builder axis: list the cells directly — a plan is
+        // just a value.
+        ExperimentPlan plan;
+        plan.name = "ext_read_noise";
+        for (const double sigma : sigmas) {
+            for (const Scheme scheme : {Scheme::kFaultUnaware, Scheme::kFARe}) {
+                CellSpec cell;
+                cell.workload = workload;
+                cell.scheme = scheme;
+                cell.faults =
+                    FaultScenario::pre_deployment(0.03, 0.5).with_read_noise(sigma);
+                cell.seed = 1;
+                plan.cells.push_back(cell);
+            }
+        }
+        const ResultSet results = session.run(plan);
+
         Table t({"Noise sigma", "fault-unaware", "FARe", "FARe drop vs clean"});
         double fare_clean = 0.0;
-        for (const double sigma : {0.0, 0.02, 0.05, 0.1}) {
-            FaultyHardwareConfig hw = default_hardware(0.03, 0.5, seed);
-            hw.read_noise_sigma = sigma;
-            const double fu = run_scheme(dataset, Scheme::kFaultUnaware, tc, hw)
-                                  .train.test_accuracy;
-            const double fare =
-                run_scheme(dataset, Scheme::kFARe, tc, hw).train.test_accuracy;
-            if (sigma == 0.0) fare_clean = fare;
-            t.add_row({fmt_pct(sigma, 0), fmt(fu, 3), fmt(fare, 3),
+        for (std::size_t i = 0; i < sigmas.size(); ++i) {
+            const double fu = results.cells[2 * i].accuracy();
+            const double fare = results.cells[2 * i + 1].accuracy();
+            if (sigmas[i] == 0.0) fare_clean = fare;
+            t.add_row({fmt_pct(sigmas[i], 0), fmt(fu, 3), fmt(fare, 3),
                        fmt_pct(fare_clean - fare, 1)});
-            std::cout << "." << std::flush;
         }
-        std::cout << "\n" << t.to_ascii() << '\n';
+        std::cout << t.to_ascii() << '\n';
     }
 
     std::cout << "=== E4: deploy host-trained model onto the faulty chip ===\n\n";
     {
+        const ExperimentPlan plan =
+            SweepBuilder("ext_deployment")
+                .workload(workload)
+                .density(0.05)
+                .sa1_fraction(0.5)
+                .schemes({Scheme::kFaultUnaware, Scheme::kNeuronReorder,
+                          Scheme::kClippingOnly, Scheme::kRedundantCols,
+                          Scheme::kFARe})
+                .mode(CellMode::kDeploy)
+                .seed(1)
+                .build();
+        const ResultSet results = session.run(plan);
+
         Table t({"Scheme", "Trained (ideal)", "Deployed (5% faults, 1:1)", "Loss"});
-        for (const Scheme s : {Scheme::kFaultUnaware, Scheme::kNeuronReorder,
-                               Scheme::kClippingOnly, Scheme::kRedundantCols,
-                               Scheme::kFARe}) {
-            const DeploymentResult r =
-                run_deployment(dataset, tc, s, default_hardware(0.05, 0.5, seed));
-            t.add_row({scheme_name(s), fmt(r.trained_accuracy, 3),
+        for (const CellResult& cell : results) {
+            const DeploymentResult& r = cell.deployment;
+            t.add_row({scheme_name(cell.spec.scheme), fmt(r.trained_accuracy, 3),
                        fmt(r.deployed_accuracy, 3),
                        fmt_pct(r.trained_accuracy - r.deployed_accuracy, 1)});
-            std::cout << "." << std::flush;
         }
-        std::cout << "\n" << t.to_ascii()
+        std::cout << t.to_ascii()
                   << "\nDeployment is harder than fault-aware training: no\n"
                      "backprop compensation is available, so everything rests on\n"
                      "the mapping + clipping. FARe still retains most accuracy.\n";

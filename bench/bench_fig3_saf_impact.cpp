@@ -2,34 +2,60 @@
 //
 // Paper setting: 5% pre-deployment fault density injected into the crossbars
 // storing the weight matrix and the adjacency matrix *separately*, SAGE on
-// Amazon2M, no mitigation (fault-unaware). Expected shape: SA1-only hurts
+// Amazon2M, no mitigation (fault-unaware). Two phase-restricted
+// FaultScenarios concatenated into one plan. Expected shape: SA1-only hurts
 // far more than SA0-only on both matrices.
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
     std::cout << "=== Fig. 3: SA0 vs SA1 impact, Amazon2M (SAGE), 5% density ===\n\n";
 
     const WorkloadSpec workload = find_workload("Amazon2M", GnnKind::kSAGE);
-    const std::uint64_t seed = 1;
-    const Dataset dataset = workload.make_dataset(seed);
-    const TrainConfig tc = workload.train_config(seed);
 
-    const auto fault_free = run_fault_free(dataset, tc);
+    FaultScenario weights_only = FaultScenario::pre_deployment(0.05, 0.0);
+    weights_only.on_weights_only();
+    FaultScenario adjacency_only = FaultScenario::pre_deployment(0.05, 0.0);
+    adjacency_only.on_adjacency_only();
+
+    ExperimentPlan plan = SweepBuilder("fig3_saf_impact")
+                              .workload(workload)
+                              .scenario(weights_only)
+                              .sa1_fractions({0.0, 1.0})
+                              .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware})
+                              .seed(1)
+                              .build();
+    const ExperimentPlan adj_plan = SweepBuilder("fig3_adj")
+                                        .workload(workload)
+                                        .scenario(adjacency_only)
+                                        .sa1_fractions({0.0, 1.0})
+                                        .scheme(Scheme::kFaultUnaware)
+                                        .seed(1)
+                                        .build();
+    // Plans are plain values: concatenate the two phase restrictions.
+    plan.cells.insert(plan.cells.end(), adj_plan.cells.begin(),
+                      adj_plan.cells.end());
+
+    SimSession session;
+    session.add_sink(std::make_unique<JsonLinesSink>());
+    const ResultSet results = session.run(plan);
+    const double ff = results.accuracy(workload, Scheme::kFaultFree);
 
     Table t({"Faulty matrix", "fault-free", "SA0 only", "SA1 only"});
     for (const bool on_weights : {true, false}) {
         std::vector<std::string> row{on_weights ? "Weight Matrix" : "Adj Matrix"};
-        row.push_back(fmt(fault_free.train.test_accuracy, 3));
-        for (const double sa1_fraction : {0.0, 1.0}) {
-            FaultyHardwareConfig hw = default_hardware(0.05, sa1_fraction, seed);
-            hw.faults_on_weights = on_weights;
-            hw.faults_on_adjacency = !on_weights;
-            const auto r = run_scheme(dataset, Scheme::kFaultUnaware, tc, hw);
-            row.push_back(fmt(r.train.test_accuracy, 3));
+        row.push_back(fmt(ff, 3));
+        for (const double sa1 : {0.0, 1.0}) {
+            for (const CellResult& cell : results) {
+                if (cell.spec.scheme == Scheme::kFaultUnaware &&
+                    cell.spec.faults.faults_on_weights == on_weights &&
+                    cell.spec.faults.sa1_fraction == sa1)
+                    row.push_back(fmt(cell.accuracy(), 3));
+            }
         }
         t.add_row(row);
     }

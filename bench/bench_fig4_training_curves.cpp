@@ -7,44 +7,54 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "fare/fare_trainer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
     std::cout << "=== Fig. 4: training accuracy vs epoch, Reddit (GCN), 9:1 ===\n\n";
 
-    const WorkloadSpec workload = find_workload("Reddit", GnnKind::kGCN);
-    const std::uint64_t seed = 1;
-    const Dataset dataset = workload.make_dataset(seed);
-    TrainConfig tc = workload.train_config(seed);
-    tc.record_curve = true;
+    const std::vector<double> densities{0.01, 0.03, 0.05};
+    const ExperimentPlan plan =
+        SweepBuilder("fig4_training_curves")
+            .workload(find_workload("Reddit", GnnKind::kGCN))
+            .densities(densities)
+            .sa1_fraction(0.1)
+            .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kFARe})
+            .record_curve(true)
+            .seed(1)
+            .build();
+
+    SessionOptions options;
+    options.progress = &std::cout;
+    SimSession session(options);
+    session.add_sink(std::make_unique<JsonLinesSink>());
+    const ResultSet results = session.run(plan);
 
     struct Curve {
         std::string label;
-        std::vector<EpochStats> stats;
+        const std::vector<EpochStats>* stats;
     };
     std::vector<Curve> curves;
-
-    curves.push_back({"fault-free", run_fault_free(dataset, tc).train.curve});
+    const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
+    curves.push_back(
+        {"fault-free", &results.at(w, Scheme::kFaultFree).run.train.curve});
     for (const Scheme scheme : {Scheme::kFaultUnaware, Scheme::kFARe}) {
-        for (const double density : {0.01, 0.03, 0.05}) {
-            const auto hw = default_hardware(density, 0.1, seed);
-            const auto r = run_scheme(dataset, scheme, tc, hw);
-            curves.push_back({std::string(scheme_name(scheme)) + " " +
-                                  fmt_pct(density, 0),
-                              r.train.curve});
+        for (const double density : densities) {
+            curves.push_back(
+                {std::string(scheme_name(scheme)) + " " + fmt_pct(density, 0),
+                 &results.at(w, scheme, density).run.train.curve});
         }
     }
 
     std::vector<std::string> header{"Epoch"};
     for (const auto& c : curves) header.push_back(c.label);
     Table t(header);
-    const std::size_t epochs = curves.front().stats.size();
+    const std::size_t epochs = curves.front().stats->size();
     for (std::size_t e = 0; e < epochs; e += 2) {  // every 2nd epoch
         std::vector<std::string> row{std::to_string(e + 1)};
         for (const auto& c : curves)
-            row.push_back(fmt(c.stats[e].train_accuracy, 3));
+            row.push_back(fmt((*c.stats)[e].train_accuracy, 3));
         t.add_row(row);
     }
     std::cout << t.to_ascii()

@@ -5,54 +5,70 @@
 //   (a) SA0:SA1 = 9:1  (characterised fault ratio [6])
 //   (b) SA0:SA1 = 1:1  (pessimistic ratio)
 //
-// This is the paper's headline figure. Expected shape per cell group:
-// fault-unaware collapses with density; NR recovers partially (worst of the
-// mitigations, much worse at 1:1); clipping-only sits between (adjacency
-// faults unaddressed); FARe within ~1% (9:1) / ~2% (1:1) of fault-free.
+// This is the paper's headline figure. The full grid is one declarative
+// plan executed by SimSession across a worker pool (FARE_THREADS=1 forces a
+// serial run — results are bit-identical either way); the fault-free
+// reference listed in every density row is memoized into a single run per
+// workload. Expected shape per cell group: fault-unaware collapses with
+// density; NR recovers partially (worst of the mitigations, much worse at
+// 1:1); clipping-only sits between (adjacency faults unaddressed); FARe
+// within ~1% (9:1) / ~2% (1:1) of fault-free.
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
-    const std::uint64_t seed = 1;
     const std::vector<double> densities{0.01, 0.03, 0.05};
+    const std::vector<double> sa1_fractions{0.1, 0.5};
 
-    for (const double sa1_fraction : {0.1, 0.5}) {
-        const char* panel = sa1_fraction < 0.25 ? "(a) 9:1" : "(b) 1:1";
+    const ExperimentPlan plan = SweepBuilder("fig5_accuracy")
+                                    .workloads(fig5_workloads())
+                                    .densities(densities)
+                                    .sa1_fractions(sa1_fractions)
+                                    .schemes(figure_schemes())
+                                    .seed(1)
+                                    .build();
+
+    SessionOptions options;
+    options.progress = &std::cout;
+    SimSession session(options);
+    session.add_sink(std::make_unique<JsonLinesSink>());
+    std::cout << "Fig. 5 grid: " << plan.size() << " cells on "
+              << session.threads() << " threads\n";
+    const ResultSet results = session.run(plan);
+    std::cout << "(" << session.cache_hits()
+              << " cells served from the fault-free memo)\n\n";
+
+    for (const double sa1 : sa1_fractions) {
+        const char* panel = sa1 < 0.25 ? "(a) 9:1" : "(b) 1:1";
         std::cout << "=== Fig. 5" << panel << " SA0:SA1 — test accuracy ===\n\n";
 
         Table t({"Workload", "Density", "fault-free", "fault-unaware", "NR",
                  "Weight Clipping", "FARe", "FARe drop"});
         for (const WorkloadSpec& w : fig5_workloads()) {
-            const double ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, seed)
-                                  .train.test_accuracy;
+            const double ff = results.accuracy(w, Scheme::kFaultFree);
             for (const double density : densities) {
-                std::vector<std::string> row{w.label(), fmt_pct(density, 0), fmt(ff, 3)};
-                double fare_acc = 0.0;
-                for (const Scheme s :
-                     {Scheme::kFaultUnaware, Scheme::kNeuronReorder,
-                      Scheme::kClippingOnly, Scheme::kFARe}) {
-                    const auto r =
-                        run_accuracy_cell(w, s, density, sa1_fraction, seed);
-                    row.push_back(fmt(r.train.test_accuracy, 3));
-                    if (s == Scheme::kFARe) fare_acc = r.train.test_accuracy;
-                }
-                row.push_back(fmt_pct(ff - fare_acc, 1));
-                t.add_row(row);
-                std::cout << "." << std::flush;  // progress
+                const double fare =
+                    results.accuracy(w, Scheme::kFARe, density, sa1);
+                t.add_row(
+                    {w.label(), fmt_pct(density, 0), fmt(ff, 3),
+                     fmt(results.accuracy(w, Scheme::kFaultUnaware, density, sa1), 3),
+                     fmt(results.accuracy(w, Scheme::kNeuronReorder, density, sa1), 3),
+                     fmt(results.accuracy(w, Scheme::kClippingOnly, density, sa1), 3),
+                     fmt(fare, 3), fmt_pct(ff - fare, 1)});
             }
         }
-        std::cout << "\n\n" << t.to_ascii() << '\n';
+        std::cout << t.to_ascii() << '\n';
     }
+
     std::cout << "Accuracy restoration example (paper: 47.6% on Reddit at 1:1):\n";
     {
         const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-        const double fu = run_accuracy_cell(w, Scheme::kFaultUnaware, 0.05, 0.5, seed)
-                              .train.test_accuracy;
-        const double fare =
-            run_accuracy_cell(w, Scheme::kFARe, 0.05, 0.5, seed).train.test_accuracy;
+        const double fu = results.accuracy(w, Scheme::kFaultUnaware, 0.05, 0.5);
+        const double fare = results.accuracy(w, Scheme::kFARe, 0.05, 0.5);
         std::cout << "  Reddit (GCN), 5%, 1:1: fault-unaware " << fmt(fu, 3)
                   << " -> FARe " << fmt(fare, 3) << "  (restored "
                   << fmt_pct(fare - fu, 1) << ")\n";

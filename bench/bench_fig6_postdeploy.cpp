@@ -5,46 +5,64 @@
 //   (a) SA0:SA1 = 9:1    (b) SA0:SA1 = 1:1
 //
 // Workloads: PPI (GAT), Reddit (GCN), Amazon2M (SAGE); pre-deployment
-// densities 1/2/3%. Expected shape: FARe loses at most ~2% (paper: 1.9%)
-// thanks to the per-epoch BIST rescan + row re-permutation; NR loses up to
-// ~15%.
+// densities 1/2/3%. One declarative plan over a FaultScenario with a
+// post-deployment arrival schedule, run in parallel by SimSession. Expected
+// shape: FARe loses at most ~2% (paper: 1.9%) thanks to the per-epoch BIST
+// rescan + row re-permutation; NR loses up to ~15%.
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
-    const std::uint64_t seed = 1;
-    const double post_total = 0.01;  // +1% over the whole run
+    const std::vector<double> densities{0.01, 0.02, 0.03};
+    const std::vector<double> sa1_fractions{0.1, 0.5};
 
-    for (const double sa1_fraction : {0.1, 0.5}) {
-        const char* panel = sa1_fraction < 0.25 ? "(a) 9:1" : "(b) 1:1";
-        std::cout << "=== Fig. 6" << panel
+    // +1% over the whole run; the SA1 ratio of the wear stream follows the
+    // per-cell pre-deployment ratio (the builder mirrors it).
+    FaultScenario wear;
+    wear.with_post_deployment(0.01);
+
+    const ExperimentPlan plan = SweepBuilder("fig6_postdeploy")
+                                    .workloads(fig6_workloads())
+                                    .scenario(wear)
+                                    .densities(densities)
+                                    .sa1_fractions(sa1_fractions)
+                                    .schemes(figure_schemes())
+                                    .seed(1)
+                                    .build();
+
+    SessionOptions options;
+    options.progress = &std::cout;
+    SimSession session(options);
+    session.add_sink(std::make_unique<JsonLinesSink>());
+    std::cout << "Fig. 6 grid: " << plan.size() << " cells on "
+              << session.threads() << " threads\n";
+    const ResultSet results = session.run(plan);
+
+    for (const double sa1 : sa1_fractions) {
+        const char* panel = sa1 < 0.25 ? "(a) 9:1" : "(b) 1:1";
+        std::cout << "\n=== Fig. 6" << panel
                   << " SA0:SA1 — pre + 1% post-deployment faults ===\n\n";
 
         Table t({"Workload", "Pre-density", "fault-free", "fault-unaware", "NR",
                  "Weight Clipping", "FARe", "FARe drop"});
         for (const WorkloadSpec& w : fig6_workloads()) {
-            const double ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, seed)
-                                  .train.test_accuracy;
-            for (const double density : {0.01, 0.02, 0.03}) {
-                std::vector<std::string> row{w.label(), fmt_pct(density, 0), fmt(ff, 3)};
-                double fare_acc = 0.0;
-                for (const Scheme s :
-                     {Scheme::kFaultUnaware, Scheme::kNeuronReorder,
-                      Scheme::kClippingOnly, Scheme::kFARe}) {
-                    const auto r = run_postdeploy_cell(w, s, density, post_total,
-                                                       sa1_fraction, seed);
-                    row.push_back(fmt(r.train.test_accuracy, 3));
-                    if (s == Scheme::kFARe) fare_acc = r.train.test_accuracy;
-                }
-                row.push_back(fmt_pct(ff - fare_acc, 1));
-                t.add_row(row);
-                std::cout << "." << std::flush;
+            const double ff = results.accuracy(w, Scheme::kFaultFree);
+            for (const double density : densities) {
+                const double fare =
+                    results.accuracy(w, Scheme::kFARe, density, sa1);
+                t.add_row(
+                    {w.label(), fmt_pct(density, 0), fmt(ff, 3),
+                     fmt(results.accuracy(w, Scheme::kFaultUnaware, density, sa1), 3),
+                     fmt(results.accuracy(w, Scheme::kNeuronReorder, density, sa1), 3),
+                     fmt(results.accuracy(w, Scheme::kClippingOnly, density, sa1), 3),
+                     fmt(fare, 3), fmt_pct(ff - fare, 1)});
             }
         }
-        std::cout << "\n\n" << t.to_ascii() << '\n';
+        std::cout << t.to_ascii() << '\n';
     }
     return 0;
 }

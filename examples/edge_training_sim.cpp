@@ -5,50 +5,83 @@
 //   $ ./edge_training_sim [dataset=Reddit] [model=GCN] [density=0.05] [sa1=0.5]
 //
 // Datasets: PPI | Reddit | Amazon2M | Ogbl.  Models: GCN | GAT | SAGE.
+// Bad arguments print a usage message instead of a stack trace (structured
+// Expected<> errors from the registry parsers).
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+int usage(const std::string& error) {
+    std::cerr << "error: " << error << "\n\n"
+              << "usage: edge_training_sim [dataset] [model] [density] [sa1]\n"
+              << "registered workloads:\n"
+              << fare::workload_usage();
+    return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace fare;
     const std::string dataset_name = argc > 1 ? argv[1] : "Reddit";
     const std::string model_name = argc > 2 ? argv[2] : "GCN";
-    const double density = argc > 3 ? std::atof(argv[3]) : 0.05;
-    const double sa1 = argc > 4 ? std::atof(argv[4]) : 0.5;
+    const Expected<double> density_arg =
+        argc > 3 ? parse_double(argv[3]) : Expected<double>(0.05);
+    const Expected<double> sa1_arg =
+        argc > 4 ? parse_double(argv[4]) : Expected<double>(0.5);
 
-    GnnKind kind = GnnKind::kGCN;
-    if (model_name == "GAT") kind = GnnKind::kGAT;
-    if (model_name == "SAGE") kind = GnnKind::kSAGE;
+    const Expected<GnnKind> kind = parse_gnn_kind(model_name);
+    if (!kind) return usage(kind.error());
+    Expected<WorkloadSpec> lookup = try_find_workload(dataset_name, kind.value());
+    if (!lookup) return usage(lookup.error());
+    const WorkloadSpec workload = std::move(lookup).value();
+    if (!density_arg) return usage(density_arg.error());
+    if (!sa1_arg) return usage(sa1_arg.error());
+    const double density = density_arg.value();
+    const double sa1 = sa1_arg.value();
+    if (density < 0.0 || density > 1.0)
+        return usage("fault density must be in [0,1]: " + std::string(argv[3]));
+    if (sa1 < 0.0 || sa1 > 1.0)
+        return usage("SA1 fraction must be in [0,1]: " + std::string(argv[4]));
 
-    const WorkloadSpec workload = find_workload(dataset_name, kind);
     std::cout << "=== Edge training simulation: " << workload.label() << ", "
               << fmt_pct(density, 0) << " faults, SA1 fraction " << fmt_pct(sa1, 0)
               << " ===\n\n";
 
-    const Dataset dataset = workload.make_dataset(1);
-    const TrainConfig tc = workload.train_config(1);
+    const ExperimentPlan plan = SweepBuilder("edge_training_sim")
+                                    .workload(workload)
+                                    .density(density)
+                                    .sa1_fraction(sa1)
+                                    .schemes(figure_schemes())
+                                    .seed(1)
+                                    .build();
+
+    SessionOptions options;
+    options.progress = &std::cout;
+    SimSession session(options);
+    session.add_sink(std::make_unique<JsonLinesSink>());
+    const ResultSet results = session.run(plan);
+
     const TimingModel timing;
     const WorkloadTiming paper_timing = workload.paper_scale_timing();
-
     Table t({"Scheme", "Test accuracy", "Macro-F1", "Sim time (s)",
              "Paper-scale time (norm.)"});
-    for (const Scheme scheme : figure_schemes()) {
-        SchemeRunResult r;
-        if (scheme == Scheme::kFaultFree) {
-            r = run_fault_free(dataset, tc);
-        } else {
-            r = run_scheme(dataset, scheme, tc, default_hardware(density, sa1, 1));
-        }
-        t.add_row({scheme_name(scheme), fmt(r.train.test_accuracy, 3),
-                   fmt(r.train.test_macro_f1, 3),
-                   fmt(r.train.preprocess_seconds + r.train.train_seconds, 2),
-                   fmt(timing.normalized_time(scheme, paper_timing), 2) + "x"});
-        std::cout << "." << std::flush;
+    for (const CellResult& cell : results) {
+        const TrainResult& r = cell.run.train;
+        t.add_row({scheme_name(cell.spec.scheme), fmt(r.test_accuracy, 3),
+                   fmt(r.test_macro_f1, 3),
+                   fmt(r.preprocess_seconds + r.train_seconds, 2),
+                   fmt(timing.normalized_time(cell.spec.scheme, paper_timing), 2) +
+                       "x"});
     }
-    std::cout << "\n\n" << t.to_ascii() << '\n';
+    std::cout << '\n' << t.to_ascii() << '\n';
 
     std::cout << "Reading the table:\n"
                  "  * 'Sim time' is this host's wall-clock for the simulation;\n"

@@ -10,30 +10,40 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fare/mapper.hpp"
+#include "fare/scenario.hpp"
 #include "reram/accelerator.hpp"
 
 int main(int argc, char** argv) {
     using namespace fare;
-    const double density = argc > 1 ? std::atof(argv[1]) : 0.05;
-    const double sa1_fraction = argc > 2 ? std::atof(argv[2]) : 0.1;
-    const double cluster = argc > 3 ? std::atof(argv[3]) : 1.5;
+    const double density =
+        (argc > 1 ? parse_double(argv[1]) : Expected<double>(0.05)).value_or(-1.0);
+    const double sa1_fraction =
+        (argc > 2 ? parse_double(argv[2]) : Expected<double>(0.1)).value_or(-1.0);
+    const double cluster =
+        (argc > 3 ? parse_double(argv[3]) : Expected<double>(1.5)).value_or(-1.0);
+    if (density < 0.0 || density > 1.0 || sa1_fraction < 0.0 ||
+        sa1_fraction > 1.0 || cluster < 0.0) {
+        std::cerr << "usage: fault_map_explorer [density] [sa1_fraction] "
+                     "[cluster]\n  density and sa1_fraction must be in [0,1], "
+                     "cluster >= 0\n";
+        return 2;
+    }
 
     std::cout << "Injecting faults: density " << fmt_pct(density, 1) << ", SA1 "
               << fmt_pct(sa1_fraction, 0) << " of faults, cluster shape "
               << cluster << "\n\n";
 
-    AcceleratorConfig acfg;
-    acfg.num_tiles = 1;
-    Accelerator acc(acfg);
-    FaultInjectionConfig inject;
-    inject.density = density;
-    inject.sa1_fraction = sa1_fraction;
-    inject.cluster_shape = cluster;
-    inject.seed = 1;
-    acc.inject_pre_deployment_faults(inject);
+    // Describe the chip declaratively, then lower it onto the simulator.
+    FaultScenario scenario = FaultScenario::pre_deployment(density, sa1_fraction);
+    scenario.cluster_shape = cluster;
+    const FaultyHardwareConfig chip = to_hardware_config(
+        scenario, HardwareOverrides{}, /*seed=*/1, /*train_epochs=*/100);
+    Accelerator acc(chip.accelerator);
+    acc.inject_pre_deployment_faults(chip.injection);
 
     // BIST scan and detection fidelity.
     const auto truth = acc.true_fault_maps();

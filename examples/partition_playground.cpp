@@ -11,18 +11,31 @@
 
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
-#include "graph/generators.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/stats.hpp"
+#include "sim/registry.hpp"
 
 int main(int argc, char** argv) {
     using namespace fare;
     const std::string name = argc > 1 ? argv[1] : "Amazon2M";
-    Dataset ds;
-    if (name == "PPI") ds = make_ppi(1);
-    else if (name == "Reddit") ds = make_reddit(1);
-    else if (name == "Ogbl") ds = make_ogbl(1);
-    else ds = make_amazon2m(1);
+    // Any registered model shares the dataset generator; take the first
+    // workload matching the dataset name and report a usage message listing
+    // the registry on a miss.
+    const WorkloadSpec* match = nullptr;
+    for (const WorkloadSpec& w : fig5_workloads()) {
+        if (w.dataset == name) {
+            match = &w;
+            break;
+        }
+    }
+    if (!match) {
+        std::cerr << "error: unknown dataset '" << name
+                  << "'\n\nusage: partition_playground [dataset]\n"
+                  << "registered workloads:\n"
+                  << workload_usage();
+        return 2;
+    }
+    const Dataset ds = match->make_dataset(1);
 
     const DegreeStats deg = degree_stats(ds.graph);
     std::cout << "=== Partitioning " << ds.name << ": " << ds.graph.num_nodes()

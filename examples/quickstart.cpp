@@ -3,48 +3,51 @@
 //
 //   $ ./quickstart
 //
-// Walks through the library's three core objects:
-//   Dataset  — a node-classification graph (here: the Reddit stand-in),
-//   Hardware — a simulated accelerator with stuck-at faults + a scheme,
-//   Trainer  — the mini-batch GNN training loop.
+// Walks through the library's three declarative objects:
+//   WorkloadSpec   — a dataset/model combination from the registry,
+//   CellSpec       — one experiment cell (workload x scheme x FaultScenario),
+//   SimSession     — the runner (parallel execution, memoization, sinks).
 #include <cstdio>
 
-#include "fare/fare_trainer.hpp"
-#include "sim/experiment.hpp"
+#include "sim/session.hpp"
 
 int main() {
     using namespace fare;
 
-    // 1. A dataset: synthetic Reddit-like graph (2,400 nodes, ~25k edges).
+    // 1. A workload: synthetic Reddit-like graph (2,400 nodes, ~25k edges)
+    //    trained with a 2-layer GCN (Table II hyperparameters, scaled).
     const WorkloadSpec workload = find_workload("Reddit", GnnKind::kGCN);
     const Dataset dataset = workload.make_dataset(/*seed=*/1);
     std::printf("dataset: %s — %u nodes, %zu edges, %d classes\n",
                 dataset.name.c_str(), dataset.graph.num_nodes(),
                 dataset.graph.num_edges(), dataset.num_classes);
 
-    // 2. Training configuration (Table II hyperparameters, scaled).
-    const TrainConfig train = workload.train_config(/*seed=*/1);
+    // 2. A faulty chip: 5% stuck-at faults, pessimistic SA0:SA1 = 1:1.
+    const FaultScenario chip = FaultScenario::pre_deployment(
+        /*density=*/0.05, /*sa1_fraction=*/0.5);
 
-    // 3. Fault-free reference run on ideal (quantised) crossbars.
-    const SchemeRunResult ideal = run_fault_free(dataset, train);
-    std::printf("fault-free accuracy:    %.3f\n", ideal.train.test_accuracy);
+    // 3. Three cells — the fault-free reference, naive training on the
+    //    faulty chip, and FARe — as one declarative plan.
+    const ExperimentPlan plan =
+        SweepBuilder("quickstart")
+            .workload(workload)
+            .scenario(chip)
+            .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kFARe})
+            .seed(1)
+            .build();
 
-    // 4. A faulty chip: 5%% stuck-at faults, pessimistic SA0:SA1 = 1:1.
-    const FaultyHardwareConfig chip = default_hardware(
-        /*density=*/0.05, /*sa1_fraction=*/0.5, /*seed=*/1);
+    // 4. Run the plan (worker pool; FARE_THREADS=1 forces serial).
+    SimSession session;
+    const ResultSet results = session.run(plan);
 
-    // 5. Train naively on it — accuracy collapses.
-    const SchemeRunResult naive =
-        run_scheme(dataset, Scheme::kFaultUnaware, train, chip);
-    std::printf("fault-unaware accuracy: %.3f  (collapsed)\n",
-                naive.train.test_accuracy);
-
-    // 6. Train with FARe: fault-aware adjacency mapping + weight clipping.
-    const SchemeRunResult fare = run_scheme(dataset, Scheme::kFARe, train, chip);
+    const double ideal = results.accuracy(workload, Scheme::kFaultFree);
+    const double naive = results.accuracy(workload, Scheme::kFaultUnaware);
+    const CellResult& fare = results.at(workload, Scheme::kFARe);
+    std::printf("fault-free accuracy:    %.3f\n", ideal);
+    std::printf("fault-unaware accuracy: %.3f  (collapsed)\n", naive);
     std::printf("FARe accuracy:          %.3f  (restored %+.1f%%)\n",
-                fare.train.test_accuracy,
-                (fare.train.test_accuracy - naive.train.test_accuracy) * 100.0);
+                fare.accuracy(), (fare.accuracy() - naive) * 100.0);
     std::printf("FARe host preprocessing: %.0f ms (one-time mapping)\n",
-                fare.train.preprocess_seconds * 1e3);
+                fare.run.train.preprocess_seconds * 1e3);
     return 0;
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with -Wall -Wextra (as errors), build
+# everything (library, tests, benches, examples), and run the test suite.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DFARE_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)"

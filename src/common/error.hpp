@@ -5,9 +5,12 @@
 // FARE_ASSERT for internal invariants whose violation is a programming bug.
 #pragma once
 
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace fare {
 
@@ -24,6 +27,60 @@ class ResourceError : public std::runtime_error {
 public:
     explicit ResourceError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// Value-or-error result for CLI-facing lookups and parsers where a miss is
+/// an expected outcome the caller wants to turn into a usage message, not a
+/// stack unwind. Exceptions remain the channel for programming errors and
+/// invalid configuration deep inside the library.
+template <typename T>
+class Expected {
+public:
+    Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+    static Expected failure(std::string message) {
+        Expected e;
+        e.error_ = std::move(message);
+        return e;
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /// Valid only when ok(); throws std::logic_error otherwise (a bug).
+    const T& value() const& {
+        require();
+        return *value_;
+    }
+    T&& value() && {
+        require();
+        return std::move(*value_);
+    }
+    /// Valid only when !ok().
+    const std::string& error() const { return error_; }
+
+    /// value() if ok(), otherwise `fallback`.
+    T value_or(T fallback) const {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+private:
+    Expected() = default;
+    void require() const {
+        if (!ok()) throw std::logic_error("Expected::value() on error: " + error_);
+    }
+
+    std::optional<T> value_;
+    std::string error_;
+};
+
+/// Strict string-to-double parse for CLI arguments: the whole string must be
+/// numeric (unlike atof, which silently maps garbage to 0.0).
+inline Expected<double> parse_double(const std::string& s) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return Expected<double>::failure("not a number: '" + s + "'");
+    return v;
+}
 
 namespace detail {
 [[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,

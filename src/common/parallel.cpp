@@ -1,0 +1,61 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fare {
+
+std::size_t resolve_threads(std::size_t requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("FARE_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    // Floor at two workers: cells are coarse and results are order-independent,
+    // so overlapping two cells is still worthwhile on a single visible core
+    // (and keeps the parallel path exercised everywhere).
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 2 ? hw : 2;
+}
+
+void parallel_for_each(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    threads = std::min(resolve_threads(threads), count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            // Fail fast: once any item throws, stop picking up new work
+            // instead of burning the rest of the sweep before reporting.
+            if (i >= count || failed.load(std::memory_order_relaxed)) return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fare

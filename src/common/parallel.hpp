@@ -1,0 +1,26 @@
+// Minimal data-parallel loop used by SimSession to fan experiment cells out
+// across a worker pool. Deliberately tiny: an atomic work index over a fixed
+// range, no task queue, no futures — cells are coarse-grained (seconds each)
+// so dynamic self-scheduling over an index is both simplest and optimal.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fare {
+
+/// Resolve a thread-count request: `requested` > 0 is taken literally;
+/// 0 means "auto" — the FARE_THREADS environment variable if set, otherwise
+/// std::thread::hardware_concurrency() floored at 2 workers.
+std::size_t resolve_threads(std::size_t requested);
+
+/// Invoke fn(i) for every i in [0, count) across up to `threads` workers.
+/// Workers self-schedule off a shared atomic index, so per-item order across
+/// workers is unspecified — callers index into pre-sized output slots.
+/// If any invocation throws, unstarted items are skipped (fail fast) and the
+/// first exception is rethrown on the calling thread after all workers join.
+/// threads <= 1 degenerates to a plain loop.
+void parallel_for_each(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace fare

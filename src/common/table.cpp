@@ -1,5 +1,6 @@
 #include "common/table.hpp"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -73,6 +74,12 @@ std::string fmt(double v, int precision) {
     std::ostringstream os;
     os << std::fixed << std::setprecision(precision) << v;
     return os.str();
+}
+
+std::string fmt_exact(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
 }
 
 std::string fmt_pct(double fraction, int precision) {

@@ -35,6 +35,10 @@ private:
 /// Format a double with fixed precision (default 3 decimal places).
 std::string fmt(double v, int precision = 3);
 
+/// Shortest round-trip representation of a double (%.17g), locale-free —
+/// used for canonical cell keys and JSON serialization.
+std::string fmt_exact(double v);
+
 /// Format a fraction as a percentage string, e.g. 0.05 -> "5.0%".
 std::string fmt_pct(double fraction, int precision = 1);
 

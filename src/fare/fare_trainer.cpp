@@ -17,6 +17,17 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
     return result;
 }
 
+SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
+                           const TrainConfig& train_config,
+                           const FaultScenario& scenario,
+                           const HardwareOverrides& hw_overrides,
+                           std::uint64_t hw_seed) {
+    if (scheme == Scheme::kFaultFree) return run_fault_free(dataset, train_config);
+    return run_scheme(dataset, scheme, train_config,
+                      to_hardware_config(scenario, hw_overrides, hw_seed,
+                                         train_config.epochs));
+}
+
 SchemeRunResult run_fault_free(const Dataset& dataset,
                                const TrainConfig& train_config) {
     SchemeRunResult result;
@@ -43,6 +54,16 @@ DeploymentResult run_deployment(const Dataset& dataset,
     edge.prepare_hardware();
     result.deployed_accuracy = edge.evaluate_test_accuracy();
     return result;
+}
+
+DeploymentResult run_deployment(const Dataset& dataset,
+                                const TrainConfig& train_config, Scheme scheme,
+                                const FaultScenario& scenario,
+                                const HardwareOverrides& hw_overrides,
+                                std::uint64_t hw_seed) {
+    return run_deployment(dataset, train_config, scheme,
+                          to_hardware_config(scenario, hw_overrides, hw_seed,
+                                             train_config.epochs));
 }
 
 }  // namespace fare

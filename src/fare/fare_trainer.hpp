@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "fare/baselines.hpp"
+#include "fare/scenario.hpp"
 #include "gnn/trainer.hpp"
 
 namespace fare {
@@ -23,6 +24,15 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
                            const TrainConfig& train_config,
                            const FaultyHardwareConfig& hw_config);
 
+/// Declarative variant: lower a FaultScenario + chip overrides into the
+/// hardware config (seeded with `hw_seed`) and run. kFaultFree short-circuits
+/// to the ideal quantised reference.
+SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
+                           const TrainConfig& train_config,
+                           const FaultScenario& scenario,
+                           const HardwareOverrides& hw_overrides,
+                           std::uint64_t hw_seed);
+
 /// Fault-free reference run (ideal quantised hardware).
 SchemeRunResult run_fault_free(const Dataset& dataset, const TrainConfig& train_config);
 
@@ -37,5 +47,12 @@ struct DeploymentResult {
 DeploymentResult run_deployment(const Dataset& dataset,
                                 const TrainConfig& train_config, Scheme scheme,
                                 const FaultyHardwareConfig& hw_config);
+
+/// Declarative variant of run_deployment (see run_scheme above).
+DeploymentResult run_deployment(const Dataset& dataset,
+                                const TrainConfig& train_config, Scheme scheme,
+                                const FaultScenario& scenario,
+                                const HardwareOverrides& hw_overrides,
+                                std::uint64_t hw_seed);
 
 }  // namespace fare

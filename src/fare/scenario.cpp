@@ -1,0 +1,122 @@
+#include "fare/scenario.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace fare {
+
+namespace {
+
+std::string num(double v) { return fmt_exact(v); }
+
+}  // namespace
+
+FaultScenario FaultScenario::none() { return FaultScenario{}; }
+
+FaultScenario FaultScenario::pre_deployment(double density, double sa1_fraction) {
+    FARE_CHECK(density >= 0.0 && density <= 1.0, "fault density outside [0,1]");
+    FARE_CHECK(sa1_fraction >= 0.0 && sa1_fraction <= 1.0,
+               "SA1 fraction outside [0,1]");
+    FaultScenario s;
+    s.density = density;
+    s.sa1_fraction = sa1_fraction;
+    s.post_sa1_fraction = sa1_fraction;
+    return s;
+}
+
+FaultScenario& FaultScenario::with_post_deployment(double total_density,
+                                                   double sa1) {
+    FARE_CHECK(total_density >= 0.0 && total_density <= 1.0,
+               "post-deployment density outside [0,1]");
+    post_total_density = total_density;
+    if (sa1 < 0.0) {
+        post_sa1_fraction = sa1_fraction;
+        post_sa1_follows_pre = true;
+    } else {
+        FARE_CHECK(sa1 <= 1.0, "post-deployment SA1 fraction outside [0,1]");
+        post_sa1_fraction = sa1;
+        post_sa1_follows_pre = false;
+    }
+    return *this;
+}
+
+FaultScenario& FaultScenario::with_read_noise(double sigma) {
+    FARE_CHECK(sigma >= 0.0, "read-noise sigma must be non-negative");
+    read_noise_sigma = sigma;
+    return *this;
+}
+
+FaultScenario& FaultScenario::on_weights_only() {
+    faults_on_weights = true;
+    faults_on_adjacency = false;
+    return *this;
+}
+
+FaultScenario& FaultScenario::on_adjacency_only() {
+    faults_on_weights = false;
+    faults_on_adjacency = true;
+    return *this;
+}
+
+bool FaultScenario::fault_free() const {
+    return density == 0.0 && post_total_density == 0.0 && read_noise_sigma == 0.0;
+}
+
+std::string FaultScenario::key() const {
+    // Inert fields are normalised away so the memo matches on behaviour, not
+    // spelling: with no injected density the SA1 ratio and clustering are
+    // unused, and with no wear stream its ratio/schedule are unused.
+    std::ostringstream os;
+    if (density > 0.0) {
+        os << "d=" << num(density) << ";sa1=" << num(sa1_fraction)
+           << ";cl=" << num(cluster_shape);
+    } else {
+        os << "d=0";
+    }
+    if (post_total_density > 0.0) {
+        os << ";post=" << num(post_total_density) << ";pe=" << post_epochs
+           << ";psa1=" << num(post_sa1_fraction);
+    } else {
+        os << ";post=0";
+    }
+    os << ";fw=" << faults_on_weights << ";fa=" << faults_on_adjacency
+       << ";noise=" << num(read_noise_sigma);
+    return os.str();
+}
+
+std::string HardwareOverrides::key() const {
+    std::ostringstream os;
+    os << "tiles=" << num_tiles << ";tau=" << num(clip_threshold)
+       << ";w0=" << num(match_weights.sa0) << ";w1=" << num(match_weights.sa1)
+       << ";spare=" << num(spare_column_fraction)
+       << ";pool=" << max_adjacency_pool;
+    return os.str();
+}
+
+FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
+                                        const HardwareOverrides& hw,
+                                        std::uint64_t seed,
+                                        std::size_t train_epochs) {
+    FaultyHardwareConfig config;
+    config.accelerator.num_tiles = hw.num_tiles;
+    config.injection.density = scenario.density;
+    config.injection.sa1_fraction = scenario.sa1_fraction;
+    config.injection.cluster_shape = scenario.cluster_shape;
+    config.injection.seed = seed;
+    config.faults_on_weights = scenario.faults_on_weights;
+    config.faults_on_adjacency = scenario.faults_on_adjacency;
+    config.clip_threshold = hw.clip_threshold;
+    config.match_weights = hw.match_weights;
+    config.post_total_density = scenario.post_total_density;
+    config.post_epochs =
+        scenario.post_epochs > 0 ? scenario.post_epochs : train_epochs;
+    config.post_sa1_fraction = scenario.post_sa1_fraction;
+    config.read_noise_sigma = scenario.read_noise_sigma;
+    config.spare_column_fraction = hw.spare_column_fraction;
+    config.max_adjacency_pool = hw.max_adjacency_pool;
+    return config;
+}
+
+}  // namespace fare

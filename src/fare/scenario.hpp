@@ -1,0 +1,90 @@
+// Declarative fault-scenario description: one value type holding everything
+// the paper's evaluation varies about the *chip* — pre-deployment stuck-at
+// density and SA0:SA1 ratio, post-deployment fault arrival, phase
+// restriction (Fig. 3), and non-ideality extensions — decoupled from the
+// scheme under test and from the training configuration. Lowered into the
+// FaultyHardwareConfig the scheme factory consumes by to_hardware_config().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fare/baselines.hpp"
+
+namespace fare {
+
+struct FaultScenario {
+    /// Pre-deployment (manufacturing) stuck-at fault density in [0,1].
+    double density = 0.0;
+    /// Fraction of faults that are SA1 (0.1 => SA0:SA1 = 9:1, 0.5 => 1:1).
+    double sa1_fraction = 0.1;
+    /// Gamma–Poisson clustering shape of the fault centres (<= 0: none).
+    double cluster_shape = 1.5;
+
+    /// Post-deployment wear: total added density spread uniformly across
+    /// `post_epochs` epoch boundaries (0 disables).
+    double post_total_density = 0.0;
+    /// Epoch boundaries the post-deployment arrival is spread over;
+    /// 0 means "the full training run" (resolved against TrainConfig.epochs).
+    std::size_t post_epochs = 0;
+    double post_sa1_fraction = 0.1;
+    /// Whether the wear stream's SA1 ratio follows sa1_fraction (the paper's
+    /// Fig. 6 setting). SweepBuilder mirrors its SA1 axis into
+    /// post_sa1_fraction only while this is set; with_post_deployment() with
+    /// an explicit ratio clears it.
+    bool post_sa1_follows_pre = true;
+
+    /// Fig. 3 knobs: restrict faults to one computation phase.
+    bool faults_on_weights = true;
+    bool faults_on_adjacency = true;
+
+    /// Multiplicative Gaussian read noise sigma (extension E3; 0 disables).
+    double read_noise_sigma = 0.0;
+
+    /// No faults at all (the reference chip).
+    static FaultScenario none();
+    /// The common case: manufacturing faults only.
+    static FaultScenario pre_deployment(double density, double sa1_fraction);
+
+    /// Add post-deployment wear; `sa1` < 0 inherits the pre-deployment
+    /// SA1 fraction (the paper's Fig. 6 setting).
+    FaultScenario& with_post_deployment(double total_density, double sa1 = -1.0);
+    FaultScenario& with_read_noise(double sigma);
+    FaultScenario& on_weights_only();
+    FaultScenario& on_adjacency_only();
+
+    /// True when the scenario injects nothing (no SAFs, no wear, no noise).
+    bool fault_free() const;
+
+    /// Canonical serialization — equal keys => behaviourally identical
+    /// scenarios. Used for cell memoization.
+    std::string key() const;
+};
+
+/// Chip-construction knobs orthogonal to the fault scenario: sizing and the
+/// per-scheme hyperparameters the ablations sweep.
+struct HardwareOverrides {
+    /// Simulated chip size; 1 = one Table III tile (96 crossbars of 128x128).
+    int num_tiles = 1;
+    /// Clipping threshold tau (paper §IV-B).
+    float clip_threshold = 1.0f;
+    /// FARe's SA1-criticality weighting for row matching.
+    RowMatchWeights match_weights{};
+    /// Redundant-columns baseline: spare-column provisioning fraction.
+    double spare_column_fraction = 0.15;
+    /// Adjacency pool cap.
+    std::size_t max_adjacency_pool = 48;
+
+    std::string key() const;
+};
+
+/// Lower (scenario, overrides, seed) into the FaultyHardwareConfig consumed
+/// by make_hardware()/run_scheme(). `train_epochs` resolves a scenario whose
+/// post-deployment arrival spans "the full training run" (post_epochs == 0).
+FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
+                                        const HardwareOverrides& hw,
+                                        std::uint64_t seed,
+                                        std::size_t train_epochs);
+
+}  // namespace fare

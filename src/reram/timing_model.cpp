@@ -1,6 +1,7 @@
 #include "reram/timing_model.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -17,6 +18,29 @@ const char* scheme_name(Scheme s) {
         case Scheme::kRedundantCols: return "Redundant Columns";
     }
     return "?";
+}
+
+Expected<Scheme> parse_scheme(const std::string& name) {
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::replace(lower.begin(), lower.end(), '_', '-');
+    std::replace(lower.begin(), lower.end(), ' ', '-');
+    if (lower == "fault-free" || lower == "faultfree" || lower == "ideal")
+        return Scheme::kFaultFree;
+    if (lower == "fault-unaware" || lower == "unaware" || lower == "naive")
+        return Scheme::kFaultUnaware;
+    if (lower == "nr" || lower == "neuron-reorder" || lower == "neuron-reordering")
+        return Scheme::kNeuronReorder;
+    if (lower == "weight-clipping" || lower == "clipping" || lower == "clip")
+        return Scheme::kClippingOnly;
+    if (lower == "fare") return Scheme::kFARe;
+    if (lower == "redundant-columns" || lower == "redundant" || lower == "spare")
+        return Scheme::kRedundantCols;
+    return Expected<Scheme>::failure(
+        "unknown scheme: '" + name +
+        "' (expected fault-free | fault-unaware | NR | clipping | FARe | "
+        "redundant-columns)");
 }
 
 TimingModel::TimingModel(const TimingConfig& config) : config_(config) {

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
+#include "common/error.hpp"
 #include "reram/tile.hpp"
 
 namespace fare {
@@ -33,6 +35,11 @@ enum class Scheme {
 };
 
 const char* scheme_name(Scheme s);
+
+/// Parse a scheme by its scheme_name() spelling or a CLI-friendly alias
+/// ("fare", "nr", "clipping", "unaware", "redundant", "fault-free"),
+/// case-insensitive. A miss returns a structured error listing the options.
+Expected<Scheme> parse_scheme(const std::string& name);
 
 /// Static description of one training workload (per dataset/model).
 struct WorkloadTiming {

@@ -4,42 +4,38 @@ namespace fare {
 
 FaultyHardwareConfig default_hardware(double density, double sa1_fraction,
                                       std::uint64_t seed) {
-    FaultyHardwareConfig hw;
-    hw.accelerator.num_tiles = 1;  // one Table III tile: 96 crossbars
-    hw.injection.density = density;
-    hw.injection.sa1_fraction = sa1_fraction;
-    hw.injection.seed = seed;
-    hw.post_sa1_fraction = sa1_fraction;
-    return hw;
+    return to_hardware_config(FaultScenario::pre_deployment(density, sa1_fraction),
+                              HardwareOverrides{}, seed, /*train_epochs=*/100);
 }
 
-const std::vector<Scheme>& figure_schemes() {
-    static const std::vector<Scheme> schemes = {
-        Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kNeuronReorder,
-        Scheme::kClippingOnly, Scheme::kFARe};
-    return schemes;
-}
+// The wrappers funnel through run_cell so legacy callers exercise exactly
+// the code path SimSession uses (one deprecated implementation, not two).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 SchemeRunResult run_accuracy_cell(const WorkloadSpec& workload, Scheme scheme,
                                   double density, double sa1_fraction,
                                   std::uint64_t seed) {
-    const Dataset dataset = workload.make_dataset(seed);
-    const TrainConfig tc = workload.train_config(seed);
-    if (scheme == Scheme::kFaultFree) return run_fault_free(dataset, tc);
-    return run_scheme(dataset, scheme, tc,
-                      default_hardware(density, sa1_fraction, seed));
+    CellSpec cell;
+    cell.workload = workload;
+    cell.scheme = scheme;
+    cell.faults = FaultScenario::pre_deployment(density, sa1_fraction);
+    cell.seed = seed;
+    return run_cell(cell).run;
 }
 
 SchemeRunResult run_postdeploy_cell(const WorkloadSpec& workload, Scheme scheme,
                                     double density, double post_total,
                                     double sa1_fraction, std::uint64_t seed) {
-    const Dataset dataset = workload.make_dataset(seed);
-    const TrainConfig tc = workload.train_config(seed);
-    if (scheme == Scheme::kFaultFree) return run_fault_free(dataset, tc);
-    FaultyHardwareConfig hw = default_hardware(density, sa1_fraction, seed);
-    hw.post_total_density = post_total;
-    hw.post_epochs = tc.epochs;
-    return run_scheme(dataset, scheme, tc, hw);
+    CellSpec cell;
+    cell.workload = workload;
+    cell.scheme = scheme;
+    cell.faults = FaultScenario::pre_deployment(density, sa1_fraction)
+                      .with_post_deployment(post_total);
+    cell.seed = seed;
+    return run_cell(cell).run;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace fare

@@ -1,31 +1,33 @@
-// Shared experiment plumbing for the benchmark harness: default hardware
-// configurations, single-cell runners for the accuracy figures, and the
-// scheme lists in the paper's plotting order.
+// Legacy experiment plumbing, kept as thin wrappers over the declarative
+// ExperimentPlan / SimSession API (sim/plan.hpp, sim/session.hpp). New code
+// should build a CellSpec (or a SweepBuilder plan) instead of calling these.
 #pragma once
 
 #include <vector>
 
 #include "fare/fare_trainer.hpp"
+#include "sim/plan.hpp"
 #include "sim/registry.hpp"
+#include "sim/session.hpp"
 
 namespace fare {
 
 /// Default simulated chip: one Table III tile (96 crossbars of 128x128).
+/// Superseded by FaultScenario + HardwareOverrides (fare/scenario.hpp).
 FaultyHardwareConfig default_hardware(double density, double sa1_fraction,
                                       std::uint64_t seed);
-
-/// The scheme order used in Figs. 4-7.
-const std::vector<Scheme>& figure_schemes();
 
 /// One accuracy cell: train `workload` under `scheme` with the given
 /// pre-deployment fault density / SA1 fraction; returns the scheme-run
 /// result (test accuracy on the faulty hardware).
+[[deprecated("build a CellSpec and call run_cell / SimSession::run")]]
 SchemeRunResult run_accuracy_cell(const WorkloadSpec& workload, Scheme scheme,
                                   double density, double sa1_fraction,
                                   std::uint64_t seed);
 
 /// One post-deployment cell (Fig. 6): pre-deployment `density` plus
 /// `post_total` additional density spread across all epochs.
+[[deprecated("build a CellSpec with FaultScenario::with_post_deployment")]]
 SchemeRunResult run_postdeploy_cell(const WorkloadSpec& workload, Scheme scheme,
                                     double density, double post_total,
                                     double sa1_fraction, std::uint64_t seed);

@@ -1,0 +1,187 @@
+#include "sim/plan.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace fare {
+
+namespace {
+
+/// FNV-1a over a string — stable basis for SeedPolicy::kDerived.
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// splitmix64 finalizer: decorrelates seeds that differ in few bits.
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* cell_mode_name(CellMode mode) {
+    return mode == CellMode::kTrain ? "train" : "deploy";
+}
+
+TrainConfig CellSpec::train_config() const {
+    TrainConfig tc = workload.train_config(seed);
+    tc.record_curve = record_curve;
+    if (epochs) tc.epochs = *epochs;
+    return tc;
+}
+
+std::string CellSpec::label() const {
+    std::ostringstream os;
+    os << workload.label() << " / " << scheme_name(scheme);
+    if (scheme != Scheme::kFaultFree) {
+        os << " / d=" << fmt_pct(faults.density, 0)
+           << " sa1=" << fmt_pct(faults.sa1_fraction, 0);
+        if (faults.post_total_density > 0.0)
+            os << " post=" << fmt_pct(faults.post_total_density, 0);
+    }
+    if (mode == CellMode::kDeploy) os << " / deploy";
+    os << " / seed " << seed;
+    return os.str();
+}
+
+std::string CellSpec::key() const {
+    // Ideal hardware ignores the scenario and chip knobs entirely; collapse
+    // them so every density row's fault-free entry shares one cached run.
+    const bool ideal = scheme == Scheme::kFaultFree;
+    std::ostringstream os;
+    // Epochs are recorded post-resolution (the FARE_EPOCHS default included)
+    // so a session outliving an env change never serves a stale budget.
+    os << "w=" << workload.dataset << '/' << gnn_kind_name(workload.kind)
+       << "|s=" << scheme_name(scheme) << "|m=" << cell_mode_name(mode)
+       << "|seed=" << seed << "|curve=" << record_curve
+       << "|epochs=" << train_config().epochs
+       << "|" << (ideal ? std::string("ideal")
+                        : "hwseed=" + std::to_string(hardware_seed.value_or(seed)) +
+                              "|" + faults.key() + "|" + hardware.key());
+    return os.str();
+}
+
+SweepBuilder::SweepBuilder(std::string name) : name_(std::move(name)) {}
+
+SweepBuilder& SweepBuilder::workload(const WorkloadSpec& w) {
+    workloads_.push_back(w);
+    return *this;
+}
+SweepBuilder& SweepBuilder::workloads(const std::vector<WorkloadSpec>& w) {
+    workloads_.insert(workloads_.end(), w.begin(), w.end());
+    return *this;
+}
+SweepBuilder& SweepBuilder::scheme(Scheme s) { return schemes({s}); }
+SweepBuilder& SweepBuilder::schemes(const std::vector<Scheme>& s) {
+    schemes_ = s;
+    return *this;
+}
+SweepBuilder& SweepBuilder::density(double d) { return densities({d}); }
+SweepBuilder& SweepBuilder::densities(const std::vector<double>& d) {
+    densities_ = d;
+    return *this;
+}
+SweepBuilder& SweepBuilder::sa1_fraction(double f) { return sa1_fractions({f}); }
+SweepBuilder& SweepBuilder::sa1_fractions(const std::vector<double>& f) {
+    sa1_fractions_ = f;
+    return *this;
+}
+SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
+SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
+    seeds_ = s;
+    return *this;
+}
+SweepBuilder& SweepBuilder::scenario(const FaultScenario& base) {
+    scenario_ = base;
+    return *this;
+}
+SweepBuilder& SweepBuilder::hardware(const HardwareOverrides& hw) {
+    hardware_ = hw;
+    return *this;
+}
+SweepBuilder& SweepBuilder::mode(CellMode m) {
+    mode_ = m;
+    return *this;
+}
+SweepBuilder& SweepBuilder::record_curve(bool on) {
+    record_curve_ = on;
+    return *this;
+}
+SweepBuilder& SweepBuilder::epochs(std::size_t e) {
+    epochs_ = e;
+    return *this;
+}
+SweepBuilder& SweepBuilder::seed_policy(SeedPolicy p) {
+    seed_policy_ = p;
+    return *this;
+}
+
+std::size_t SweepBuilder::size() const {
+    const std::size_t densities = densities_ ? densities_->size() : 1;
+    const std::size_t sa1s = sa1_fractions_ ? sa1_fractions_->size() : 1;
+    return workloads_.size() * densities * sa1s * schemes_.size() * seeds_.size();
+}
+
+ExperimentPlan SweepBuilder::build() const {
+    FARE_CHECK(!workloads_.empty(), "sweep '" + name_ + "' has no workloads");
+    FARE_CHECK(!schemes_.empty(), "sweep '" + name_ + "' has no schemes");
+    FARE_CHECK(!seeds_.empty(), "sweep '" + name_ + "' has no seeds");
+
+    const std::vector<double> densities =
+        densities_ ? *densities_ : std::vector<double>{scenario_.density};
+    const std::vector<double> sa1s =
+        sa1_fractions_ ? *sa1_fractions_ : std::vector<double>{scenario_.sa1_fraction};
+    // Catch typo'd axis values at build time, not mid-sweep on a worker.
+    for (const double d : densities)
+        FARE_CHECK(d >= 0.0 && d <= 1.0,
+                   "sweep '" + name_ + "': fault density outside [0,1]");
+    for (const double f : sa1s)
+        FARE_CHECK(f >= 0.0 && f <= 1.0,
+                   "sweep '" + name_ + "': SA1 fraction outside [0,1]");
+
+    ExperimentPlan plan;
+    plan.name = name_;
+    plan.cells.reserve(size());
+    for (const WorkloadSpec& w : workloads_) {
+        for (const double density : densities) {
+            for (const double sa1 : sa1s) {
+                for (const Scheme scheme : schemes_) {
+                    for (const std::uint64_t base_seed : seeds_) {
+                        CellSpec cell;
+                        cell.workload = w;
+                        cell.scheme = scheme;
+                        cell.faults = scenario_;
+                        cell.faults.density = density;
+                        cell.faults.sa1_fraction = sa1;
+                        if (scenario_.post_sa1_follows_pre)
+                            cell.faults.post_sa1_fraction = sa1;
+                        cell.hardware = hardware_;
+                        cell.mode = mode_;
+                        cell.record_curve = record_curve_;
+                        cell.epochs = epochs_;
+                        cell.seed = base_seed;
+                        if (seed_policy_ == SeedPolicy::kDerived) {
+                            CellSpec coords = cell;  // key() sans seed bits
+                            coords.seed = 0;
+                            cell.seed = splitmix64(base_seed ^ fnv1a(coords.key()));
+                        }
+                        plan.cells.push_back(std::move(cell));
+                    }
+                }
+            }
+        }
+    }
+    return plan;
+}
+
+}  // namespace fare

@@ -1,0 +1,133 @@
+// Declarative experiment description: a CellSpec is one simulation cell of
+// the paper's evaluation grid (workload x scheme x fault scenario x chip x
+// seed), an ExperimentPlan is an ordered list of cells, and SweepBuilder
+// cross-products axis lists into a plan — replacing the hand-rolled nested
+// loops the benches used to carry. Execution lives in sim/session.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fare/scenario.hpp"
+#include "sim/registry.hpp"
+
+namespace fare {
+
+/// What the cell measures.
+enum class CellMode {
+    kTrain,   ///< train on the (possibly faulty) chip — Figs. 4-6
+    kDeploy,  ///< train on ideal hardware, evaluate on the faulty chip (E4)
+};
+const char* cell_mode_name(CellMode mode);
+
+/// How SweepBuilder assigns per-cell seeds.
+enum class SeedPolicy {
+    /// Every cell uses the base seed verbatim (the paper's figures: one
+    /// common seed so all cells share the same dataset instance).
+    kShared,
+    /// Per-cell seed derived by hashing the base seed with the cell's
+    /// coordinates — decorrelated streams that are stable under plan
+    /// reordering and identical between serial and parallel execution.
+    kDerived,
+};
+
+/// One cell of the evaluation grid. A CellSpec is a pure value: running the
+/// same spec twice (on any thread) produces bit-identical results, which is
+/// what makes parallel execution and memoization safe.
+struct CellSpec {
+    WorkloadSpec workload;
+    Scheme scheme = Scheme::kFaultFree;
+    FaultScenario faults;
+    HardwareOverrides hardware;
+    std::uint64_t seed = 1;
+    /// Seed for the chip's fault injection when it should differ from the
+    /// dataset/training seed — e.g. re-drawing fault maps across wear stages
+    /// while training on the same graph. Unset: follows `seed`.
+    std::optional<std::uint64_t> hardware_seed;
+    CellMode mode = CellMode::kTrain;
+    bool record_curve = false;
+    /// Override the registry's epoch count (FARE_EPOCHS default) if set.
+    std::optional<std::size_t> epochs;
+
+    /// Training configuration implied by the spec (registry defaults plus
+    /// the record_curve / epochs overrides).
+    TrainConfig train_config() const;
+
+    /// Human-readable cell coordinates, e.g.
+    /// "Reddit (GCN) / FARe / d=3% sa1=50% / seed 1".
+    std::string label() const;
+
+    /// Canonical memoization key: two specs with equal keys produce
+    /// bit-identical results. Fault-free cells normalise the scenario and
+    /// chip knobs away (ideal hardware ignores both), so the fault-free
+    /// reference is computed once per workload and shared across every
+    /// density row that lists Scheme::kFaultFree.
+    std::string key() const;
+};
+
+/// An ordered list of cells, executed (and reported) in plan order.
+struct ExperimentPlan {
+    std::string name;  ///< used for sink file names, e.g. BENCH_<name>.json
+    std::vector<CellSpec> cells;
+
+    std::size_t size() const { return cells.size(); }
+    bool empty() const { return cells.empty(); }
+};
+
+/// Cross-product builder over the evaluation axes. Unset axes default to a
+/// single element taken from the scenario / spec templates, so a builder
+/// with only a workload and a scheme yields exactly one cell.
+///
+/// Enumeration order is deterministic: workload-major, then density, then
+/// SA1 fraction, then scheme, then seed — the row/column order the paper's
+/// tables use.
+class SweepBuilder {
+public:
+    explicit SweepBuilder(std::string name);
+
+    SweepBuilder& workload(const WorkloadSpec& w);
+    SweepBuilder& workloads(const std::vector<WorkloadSpec>& w);
+    SweepBuilder& scheme(Scheme s);
+    SweepBuilder& schemes(const std::vector<Scheme>& s);
+    SweepBuilder& density(double d);
+    SweepBuilder& densities(const std::vector<double>& d);
+    SweepBuilder& sa1_fraction(double f);
+    SweepBuilder& sa1_fractions(const std::vector<double>& f);
+    SweepBuilder& seed(std::uint64_t s);
+    SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
+
+    /// Scenario template: density / SA1 axes overwrite its corresponding
+    /// fields per cell; everything else (post-deployment arrival, phase
+    /// restriction, noise, clustering) is copied through. While the template
+    /// has post_sa1_follows_pre set (the default), the SA1 axis also mirrors
+    /// into the wear stream's ratio.
+    SweepBuilder& scenario(const FaultScenario& base);
+    SweepBuilder& hardware(const HardwareOverrides& hw);
+    SweepBuilder& mode(CellMode m);
+    SweepBuilder& record_curve(bool on);
+    SweepBuilder& epochs(std::size_t e);
+    SweepBuilder& seed_policy(SeedPolicy p);
+
+    /// Number of cells build() will produce.
+    std::size_t size() const;
+
+    ExperimentPlan build() const;
+
+private:
+    std::string name_;
+    std::vector<WorkloadSpec> workloads_;
+    std::vector<Scheme> schemes_{Scheme::kFaultFree};
+    std::optional<std::vector<double>> densities_;
+    std::optional<std::vector<double>> sa1_fractions_;
+    std::vector<std::uint64_t> seeds_{1};
+    FaultScenario scenario_;
+    HardwareOverrides hardware_;
+    CellMode mode_ = CellMode::kTrain;
+    bool record_curve_ = false;
+    std::optional<std::size_t> epochs_;
+    SeedPolicy seed_policy_ = SeedPolicy::kShared;
+};
+
+}  // namespace fare

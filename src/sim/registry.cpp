@@ -1,6 +1,9 @@
 #include "sim/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "graph/generators.hpp"
@@ -123,10 +126,44 @@ const std::vector<WorkloadSpec>& fig7_workloads() {
     return workloads;
 }
 
+const std::vector<Scheme>& figure_schemes() {
+    static const std::vector<Scheme> schemes = {
+        Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kNeuronReorder,
+        Scheme::kClippingOnly, Scheme::kFARe};
+    return schemes;
+}
+
 WorkloadSpec find_workload(const std::string& dataset, GnnKind kind) {
+    auto result = try_find_workload(dataset, kind);
+    if (!result) throw InvalidArgument(result.error());
+    return std::move(result).value();
+}
+
+Expected<WorkloadSpec> try_find_workload(const std::string& dataset,
+                                         GnnKind kind) {
     for (const auto& w : fig5_workloads())
         if (w.dataset == dataset && w.kind == kind) return w;
-    throw InvalidArgument("unknown workload: " + dataset);
+    return Expected<WorkloadSpec>::failure(
+        "unknown workload: " + dataset + " (" + gnn_kind_name(kind) +
+        ") — registered combinations:\n" + workload_usage());
+}
+
+Expected<GnnKind> parse_gnn_kind(const std::string& name) {
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper == "GCN") return GnnKind::kGCN;
+    if (upper == "GAT") return GnnKind::kGAT;
+    if (upper == "SAGE" || upper == "GRAPHSAGE") return GnnKind::kSAGE;
+    return Expected<GnnKind>::failure("unknown GNN model: '" + name +
+                                      "' (expected GCN | GAT | SAGE)");
+}
+
+std::string workload_usage() {
+    std::ostringstream os;
+    for (const auto& w : fig5_workloads())
+        os << "  " << w.dataset << ' ' << gnn_kind_name(w.kind) << '\n';
+    return os.str();
 }
 
 }  // namespace fare

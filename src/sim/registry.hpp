@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "gnn/trainer.hpp"
 #include "graph/dataset.hpp"
 #include "reram/timing_model.hpp"
@@ -44,7 +45,21 @@ const std::vector<WorkloadSpec>& fig6_workloads();
 /// Amazon2M (GCN).
 const std::vector<WorkloadSpec>& fig7_workloads();
 
-/// Look up one workload by names ("Reddit", GnnKind::kGCN). Throws on miss.
+/// The scheme order used in Figs. 4-7.
+const std::vector<Scheme>& figure_schemes();
+
+/// Look up one workload by names ("Reddit", GnnKind::kGCN). Throws on miss;
+/// CLI-facing code should prefer try_find_workload.
 WorkloadSpec find_workload(const std::string& dataset, GnnKind kind);
+
+/// Structured-error lookup: a miss returns an Expected carrying a message
+/// that lists the registered combinations, ready for a usage printout.
+Expected<WorkloadSpec> try_find_workload(const std::string& dataset, GnnKind kind);
+
+/// Parse a model name ("GCN" | "GAT" | "SAGE", case-insensitive).
+Expected<GnnKind> parse_gnn_kind(const std::string& name);
+
+/// One line per registered dataset/model combination, for usage messages.
+std::string workload_usage();
 
 }  // namespace fare

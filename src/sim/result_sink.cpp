@@ -1,0 +1,157 @@
+#include "sim/result_sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fare {
+
+namespace {
+
+const std::vector<std::string> kColumns = {
+    "Workload", "Scheme",   "Mode", "Density", "SA1",  "Post",
+    "Seed",     "Accuracy", "F1",   "Cached",  "Time (s)"};
+
+std::vector<std::string> cell_row(const CellResult& r) {
+    const CellSpec& s = r.spec;
+    return {s.workload.label(),
+            scheme_name(s.scheme),
+            cell_mode_name(s.mode),
+            fmt_pct(s.faults.density, 1),
+            fmt_pct(s.faults.sa1_fraction, 0),
+            fmt_pct(s.faults.post_total_density, 1),
+            std::to_string(s.seed),
+            fmt(r.accuracy(), 3),
+            s.mode == CellMode::kTrain ? fmt(r.run.train.test_macro_f1, 3) : "-",
+            r.from_cache ? "y" : "n",
+            fmt(r.wall_seconds, 2)};
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_num(double v) { return fmt_exact(v); }
+
+}  // namespace
+
+ResultSink::~ResultSink() = default;
+void ResultSink::begin(const ExperimentPlan&) {}
+void ResultSink::end(const ExperimentPlan&) {}
+
+ConsoleTableSink::ConsoleTableSink(std::ostream& os) : os_(os), table_(kColumns) {}
+
+void ConsoleTableSink::begin(const ExperimentPlan&) { table_ = Table(kColumns); }
+
+void ConsoleTableSink::cell(const CellResult& result) {
+    table_.add_row(cell_row(result));
+}
+
+void ConsoleTableSink::end(const ExperimentPlan& plan) {
+    os_ << "--- " << plan.name << " (" << table_.num_rows() << " cells) ---\n"
+        << table_.to_ascii() << std::flush;
+}
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)), table_(kColumns) {}
+
+// Rows accumulate across plans (no reset in begin): a sink shared by a
+// multi-plan session keeps every plan's cells, rewriting one well-formed CSV
+// at each plan end rather than silently truncating to the last plan.
+void CsvSink::begin(const ExperimentPlan&) {}
+
+void CsvSink::cell(const CellResult& result) { table_.add_row(cell_row(result)); }
+
+void CsvSink::end(const ExperimentPlan&) {
+    std::ofstream out(path_, std::ios::trunc);
+    FARE_CHECK(out.good(), "cannot open CSV sink path: " + path_);
+    out << table_.to_csv();
+}
+
+JsonLinesSink::JsonLinesSink(std::string path) : path_(std::move(path)) {}
+
+void JsonLinesSink::begin(const ExperimentPlan& plan) {
+    const std::string path =
+        path_.empty() ? default_bench_out_path(plan.name) : path_;
+    if (out_.is_open()) out_.close();
+    // First open of a path truncates (a re-run replaces stale results);
+    // later plans hitting the same explicit path append instead of silently
+    // discarding the earlier plans' cells.
+    const bool fresh = seen_paths_.insert(path).second;
+    out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+    FARE_CHECK(out_.good(), "cannot open JSON-lines sink path: " + path);
+    plan_name_ = plan.name;
+    index_ = 0;
+}
+
+void JsonLinesSink::cell(const CellResult& result) {
+    // begin() may not have run when a sink is driven manually; open lazily.
+    if (!out_.is_open()) {
+        FARE_CHECK(!path_.empty(),
+                   "JsonLinesSink without a path needs a plan (begin())");
+        out_.open(path_, std::ios::trunc);
+        FARE_CHECK(out_.good(), "cannot open JSON-lines sink path: " + path_);
+    }
+    out_ << cell_to_json(plan_name_, index_++, result) << '\n' << std::flush;
+}
+
+std::string cell_to_json(const std::string& plan_name, std::size_t index,
+                         const CellResult& r) {
+    const CellSpec& s = r.spec;
+    std::ostringstream os;
+    os << '{' << "\"plan\":\"" << json_escape(plan_name) << "\",\"cell\":" << index
+       << ",\"workload\":\"" << json_escape(s.workload.label()) << "\""
+       << ",\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
+       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
+       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
+       << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
+       << ",\"density\":" << json_num(s.faults.density)
+       << ",\"sa1_fraction\":" << json_num(s.faults.sa1_fraction)
+       << ",\"post_total_density\":" << json_num(s.faults.post_total_density)
+       << ",\"read_noise_sigma\":" << json_num(s.faults.read_noise_sigma)
+       << ",\"seed\":" << s.seed << ",\"accuracy\":" << json_num(r.accuracy());
+    if (s.mode == CellMode::kTrain) {
+        os << ",\"macro_f1\":" << json_num(r.run.train.test_macro_f1)
+           << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
+           << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
+           << ",\"mapping_cost\":" << json_num(r.run.total_mapping_cost)
+           << ",\"bist_scans\":" << r.run.bist_scans;
+    } else {
+        os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
+           << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);
+    }
+    os << ",\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << ",\"wall_seconds\":" << json_num(r.wall_seconds) << '}';
+    return os.str();
+}
+
+std::string default_bench_out_path(const std::string& name) {
+    const char* env = std::getenv("FARE_BENCH_OUT");
+    const std::filesystem::path dir = env ? env : "bench/out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best-effort
+    return (dir / ("BENCH_" + name + ".json")).string();
+}
+
+}  // namespace fare

@@ -1,0 +1,84 @@
+// Pluggable result reporting for SimSession: benches stop hand-formatting
+// output and instead attach sinks — an aligned console table, RFC-4180 CSV,
+// or JSON lines (one object per cell) for machine-readable perf/accuracy
+// trajectories under bench/out/BENCH_<plan>.json.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <set>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/session.hpp"
+
+namespace fare {
+
+/// Observer over one plan execution. Sinks are notified in plan order after
+/// all cells complete, so implementations need no synchronisation.
+class ResultSink {
+public:
+    virtual ~ResultSink();
+    virtual void begin(const ExperimentPlan& plan);
+    virtual void cell(const CellResult& result) = 0;
+    virtual void end(const ExperimentPlan& plan);
+};
+
+/// Aligned ASCII table of the generic cell columns, printed at plan end.
+class ConsoleTableSink final : public ResultSink {
+public:
+    explicit ConsoleTableSink(std::ostream& os);
+    void begin(const ExperimentPlan& plan) override;
+    void cell(const CellResult& result) override;
+    void end(const ExperimentPlan& plan) override;
+
+private:
+    std::ostream& os_;
+    Table table_;
+};
+
+/// RFC-4180 CSV with one row per cell. Rows accumulate across every plan
+/// the owning session runs; the file is rewritten in full at each plan end.
+class CsvSink final : public ResultSink {
+public:
+    explicit CsvSink(std::string path);
+    void begin(const ExperimentPlan& plan) override;
+    void cell(const CellResult& result) override;
+    void end(const ExperimentPlan& plan) override;
+
+private:
+    std::string path_;
+    Table table_;
+};
+
+/// JSON lines: one self-describing object per cell, appended as cells are
+/// reported. A path is truncated the first time this sink opens it (so a
+/// re-run replaces stale results) and appended to by any later plan that
+/// resolves to the same file.
+class JsonLinesSink final : public ResultSink {
+public:
+    /// Writes to `path`; an empty path derives
+    /// $FARE_BENCH_OUT/BENCH_<plan-name>.json per plan at begin() — use this
+    /// when one session runs several named plans.
+    explicit JsonLinesSink(std::string path = {});
+    void begin(const ExperimentPlan& plan) override;
+    void cell(const CellResult& result) override;
+
+private:
+    std::string path_;
+    std::string plan_name_;
+    std::set<std::string> seen_paths_;  // truncate first open, append after
+    std::ofstream out_;
+    std::size_t index_ = 0;
+};
+
+/// Canonical output path for a bench's machine-readable results:
+/// $FARE_BENCH_OUT/BENCH_<name>.json (default bench/out/), with the
+/// directory created on demand.
+std::string default_bench_out_path(const std::string& name);
+
+/// One cell as a single-line JSON object (exposed for tests).
+std::string cell_to_json(const std::string& plan_name, std::size_t index,
+                         const CellResult& result);
+
+}  // namespace fare

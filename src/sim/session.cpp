@@ -1,0 +1,156 @@
+#include "sim/session.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/stopwatch.hpp"
+#include "sim/result_sink.hpp"
+
+namespace fare {
+
+double CellResult::accuracy() const {
+    return spec.mode == CellMode::kDeploy ? deployment.deployed_accuracy
+                                          : run.train.test_accuracy;
+}
+
+const CellResult& ResultSet::at(const WorkloadSpec& workload, Scheme scheme,
+                                double density, double sa1_fraction,
+                                std::optional<CellMode> mode) const {
+    for (const CellResult& cell : cells) {
+        if (cell.spec.workload.dataset != workload.dataset ||
+            cell.spec.workload.kind != workload.kind)
+            continue;
+        if (cell.spec.scheme != scheme) continue;
+        if (density >= 0.0 && cell.spec.faults.density != density) continue;
+        if (sa1_fraction >= 0.0 && cell.spec.faults.sa1_fraction != sa1_fraction)
+            continue;
+        if (mode && cell.spec.mode != *mode) continue;
+        return cell;
+    }
+    throw InvalidArgument("no cell for " + workload.label() + " / " +
+                          scheme_name(scheme));
+}
+
+double ResultSet::accuracy(const WorkloadSpec& workload, Scheme scheme,
+                           double density, double sa1_fraction,
+                           std::optional<CellMode> mode) const {
+    return at(workload, scheme, density, sa1_fraction, mode).accuracy();
+}
+
+CellResult run_cell(const CellSpec& spec) {
+    CellResult result;
+    result.spec = spec;
+    Stopwatch watch;
+    const Dataset dataset = spec.workload.make_dataset(spec.seed);
+    const TrainConfig tc = spec.train_config();
+    const std::uint64_t hw_seed = spec.hardware_seed.value_or(spec.seed);
+    if (spec.mode == CellMode::kDeploy) {
+        result.deployment = run_deployment(dataset, tc, spec.scheme, spec.faults,
+                                           spec.hardware, hw_seed);
+    } else {
+        result.run = run_scheme(dataset, spec.scheme, tc, spec.faults,
+                                spec.hardware, hw_seed);
+    }
+    result.wall_seconds = watch.elapsed_ms() / 1e3;
+    return result;
+}
+
+SimSession::SimSession(SessionOptions options) : options_(options) {}
+
+SimSession::~SimSession() = default;
+
+ResultSink& SimSession::add_sink(std::unique_ptr<ResultSink> sink) {
+    FARE_CHECK(sink != nullptr, "null ResultSink");
+    sinks_.push_back(std::move(sink));
+    return *sinks_.back();
+}
+
+std::size_t SimSession::threads() const { return resolve_threads(options_.threads); }
+
+ResultSet SimSession::run(const ExperimentPlan& plan) {
+    if (!options_.memoize) {
+        // No dedup at all: every listed cell executes, repeats included.
+        ResultSet results;
+        results.cells.resize(plan.cells.size());
+        std::mutex progress_mutex;
+        parallel_for_each(options_.threads, plan.cells.size(), [&](std::size_t i) {
+            results.cells[i] = run_cell(plan.cells[i]);
+            if (options_.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                (*options_.progress) << '.' << std::flush;
+            }
+        });
+        finish_run(plan, results, !plan.cells.empty());
+        return results;
+    }
+
+    // Partition the plan into cells already cached and cells to execute,
+    // deduplicating equal keys so each distinct cell runs exactly once.
+    std::vector<std::string> keys;
+    keys.reserve(plan.cells.size());
+    for (const CellSpec& cell : plan.cells) keys.push_back(cell.key());
+
+    std::unordered_map<std::string, std::size_t> job_of_key;
+    std::vector<const CellSpec*> jobs;
+    std::vector<std::string> job_keys;
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+        if (cache_.count(keys[i])) continue;
+        if (job_of_key.emplace(keys[i], jobs.size()).second) {
+            jobs.push_back(&plan.cells[i]);
+            job_keys.push_back(keys[i]);
+        }
+    }
+
+    // Execute unique cells on the pool; slots are pre-sized so workers never
+    // contend on the output container.
+    std::vector<CellResult> executed(jobs.size());
+    std::mutex progress_mutex;
+    parallel_for_each(options_.threads, jobs.size(), [&](std::size_t j) {
+        executed[j] = run_cell(*jobs[j]);
+        if (options_.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            (*options_.progress) << '.' << std::flush;
+        }
+    });
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        cache_.emplace(std::move(job_keys[j]), std::move(executed[j]));
+
+    // Assemble plan-ordered results. A cell is reported from_cache when its
+    // key was served by a previous run() or an earlier duplicate in this
+    // plan; its spec keeps the requested coordinates (the cached run is
+    // behaviourally identical by construction of key()).
+    ResultSet results;
+    results.cells.reserve(plan.cells.size());
+    std::unordered_map<std::string, bool> seen_in_plan;
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+        const auto it = cache_.find(keys[i]);
+        FARE_ASSERT(it != cache_.end());
+        CellResult cell = it->second;
+        cell.spec = plan.cells[i];
+        const bool executed_here =
+            job_of_key.count(keys[i]) && !seen_in_plan.count(keys[i]);
+        cell.from_cache = !executed_here;
+        if (cell.from_cache) {
+            cell.wall_seconds = 0.0;
+            ++cache_hits_;
+        }
+        seen_in_plan.emplace(keys[i], true);
+        results.cells.push_back(std::move(cell));
+    }
+
+    finish_run(plan, results, !jobs.empty());
+    return results;
+}
+
+void SimSession::finish_run(const ExperimentPlan& plan, const ResultSet& results,
+                            bool printed_progress) {
+    if (options_.progress && printed_progress) (*options_.progress) << '\n';
+    for (const auto& sink : sinks_) sink->begin(plan);
+    for (const CellResult& cell : results.cells)
+        for (const auto& sink : sinks_) sink->cell(cell);
+    for (const auto& sink : sinks_) sink->end(plan);
+}
+
+}  // namespace fare

@@ -1,0 +1,112 @@
+// SimSession: executes an ExperimentPlan on a worker pool with per-cell
+// deterministic seeding and cross-plan memoization, and streams results to
+// pluggable ResultSinks (console table / CSV / JSON lines).
+//
+// Guarantees:
+//   * results are returned (and reported to sinks) in plan order, regardless
+//     of which worker finished which cell first;
+//   * every cell is a pure function of its CellSpec, so a parallel run is
+//     bit-identical to a serial run of the same plan;
+//   * cells with equal canonical keys execute once — e.g. the fault-free
+//     reference listed in every density row, or a plan re-run in the same
+//     session (the cache persists across run() calls).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fare/fare_trainer.hpp"
+#include "sim/plan.hpp"
+
+namespace fare {
+
+class ResultSink;
+
+/// Outcome of one executed (or cache-served) cell.
+struct CellResult {
+    CellSpec spec;
+    SchemeRunResult run;          ///< CellMode::kTrain metrics
+    DeploymentResult deployment;  ///< CellMode::kDeploy metrics
+    bool from_cache = false;      ///< served from the session memo
+    double wall_seconds = 0.0;    ///< execution time (0 when from_cache)
+
+    /// Headline number regardless of mode: test accuracy on the chip.
+    double accuracy() const;
+};
+
+/// Plan-ordered results with coordinate lookup for pivot-table assembly.
+class ResultSet {
+public:
+    std::vector<CellResult> cells;
+
+    /// First cell matching the coordinates; negative density / SA1 match any
+    /// and an unset mode matches any mode. Throws InvalidArgument when no
+    /// cell matches.
+    const CellResult& at(const WorkloadSpec& workload, Scheme scheme,
+                         double density = -1.0, double sa1_fraction = -1.0,
+                         std::optional<CellMode> mode = std::nullopt) const;
+    /// Shorthand for at(...).accuracy().
+    double accuracy(const WorkloadSpec& workload, Scheme scheme,
+                    double density = -1.0, double sa1_fraction = -1.0,
+                    std::optional<CellMode> mode = std::nullopt) const;
+
+    std::size_t size() const { return cells.size(); }
+    auto begin() const { return cells.begin(); }
+    auto end() const { return cells.end(); }
+};
+
+/// Execute one cell synchronously, bypassing any session machinery. The
+/// deprecated free-function wrappers and the session workers both land here.
+CellResult run_cell(const CellSpec& spec);
+
+struct SessionOptions {
+    /// Worker threads; 0 = auto (FARE_THREADS env, else hardware
+    /// concurrency). 1 forces serial execution.
+    std::size_t threads = 0;
+    /// Serve repeated cell keys from the in-session cache.
+    bool memoize = true;
+    /// If set, one progress dot is printed per completed cell.
+    std::ostream* progress = nullptr;
+};
+
+class SimSession {
+public:
+    explicit SimSession(SessionOptions options = {});
+    ~SimSession();
+
+    SimSession(const SimSession&) = delete;
+    SimSession& operator=(const SimSession&) = delete;
+
+    /// Attach a sink; the session owns it. Sinks observe every subsequent
+    /// run() in plan order. Returns a reference for further configuration.
+    ResultSink& add_sink(std::unique_ptr<ResultSink> sink);
+
+    /// Execute the plan: unique cell keys fan out across the worker pool,
+    /// duplicates and cross-run repeats are served from the cache.
+    ResultSet run(const ExperimentPlan& plan);
+
+    /// Resolved worker count used by run().
+    std::size_t threads() const;
+
+    /// Cumulative cells served from cache across all run() calls.
+    std::size_t cache_hits() const { return cache_hits_; }
+    /// Distinct cell keys executed so far.
+    std::size_t cache_entries() const { return cache_.size(); }
+
+private:
+    /// Close out a run: progress newline + plan-ordered sink notification.
+    void finish_run(const ExperimentPlan& plan, const ResultSet& results,
+                    bool printed_progress);
+
+    SessionOptions options_;
+    std::vector<std::unique_ptr<ResultSink>> sinks_;
+    std::unordered_map<std::string, CellResult> cache_;
+    std::size_t cache_hits_ = 0;
+};
+
+}  // namespace fare

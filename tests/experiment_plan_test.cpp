@@ -1,0 +1,228 @@
+// Unit tests for the declarative experiment API: FaultScenario lowering,
+// SweepBuilder cross-product enumeration and ordering, per-cell seed
+// derivation, and the canonical memoization key.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/plan.hpp"
+
+namespace fare {
+namespace {
+
+TEST(FaultScenarioTest, BuildersComposeAndValidate) {
+    FaultScenario s = FaultScenario::pre_deployment(0.05, 0.5);
+    EXPECT_DOUBLE_EQ(s.density, 0.05);
+    EXPECT_DOUBLE_EQ(s.sa1_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(s.post_sa1_fraction, 0.5);  // mirrors pre by default
+    EXPECT_FALSE(s.fault_free());
+
+    s.with_post_deployment(0.01, 0.9).with_read_noise(0.02);
+    EXPECT_DOUBLE_EQ(s.post_total_density, 0.01);
+    EXPECT_DOUBLE_EQ(s.post_sa1_fraction, 0.9);
+    EXPECT_DOUBLE_EQ(s.read_noise_sigma, 0.02);
+
+    EXPECT_TRUE(FaultScenario::none().fault_free());
+    EXPECT_THROW(FaultScenario::pre_deployment(1.5, 0.1), InvalidArgument);
+    EXPECT_THROW(FaultScenario::pre_deployment(0.05, -0.1), InvalidArgument);
+    EXPECT_THROW(FaultScenario::none().with_read_noise(-1.0), InvalidArgument);
+}
+
+TEST(FaultScenarioTest, KeyNormalizesInertFields) {
+    // No injected density: the SA1 ratio and clustering are unused.
+    FaultScenario a = FaultScenario::pre_deployment(0.0, 0.1);
+    FaultScenario b = FaultScenario::pre_deployment(0.0, 0.9);
+    b.cluster_shape = 4.0;
+    EXPECT_EQ(a.key(), b.key());
+
+    // No wear stream: its ratio/schedule are unused.
+    FaultScenario c = FaultScenario::pre_deployment(0.03, 0.5);
+    FaultScenario d = c;
+    d.post_sa1_fraction = 0.9;
+    d.post_epochs = 7;
+    EXPECT_EQ(c.key(), d.key());
+    d.with_post_deployment(0.01, 0.9);  // live wear stream: fields count
+    EXPECT_NE(c.key(), d.key());
+}
+
+TEST(FaultScenarioTest, PhaseRestriction) {
+    FaultScenario w = FaultScenario::pre_deployment(0.05, 0.0);
+    w.on_weights_only();
+    EXPECT_TRUE(w.faults_on_weights);
+    EXPECT_FALSE(w.faults_on_adjacency);
+    FaultScenario a = FaultScenario::pre_deployment(0.05, 0.0);
+    a.on_adjacency_only();
+    EXPECT_FALSE(a.faults_on_weights);
+    EXPECT_TRUE(a.faults_on_adjacency);
+    EXPECT_NE(w.key(), a.key());
+}
+
+TEST(FaultScenarioTest, LoweringMatchesFields) {
+    FaultScenario s = FaultScenario::pre_deployment(0.03, 0.5);
+    s.with_post_deployment(0.01);
+    s.cluster_shape = 2.0;
+    HardwareOverrides hw;
+    hw.num_tiles = 2;
+    hw.match_weights = {1.0, 1.0};
+    const FaultyHardwareConfig cfg = to_hardware_config(s, hw, 7, 40);
+    EXPECT_EQ(cfg.accelerator.num_tiles, 2);
+    EXPECT_DOUBLE_EQ(cfg.injection.density, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.injection.sa1_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.injection.cluster_shape, 2.0);
+    EXPECT_EQ(cfg.injection.seed, 7u);
+    EXPECT_DOUBLE_EQ(cfg.post_total_density, 0.01);
+    EXPECT_DOUBLE_EQ(cfg.post_sa1_fraction, 0.5);
+    EXPECT_EQ(cfg.post_epochs, 40u);  // unpinned: spreads over training
+    EXPECT_DOUBLE_EQ(cfg.match_weights.sa1, 1.0);
+
+    s.post_epochs = 10;  // pinned schedule wins over the training length
+    EXPECT_EQ(to_hardware_config(s, hw, 7, 40).post_epochs, 10u);
+}
+
+TEST(SweepBuilderTest, CrossProductEnumeration) {
+    const ExperimentPlan plan = SweepBuilder("grid")
+                                    .workloads(fig6_workloads())
+                                    .densities({0.01, 0.03})
+                                    .sa1_fractions({0.1, 0.5})
+                                    .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+                                    .seeds({1, 2, 3})
+                                    .build();
+    EXPECT_EQ(plan.size(), 3u * 2 * 2 * 2 * 3);
+
+    // Deterministic order: workload-major, then density, sa1, scheme, seed.
+    EXPECT_EQ(plan.cells[0].workload.label(), "PPI (GAT)");
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.density, 0.01);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.sa1_fraction, 0.1);
+    EXPECT_EQ(plan.cells[0].scheme, Scheme::kFaultUnaware);
+    EXPECT_EQ(plan.cells[0].seed, 1u);
+    EXPECT_EQ(plan.cells[1].seed, 2u);                       // seed fastest
+    EXPECT_EQ(plan.cells[3].scheme, Scheme::kFARe);          // then scheme
+    EXPECT_DOUBLE_EQ(plan.cells[6].faults.sa1_fraction, 0.5);  // then sa1
+    EXPECT_DOUBLE_EQ(plan.cells[12].faults.density, 0.03);     // then density
+    EXPECT_EQ(plan.cells[24].workload.label(), "Reddit (GCN)");
+
+    // The SA1 axis mirrors into the wear stream by default.
+    EXPECT_DOUBLE_EQ(plan.cells[6].faults.post_sa1_fraction, 0.5);
+}
+
+TEST(SweepBuilderTest, PinnedPostSa1SurvivesTheAxis) {
+    // An explicitly pinned wear-stream ratio must not be overwritten by the
+    // SA1 axis — even when the pin equals the template's pre-deployment
+    // ratio.
+    FaultScenario pinned = FaultScenario::pre_deployment(0.05, 0.5);
+    pinned.with_post_deployment(0.01, /*sa1=*/0.5);
+    const ExperimentPlan plan = SweepBuilder("pinned")
+                                    .workload(find_workload("PPI", GnnKind::kGCN))
+                                    .scenario(pinned)
+                                    .sa1_fractions({0.1, 0.5})
+                                    .scheme(Scheme::kFARe)
+                                    .build();
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.sa1_fraction, 0.1);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.post_sa1_fraction, 0.5);  // pinned
+    EXPECT_DOUBLE_EQ(plan.cells[1].faults.post_sa1_fraction, 0.5);
+}
+
+TEST(SweepBuilderTest, RejectsOutOfRangeAxisValues) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    EXPECT_THROW(
+        SweepBuilder("typo").workload(w).densities({0.03, 3.0}).build(),
+        InvalidArgument);
+    EXPECT_THROW(
+        SweepBuilder("typo").workload(w).sa1_fractions({-0.1}).build(),
+        InvalidArgument);
+}
+
+TEST(SweepBuilderTest, DefaultsAndTemplate) {
+    FaultScenario wear;
+    wear.with_post_deployment(0.01);
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const ExperimentPlan plan =
+        SweepBuilder("tiny").workload(w).scenario(wear).build();
+    ASSERT_EQ(plan.size(), 1u);  // unset axes collapse to the template value
+    EXPECT_EQ(plan.cells[0].scheme, Scheme::kFaultFree);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.post_total_density, 0.01);
+    EXPECT_THROW(SweepBuilder("empty").build(), InvalidArgument);
+}
+
+TEST(SweepBuilderTest, DerivedSeedsAreStableAndDistinct) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const auto build = [&] {
+        return SweepBuilder("seeds")
+            .workload(w)
+            .densities({0.01, 0.03})
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .seed(99)
+            .seed_policy(SeedPolicy::kDerived)
+            .build();
+    };
+    const ExperimentPlan a = build();
+    const ExperimentPlan b = build();
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.cells[i].seed, b.cells[i].seed);  // reproducible
+        seeds.insert(a.cells[i].seed);
+    }
+    EXPECT_EQ(seeds.size(), a.size());  // decorrelated per cell
+}
+
+TEST(CellSpecTest, KeyNormalizesFaultFree) {
+    CellSpec a;
+    a.workload = find_workload("PPI", GnnKind::kGCN);
+    a.scheme = Scheme::kFaultFree;
+    a.faults = FaultScenario::pre_deployment(0.01, 0.1);
+    CellSpec b = a;
+    b.faults = FaultScenario::pre_deployment(0.05, 0.5);
+    b.hardware.match_weights = {1.0, 1.0};
+    // Ideal hardware ignores the scenario/chip: one cached reference.
+    EXPECT_EQ(a.key(), b.key());
+
+    b.scheme = Scheme::kFARe;
+    EXPECT_NE(a.key(), b.key());
+    CellSpec c = b;
+    c.faults.density = 0.03;
+    EXPECT_NE(b.key(), c.key());  // faulty cells keep their coordinates
+    c = b;
+    c.seed = 2;
+    EXPECT_NE(b.key(), c.key());  // seed always matters (dataset instance)
+    c = b;
+    c.record_curve = true;
+    EXPECT_NE(b.key(), c.key());  // result payload differs
+    c = b;
+    c.epochs = 7;
+    EXPECT_NE(b.key(), c.key());
+    c = b;
+    c.mode = CellMode::kDeploy;
+    EXPECT_NE(b.key(), c.key());
+    c = b;
+    c.hardware_seed = 9;  // distinct fault map, same dataset
+    EXPECT_NE(b.key(), c.key());
+    c = b;
+    c.hardware_seed = b.seed;  // explicit but equal to the default resolution
+    EXPECT_EQ(b.key(), c.key());
+}
+
+TEST(CellSpecTest, TrainConfigAppliesOverrides) {
+    CellSpec spec;
+    spec.workload = find_workload("Reddit", GnnKind::kGCN);
+    spec.seed = 5;
+    spec.record_curve = true;
+    spec.epochs = 3;
+    const TrainConfig tc = spec.train_config();
+    EXPECT_EQ(tc.seed, 5u);
+    EXPECT_TRUE(tc.record_curve);
+    EXPECT_EQ(tc.epochs, 3u);
+    EXPECT_EQ(tc.kind, GnnKind::kGCN);
+}
+
+TEST(CellSpecTest, LabelReadable) {
+    CellSpec spec;
+    spec.workload = find_workload("Reddit", GnnKind::kGCN);
+    spec.scheme = Scheme::kFARe;
+    spec.faults = FaultScenario::pre_deployment(0.03, 0.5);
+    EXPECT_EQ(spec.label(), "Reddit (GCN) / FARe / d=3% sa1=50% / seed 1");
+}
+
+}  // namespace
+}  // namespace fare

@@ -156,28 +156,27 @@ TEST(RedundantColsTest, RepairsReduceCorruptionDeterministically) {
 }
 
 TEST(ReadNoiseTest, MildNoiseTolerated) {
+    // Declarative scenario overloads: same chip, with and without the
+    // read-noise non-ideality stacked on 1% SAFs.
     const Dataset ds = tiny_dataset(5);
     const TrainConfig tc = tiny_config();
-    FaultyHardwareConfig hw;
-    hw.accelerator.num_tiles = 1;
-    hw.injection.density = 0.01;
-    hw.injection.seed = 5;
-    hw.read_noise_sigma = 0.02;
-    const auto noisy = run_scheme(ds, Scheme::kFARe, tc, hw);
-    hw.read_noise_sigma = 0.0;
-    const auto clean = run_scheme(ds, Scheme::kFARe, tc, hw);
+    const FaultScenario base = FaultScenario::pre_deployment(0.01, 0.1);
+    FaultScenario noisy_chip = base;
+    noisy_chip.with_read_noise(0.02);
+    const auto noisy =
+        run_scheme(ds, Scheme::kFARe, tc, noisy_chip, HardwareOverrides{}, 5);
+    const auto clean =
+        run_scheme(ds, Scheme::kFARe, tc, base, HardwareOverrides{}, 5);
     EXPECT_GT(noisy.train.test_accuracy, clean.train.test_accuracy - 0.15);
 }
 
 TEST(ReadNoiseTest, ExtremeNoiseDestroysTraining) {
     const Dataset ds = tiny_dataset(7);
     const TrainConfig tc = tiny_config();
-    FaultyHardwareConfig hw;
-    hw.accelerator.num_tiles = 1;
-    hw.injection.density = 0.0;
-    hw.injection.seed = 5;
-    hw.read_noise_sigma = 3.0;  // 300% multiplicative noise
-    const auto noisy = run_scheme(ds, Scheme::kFaultUnaware, tc, hw);
+    const FaultScenario scorched =
+        FaultScenario::pre_deployment(0.0, 0.1).with_read_noise(3.0);  // 300%
+    const auto noisy = run_scheme(ds, Scheme::kFaultUnaware, tc, scorched,
+                                  HardwareOverrides{}, 5);
     const auto clean = run_fault_free(ds, tc);
     EXPECT_LT(noisy.train.test_accuracy, clean.train.test_accuracy - 0.1);
 }
@@ -203,13 +202,11 @@ TEST(DeploymentTest, ImportValidatesShapes) {
 TEST(DeploymentTest, FareBeatsUnawareAtInference) {
     const Dataset ds = tiny_dataset(11);
     const TrainConfig tc = tiny_config();
-    FaultyHardwareConfig hw;
-    hw.accelerator.num_tiles = 1;
-    hw.injection.density = 0.05;
-    hw.injection.sa1_fraction = 0.5;
-    hw.injection.seed = 13;
-    const auto naive = run_deployment(ds, tc, Scheme::kFaultUnaware, hw);
-    const auto fare = run_deployment(ds, tc, Scheme::kFARe, hw);
+    const FaultScenario chip = FaultScenario::pre_deployment(0.05, 0.5);
+    const auto naive = run_deployment(ds, tc, Scheme::kFaultUnaware, chip,
+                                      HardwareOverrides{}, 13);
+    const auto fare =
+        run_deployment(ds, tc, Scheme::kFARe, chip, HardwareOverrides{}, 13);
     EXPECT_DOUBLE_EQ(naive.trained_accuracy, fare.trained_accuracy);
     EXPECT_GT(fare.deployed_accuracy, naive.deployed_accuracy);
 }

@@ -1,60 +1,95 @@
 // End-to-end integration: the paper's central claims, each as a test.
 // These train real (small) GNNs on the simulated faulty accelerator, so they
-// are the slowest tests in the suite (~tens of seconds total).
+// are the slowest tests in the suite (~tens of seconds total). All cells run
+// through one shared SimSession, so repeated references (the fault-free run
+// most tests compare against) are memoized across tests.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 
-#include "sim/experiment.hpp"
+#include "sim/session.hpp"
 
 namespace fare {
 namespace {
 
 class IntegrationTest : public ::testing::Test {
 protected:
-    void SetUp() override { setenv("FARE_EPOCHS", "20", 1); }
-    void TearDown() override { unsetenv("FARE_EPOCHS"); }
+    static void SetUpTestSuite() {
+        setenv("FARE_EPOCHS", "20", 1);
+        session_ = new SimSession();
+    }
+    static void TearDownTestSuite() {
+        delete session_;
+        session_ = nullptr;
+        unsetenv("FARE_EPOCHS");
+    }
+
+    static CellSpec cell(const WorkloadSpec& w, Scheme scheme, double density,
+                         double sa1_fraction, std::uint64_t seed = 1) {
+        CellSpec spec;
+        spec.workload = w;
+        spec.scheme = scheme;
+        spec.faults = FaultScenario::pre_deployment(density, sa1_fraction);
+        spec.seed = seed;
+        return spec;
+    }
+
+    /// Run one cell through the shared (memoizing) session.
+    static CellResult run(const CellSpec& spec) {
+        ExperimentPlan plan;
+        plan.name = "integration";
+        plan.cells.push_back(spec);
+        return session_->run(plan).cells.front();
+    }
+
+    static SimSession* session_;
 };
+
+SimSession* IntegrationTest::session_ = nullptr;
 
 TEST_F(IntegrationTest, FaultFreeTrainingReachesHighAccuracy) {
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const auto r = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1);
-    EXPECT_GT(r.train.test_accuracy, 0.9);
+    const auto r = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
+    EXPECT_GT(r.accuracy(), 0.9);
 }
 
 TEST_F(IntegrationTest, FaultUnawareCollapsesAtHighDensity) {
     // Paper Fig. 5: naive mapping loses tens of accuracy points at 5%.
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const auto ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1);
-    const auto fu = run_accuracy_cell(w, Scheme::kFaultUnaware, 0.05, 0.5, 1);
-    EXPECT_LT(fu.train.test_accuracy, ff.train.test_accuracy - 0.2);
+    const auto ff = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
+    const auto fu = run(cell(w, Scheme::kFaultUnaware, 0.05, 0.5));
+    EXPECT_LT(fu.accuracy(), ff.accuracy() - 0.2);
 }
 
 TEST_F(IntegrationTest, FareRestoresAccuracyWithinTwoPercent) {
     // Paper: <1% loss at 9:1 and ~1.1% at 1:1 for 5% density. We allow 4%
     // for the short 20-epoch CI budget.
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const auto ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1);
+    const auto ff = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
     for (double sa1 : {0.1, 0.5}) {
-        const auto fare = run_accuracy_cell(w, Scheme::kFARe, 0.05, sa1, 1);
-        EXPECT_GT(fare.train.test_accuracy, ff.train.test_accuracy - 0.04)
-            << "sa1_fraction=" << sa1;
+        const auto fare = run(cell(w, Scheme::kFARe, 0.05, sa1));
+        EXPECT_GT(fare.accuracy(), ff.accuracy() - 0.04) << "sa1_fraction=" << sa1;
     }
 }
 
 TEST_F(IntegrationTest, SchemeOrderingMatchesPaperAtOneToOne) {
-    // Fig. 5(b) at 5%: unaware < NR < clipping < FARe, fault-free on top.
+    // Fig. 5(b) at 5%: unaware < NR < clipping < FARe, fault-free on top —
+    // the full scheme column as one declarative sweep.
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const double ff =
-        run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1).train.test_accuracy;
-    const double fu =
-        run_accuracy_cell(w, Scheme::kFaultUnaware, 0.05, 0.5, 1).train.test_accuracy;
-    const double nr = run_accuracy_cell(w, Scheme::kNeuronReorder, 0.05, 0.5, 1)
-                          .train.test_accuracy;
-    const double clip = run_accuracy_cell(w, Scheme::kClippingOnly, 0.05, 0.5, 1)
-                            .train.test_accuracy;
-    const double fare =
-        run_accuracy_cell(w, Scheme::kFARe, 0.05, 0.5, 1).train.test_accuracy;
+    const ExperimentPlan plan = SweepBuilder("scheme_ordering")
+                                    .workload(w)
+                                    .density(0.05)
+                                    .sa1_fraction(0.5)
+                                    .schemes(figure_schemes())
+                                    .seed(1)
+                                    .build();
+    const ResultSet results = session_->run(plan);
+    const double ff = results.accuracy(w, Scheme::kFaultFree);
+    const double fu = results.accuracy(w, Scheme::kFaultUnaware);
+    const double nr = results.accuracy(w, Scheme::kNeuronReorder);
+    const double clip = results.accuracy(w, Scheme::kClippingOnly);
+    const double fare = results.accuracy(w, Scheme::kFARe);
 
     EXPECT_LT(fu, nr);            // NR beats naive
     EXPECT_LT(nr, fare);          // but lags FARe badly
@@ -66,41 +101,40 @@ TEST_F(IntegrationTest, WeightClippingAloneHandlesWeightPhase) {
     // Isolate the combination phase (faults on weights only): clipping-only
     // should then be near fault-free — its weakness is the adjacency.
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const Dataset ds = w.make_dataset(1);
-    const TrainConfig tc = w.train_config(1);
-    const auto ff = run_fault_free(ds, tc);
-    FaultyHardwareConfig hw = default_hardware(0.05, 0.5, 1);
-    hw.faults_on_adjacency = false;
-    const auto clip = run_scheme(ds, Scheme::kClippingOnly, tc, hw);
-    EXPECT_GT(clip.train.test_accuracy, ff.train.test_accuracy - 0.03);
+    const auto ff = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
+    CellSpec weights_only = cell(w, Scheme::kClippingOnly, 0.05, 0.5);
+    weights_only.faults.on_weights_only();
+    const auto clip = run(weights_only);
+    EXPECT_GT(clip.accuracy(), ff.accuracy() - 0.03);
 }
 
 TEST_F(IntegrationTest, PostDeploymentFaultsHandled) {
     // Fig. 6 setting: 2% pre + 1% post-deployment, 1:1 ratio.
     const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
-    const auto ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1);
-    const auto fare = run_postdeploy_cell(w, Scheme::kFARe, 0.02, 0.01, 0.5, 1);
+    const auto ff = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
+    CellSpec wear = cell(w, Scheme::kFARe, 0.02, 0.5);
+    wear.faults.with_post_deployment(0.01);
+    const auto fare = run(wear);
     // Paper: max 1.9% loss for FARe with post-deployment faults. CI margin 4%.
-    EXPECT_GT(fare.train.test_accuracy, ff.train.test_accuracy - 0.04);
+    EXPECT_GT(fare.accuracy(), ff.accuracy() - 0.04);
 }
 
 TEST_F(IntegrationTest, ModelAgnosticAcrossKinds) {
     // The same FARe machinery protects GCN, GAT and SAGE (paper's
     // model-agnosticism claim), here on their Table II datasets.
     for (const auto& w : fig6_workloads()) {
-        const auto ff = run_accuracy_cell(w, Scheme::kFaultFree, 0.0, 0.0, 1);
-        const auto fare = run_accuracy_cell(w, Scheme::kFARe, 0.03, 0.1, 1);
-        EXPECT_GT(fare.train.test_accuracy, ff.train.test_accuracy - 0.04)
-            << w.label();
+        const auto ff = run(cell(w, Scheme::kFaultFree, 0.0, 0.0));
+        const auto fare = run(cell(w, Scheme::kFARe, 0.03, 0.1));
+        EXPECT_GT(fare.accuracy(), ff.accuracy() - 0.04) << w.label();
     }
 }
 
 TEST_F(IntegrationTest, MappingCostDiagnosticsExposed) {
     const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
-    const auto fare = run_accuracy_cell(w, Scheme::kFARe, 0.03, 0.5, 1);
-    const auto unaware = run_accuracy_cell(w, Scheme::kFaultUnaware, 0.03, 0.5, 1);
-    EXPECT_GT(fare.bist_scans, 0u);
-    EXPECT_LT(fare.total_mapping_cost, unaware.total_mapping_cost);
+    const auto fare = run(cell(w, Scheme::kFARe, 0.03, 0.5));
+    const auto unaware = run(cell(w, Scheme::kFaultUnaware, 0.03, 0.5));
+    EXPECT_GT(fare.run.bist_scans, 0u);
+    EXPECT_LT(fare.run.total_mapping_cost, unaware.run.total_mapping_cost);
 }
 
 }  // namespace

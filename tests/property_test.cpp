@@ -12,7 +12,7 @@
 #include "fare/mapper.hpp"
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
-#include "sim/experiment.hpp"
+#include "sim/session.hpp"
 
 namespace fare {
 namespace {
@@ -118,16 +118,19 @@ TEST(PropertyTest, MeanAggregationRowStochasticUnderCorruption) {
 /// Full pipeline determinism: identical seeds give identical accuracy for
 /// every scheme (catches hidden nondeterminism in matching / corruption).
 TEST(PropertyTest, SchemeRunsAreDeterministic) {
-    setenv("FARE_EPOCHS", "6", 1);
     const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
     for (const Scheme s : {Scheme::kFaultUnaware, Scheme::kNeuronReorder,
                            Scheme::kClippingOnly, Scheme::kFARe}) {
-        const auto a = run_accuracy_cell(w, s, 0.03, 0.5, 42);
-        const auto b = run_accuracy_cell(w, s, 0.03, 0.5, 42);
-        EXPECT_DOUBLE_EQ(a.train.test_accuracy, b.train.test_accuracy)
-            << scheme_name(s);
+        CellSpec cell;
+        cell.workload = w;
+        cell.scheme = s;
+        cell.faults = FaultScenario::pre_deployment(0.03, 0.5);
+        cell.seed = 42;
+        cell.epochs = 6;
+        const auto a = run_cell(cell);
+        const auto b = run_cell(cell);
+        EXPECT_DOUBLE_EQ(a.accuracy(), b.accuracy()) << scheme_name(s);
     }
-    unsetenv("FARE_EPOCHS");
 }
 
 /// Corrupted-then-clipped weights never exceed the clip threshold, for any

@@ -1,0 +1,228 @@
+// SimSession runner tests: parallel-vs-serial bit-identity, memoization hit
+// accounting, plan-ordered sink reporting, and equivalence of the deprecated
+// free-function wrappers with the declarative path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/experiment.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/session.hpp"
+
+namespace fare {
+namespace {
+
+/// A small but real grid: 2 schemes x 2 densities + the fault-free
+/// reference, 3 epochs each — seconds, not minutes.
+ExperimentPlan tiny_plan(const std::string& name = "tiny") {
+    ExperimentPlan plan =
+        SweepBuilder(name)
+            .workload(find_workload("PPI", GnnKind::kGCN))
+            .densities({0.01, 0.05})
+            .sa1_fraction(0.5)
+            .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kFARe})
+            .epochs(3)
+            .build();
+    return plan;
+}
+
+TEST(SimSessionTest, ParallelMatchesSerialBitForBit) {
+    SessionOptions serial_opts;
+    serial_opts.threads = 1;
+    SimSession serial(serial_opts);
+    SessionOptions parallel_opts;
+    parallel_opts.threads = 4;
+    SimSession parallel(parallel_opts);
+
+    const ResultSet a = serial.run(tiny_plan());
+    const ResultSet b = parallel.run(tiny_plan());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.cells[i].accuracy(), b.cells[i].accuracy()) << i;
+        EXPECT_DOUBLE_EQ(a.cells[i].run.train.test_macro_f1,
+                         b.cells[i].run.train.test_macro_f1)
+            << i;
+        EXPECT_DOUBLE_EQ(a.cells[i].run.total_mapping_cost,
+                         b.cells[i].run.total_mapping_cost)
+            << i;
+        EXPECT_EQ(a.cells[i].from_cache, b.cells[i].from_cache) << i;
+    }
+}
+
+TEST(SimSessionTest, MemoizationCountsAndCrossRunCache) {
+    SimSession session;
+    const ExperimentPlan plan = tiny_plan();
+    // 6 listed cells; kFaultFree appears per density but normalises to one
+    // key => 5 executions, 1 in-plan duplicate served from the memo.
+    const ResultSet first = session.run(plan);
+    EXPECT_EQ(session.cache_entries(), 5u);
+    EXPECT_EQ(session.cache_hits(), 1u);
+    EXPECT_EQ(first.cells[0].from_cache, false);   // ff @ 1% executed
+    EXPECT_EQ(first.cells[3].from_cache, true);    // ff @ 5% memoized
+    EXPECT_DOUBLE_EQ(first.cells[0].accuracy(), first.cells[3].accuracy());
+
+    // Re-running the same plan executes nothing new.
+    const ResultSet again = session.run(plan);
+    EXPECT_EQ(session.cache_entries(), 5u);
+    EXPECT_EQ(session.cache_hits(), 7u);  // 1 + all 6
+    for (const CellResult& cell : again) EXPECT_TRUE(cell.from_cache);
+    for (std::size_t i = 0; i < again.size(); ++i)
+        EXPECT_DOUBLE_EQ(first.cells[i].accuracy(), again.cells[i].accuracy());
+}
+
+TEST(SimSessionTest, MemoizationCanBeDisabled) {
+    SessionOptions opts;
+    opts.memoize = false;
+    SimSession session(opts);
+    const ResultSet results = session.run(tiny_plan());
+    EXPECT_EQ(session.cache_hits(), 0u);
+    for (const CellResult& cell : results) EXPECT_FALSE(cell.from_cache);
+}
+
+TEST(SimSessionTest, ResultSetLookup) {
+    SimSession session;
+    const ResultSet results = session.run(tiny_plan());
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const CellResult& fare = results.at(w, Scheme::kFARe, 0.05);
+    EXPECT_EQ(fare.spec.scheme, Scheme::kFARe);
+    EXPECT_DOUBLE_EQ(fare.spec.faults.density, 0.05);
+    EXPECT_GT(results.accuracy(w, Scheme::kFaultFree), 0.5);
+    EXPECT_THROW(results.at(w, Scheme::kNeuronReorder), InvalidArgument);
+    EXPECT_THROW(
+        results.at(find_workload("Reddit", GnnKind::kGCN), Scheme::kFARe),
+        InvalidArgument);
+    // Mode filter: this plan only has training cells.
+    EXPECT_NO_THROW(results.at(w, Scheme::kFARe, -1.0, -1.0, CellMode::kTrain));
+    EXPECT_THROW(results.at(w, Scheme::kFARe, -1.0, -1.0, CellMode::kDeploy),
+                 InvalidArgument);
+}
+
+TEST(SimSessionTest, SinksObserveCellsInPlanOrder) {
+    SimSession session;
+    std::ostringstream table_out;
+    session.add_sink(std::make_unique<ConsoleTableSink>(table_out));
+    const std::string csv_path = ::testing::TempDir() + "/cells.csv";
+    session.add_sink(std::make_unique<CsvSink>(csv_path));
+    const std::string json_path = ::testing::TempDir() + "/cells.json";
+    session.add_sink(std::make_unique<JsonLinesSink>(json_path));
+
+    const ExperimentPlan plan = tiny_plan("sink_plan");
+    const ResultSet results = session.run(plan);
+
+    // Console table: header + one row per cell.
+    EXPECT_NE(table_out.str().find("sink_plan"), std::string::npos);
+    EXPECT_NE(table_out.str().find("fault-unaware"), std::string::npos);
+
+    std::ifstream csv(csv_path);
+    std::string line;
+    std::size_t csv_lines = 0;
+    while (std::getline(csv, line)) ++csv_lines;
+    EXPECT_EQ(csv_lines, plan.size() + 1);  // header + cells
+
+    std::ifstream json(json_path);
+    std::size_t json_lines = 0;
+    while (std::getline(json, line)) {
+        // Plan-ordered: the cell index field counts up from 0.
+        EXPECT_NE(
+            line.find("\"cell\":" + std::to_string(json_lines)),
+            std::string::npos)
+            << line;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++json_lines;
+    }
+    EXPECT_EQ(json_lines, plan.size());
+    (void)results;
+    std::remove(csv_path.c_str());
+    std::remove(json_path.c_str());
+}
+
+TEST(SimSessionTest, ExplicitPathSinksAccumulateAcrossPlans) {
+    SimSession session;
+    const std::string csv_path = ::testing::TempDir() + "/multi.csv";
+    const std::string json_path = ::testing::TempDir() + "/multi.json";
+    session.add_sink(std::make_unique<CsvSink>(csv_path));
+    session.add_sink(std::make_unique<JsonLinesSink>(json_path));
+
+    const ExperimentPlan plan = tiny_plan("multi");
+    session.run(plan);
+    session.run(plan);  // second plan: fully cached, still reported
+
+    std::string line;
+    std::ifstream csv(csv_path);
+    std::size_t csv_lines = 0;
+    while (std::getline(csv, line)) ++csv_lines;
+    EXPECT_EQ(csv_lines, 2 * plan.size() + 1);  // one header, both plans
+
+    std::ifstream json(json_path);
+    std::size_t json_lines = 0;
+    while (std::getline(json, line)) ++json_lines;
+    EXPECT_EQ(json_lines, 2 * plan.size());
+    std::remove(csv_path.c_str());
+    std::remove(json_path.c_str());
+}
+
+TEST(SimSessionTest, JsonCellFieldsSelfDescribing) {
+    CellSpec spec;
+    spec.workload = find_workload("PPI", GnnKind::kGCN);
+    spec.scheme = Scheme::kFARe;
+    spec.faults = FaultScenario::pre_deployment(0.05, 0.5);
+    spec.epochs = 2;
+    const CellResult result = run_cell(spec);
+    const std::string json = cell_to_json("unit", 3, result);
+    EXPECT_NE(json.find("\"plan\":\"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"cell\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"dataset\":\"PPI\""), std::string::npos);
+    EXPECT_NE(json.find("\"scheme\":\"FARe\""), std::string::npos);
+    EXPECT_NE(json.find("\"density\":0.05"), std::string::npos);
+    EXPECT_NE(json.find("\"accuracy\":"), std::string::npos);
+    EXPECT_NE(json.find("\"bist_scans\":"), std::string::npos);
+}
+
+TEST(SimSessionTest, DeployModeCellsCarryDeploymentResult) {
+    CellSpec spec;
+    spec.workload = find_workload("PPI", GnnKind::kGCN);
+    spec.scheme = Scheme::kFARe;
+    spec.faults = FaultScenario::pre_deployment(0.05, 0.5);
+    spec.mode = CellMode::kDeploy;
+    spec.epochs = 3;
+    const CellResult result = run_cell(spec);
+    EXPECT_GT(result.deployment.trained_accuracy, 0.0);
+    EXPECT_GT(result.deployment.deployed_accuracy, 0.0);
+    EXPECT_DOUBLE_EQ(result.accuracy(), result.deployment.deployed_accuracy);
+    const std::string json = cell_to_json("deploy", 0, result);
+    EXPECT_NE(json.find("\"trained_accuracy\":"), std::string::npos);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SimSessionTest, DeprecatedWrappersMatchDeclarativePath) {
+    setenv("FARE_EPOCHS", "3", 1);
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const auto legacy = run_accuracy_cell(w, Scheme::kFARe, 0.05, 0.5, 1);
+
+    CellSpec spec;
+    spec.workload = w;
+    spec.scheme = Scheme::kFARe;
+    spec.faults = FaultScenario::pre_deployment(0.05, 0.5);
+    spec.seed = 1;
+    const CellResult declarative = run_cell(spec);
+    EXPECT_DOUBLE_EQ(legacy.train.test_accuracy, declarative.accuracy());
+    EXPECT_DOUBLE_EQ(legacy.total_mapping_cost,
+                     declarative.run.total_mapping_cost);
+
+    const auto post = run_postdeploy_cell(w, Scheme::kFARe, 0.02, 0.01, 0.5, 1);
+    spec.faults = FaultScenario::pre_deployment(0.02, 0.5)
+                      .with_post_deployment(0.01);
+    const CellResult post_declarative = run_cell(spec);
+    EXPECT_DOUBLE_EQ(post.train.test_accuracy, post_declarative.accuracy());
+    unsetenv("FARE_EPOCHS");
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace fare
