@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Release (-O2) micro-bench job: builds the Google-Benchmark binaries in a
+# dedicated build tree and emits ns/op JSON to bench/out/BENCH_micro_*.json —
+# the machine-readable perf trajectory CI uploads as an artifact.
+#
+# Usage: scripts/bench.sh [build-dir]
+#
+# Compare against the committed pre-PR baselines in bench/out/
+# (BENCH_micro_corruption_prepr.json): same benchmark names, so
+#   jq '
+#     .benchmarks[] | {name, real_time}
+#   ' bench/out/BENCH_micro_corruption*.json
+# lines up old vs new ns/op directly. docs/performance.md explains the
+# individual benchmarks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+OUT_DIR="bench/out"
+mkdir -p "${OUT_DIR}"
+
+cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+    --target bench_micro_corruption bench_micro_mvm bench_micro_graph
+
+for bench in bench_micro_corruption bench_micro_mvm bench_micro_graph; do
+    echo "=== ${bench} ==="
+    "${BUILD_DIR}/${bench}" \
+        --benchmark_out_format=json \
+        --benchmark_out="${OUT_DIR}/BENCH_${bench#bench_}.json"
+done
+
+echo "Results in ${OUT_DIR}/BENCH_micro_*.json"

@@ -111,3 +111,16 @@ namespace detail {
     do {                                                                   \
         if (!(expr)) ::fare::detail::assert_fail(#expr, __FILE__, __LINE__); \
     } while (false)
+
+/// Debug-only precondition for hot loops (kernel inner loops, per-weight
+/// overlay fix-ups): full FARE_CHECK in Debug builds, compiled out under
+/// NDEBUG (Release / RelWithDebInfo) so the check cost never reaches the
+/// training hot path. Use FARE_CHECK for anything reachable from user input
+/// on a cold path.
+#ifdef NDEBUG
+#define FARE_DCHECK(expr, msg) \
+    do {                       \
+    } while (false)
+#else
+#define FARE_DCHECK(expr, msg) FARE_CHECK(expr, msg)
+#endif

@@ -68,10 +68,18 @@ void FaultyHardware::refresh_weight_grids() {
         const std::size_t grid_r = (region.rows + xb_rows - 1) / xb_rows;
         region.grid = WeightFaultGrid(grid_r * xb_rows, region.cols, maps, xb_rows,
                                       xb_cols);
+        // Identity-placement overlay, recompiled only on these (rare) BIST
+        // refreshes. NR replaces it with a permuted overlay once it has seen
+        // this epoch's weights (the permutation depends on them).
+        region.overlay = CompiledFaultOverlay(region.grid, region.rows, region.cols);
     }
+    // Fault grids changed: any cached NR permutation is stale (covers both
+    // epoch-end rescans and a re-bind of the same hardware).
+    std::fill(nr_perm_fresh_.begin(), nr_perm_fresh_.end(), false);
+    ++weights_version_;
 }
 
-std::vector<FaultMap> FaultyHardware::adjacency_pool_maps() const {
+std::vector<FaultMap> FaultyHardware::build_adjacency_pool_maps() const {
     std::vector<FaultMap> maps;
     maps.reserve(adj_range_.count);
     for (std::size_t i = 0; i < adj_range_.count; ++i) {
@@ -106,22 +114,23 @@ void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
     mapper_.set_max_crossbar_candidates(
         std::max<std::size_t>(2 * max_blocks, max_blocks + 4));
 
-    const auto maps = adjacency_pool_maps();
+    adj_maps_ = build_adjacency_pool_maps();
     mappings_.clear();
     mappings_.reserve(batch_adjacency.size());
     for (const auto& adj : batch_adjacency) {
         switch (scheme_) {
             case Scheme::kFARe:
-                mappings_.push_back(mapper_.map_batch(adj, maps));
+                mappings_.push_back(mapper_.map_batch(adj, adj_maps_));
                 break;
             case Scheme::kNeuronReorder:
-                mappings_.push_back(mapper_.map_row_reorder(adj, maps));
+                mappings_.push_back(mapper_.map_row_reorder(adj, adj_maps_));
                 break;
             default:
-                mappings_.push_back(mapper_.map_identity(adj, maps));
+                mappings_.push_back(mapper_.map_identity(adj, adj_maps_));
                 break;
         }
     }
+    ++adjacency_version_;
 }
 
 Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
@@ -133,15 +142,22 @@ Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
         out = quantize_dequantize(w);
         if (clip) clipper_.clip_in_place(out);
     } else {
-        const auto& region = params_[idx];
+        auto& region = params_[idx];
         const std::optional<float> threshold =
             clip ? std::optional<float>(clipper_.threshold()) : std::nullopt;
         if (scheme_ == Scheme::kNeuronReorder) {
-            const auto perm = nr_weight_permutation(idx, w);
-            out = corrupt_weights_permuted(w, region.grid, perm, threshold);
-        } else {
-            out = corrupt_weights(w, region.grid, threshold);
+            // The permutation (and therefore the compiled overlay) is stale
+            // after every BIST refresh; both are rebuilt from this epoch's
+            // weights on the first read-out, then applied per batch.
+            const bool stale = nr_perm_fresh_.size() <= idx ||
+                               !nr_perm_fresh_[idx] || !region.overlay.compiled();
+            if (stale) {
+                const auto perm = nr_weight_permutation(idx, w);
+                region.overlay =
+                    CompiledFaultOverlay(region.grid, w.rows(), w.cols(), perm);
+            }
         }
+        out = region.overlay.apply(w, threshold);
     }
     if (config_.read_noise_sigma > 0.0) {
         // Cycle-to-cycle conductance variation: multiplicative Gaussian
@@ -151,6 +167,14 @@ Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
                                            noise_rng_.next_gaussian());
     }
     return out;
+}
+
+std::uint64_t FaultyHardware::weights_state_version() const {
+    // Read noise makes every read-out unique: hand out a fresh stamp per
+    // query so the trainer never reuses a cached corruption pass (this also
+    // keeps the noise RNG stream identical to the uncached implementation).
+    if (config_.read_noise_sigma > 0.0) return next_fresh_stamp();
+    return weights_version_;
 }
 
 std::vector<std::uint16_t> FaultyHardware::nr_weight_permutation(std::size_t idx,
@@ -214,7 +238,7 @@ BitMatrix FaultyHardware::effective_adjacency(std::size_t batch_idx,
                                               const BitMatrix& ideal) {
     if (!config_.faults_on_adjacency) return ideal;
     FARE_CHECK(batch_idx < mappings_.size(), "unknown batch index");
-    return mapper_.apply(ideal, mappings_[batch_idx], adjacency_pool_maps());
+    return mapper_.apply(ideal, mappings_[batch_idx], adj_maps_);
 }
 
 void FaultyHardware::on_epoch_end(std::size_t epoch) {
@@ -225,22 +249,22 @@ void FaultyHardware::on_epoch_end(std::size_t epoch) {
     accelerator_.inject_post_deployment_faults(per_epoch, config_.post_sa1_fraction,
                                                wear_rng_);
     // BIST refresh of the regions in use (the paper re-enables BIST at every
-    // epoch boundary, ~0.13% time overhead).
+    // epoch boundary, ~0.13% time overhead); it also invalidates the cached
+    // NR reorder, so the next batch recomputes it.
     refresh_weight_grids();
-    // Fault maps changed: next batch recomputes the NR reorder.
-    std::fill(nr_perm_fresh_.begin(), nr_perm_fresh_.end(), false);
+    adj_maps_ = build_adjacency_pool_maps();
     if (scheme_ == Scheme::kFARe) {
         // Row-only re-permutation on top of the standing assignment Pi.
-        const auto maps = adjacency_pool_maps();
         for (std::size_t b = 0; b < mappings_.size(); ++b)
-            mapper_.repermute(mappings_[b], batch_bits_[b], maps);
+            mapper_.repermute(mappings_[b], batch_bits_[b], adj_maps_);
     } else if (scheme_ == Scheme::kNeuronReorder) {
-        const auto maps = adjacency_pool_maps();
         for (std::size_t b = 0; b < mappings_.size(); ++b) {
-            AdjacencyMapping remapped = mapper_.map_row_reorder(batch_bits_[b], maps);
+            AdjacencyMapping remapped =
+                mapper_.map_row_reorder(batch_bits_[b], adj_maps_);
             mappings_[b] = std::move(remapped);
         }
     }
+    ++adjacency_version_;
 }
 
 double FaultyHardware::total_mapping_cost() const {

@@ -25,6 +25,7 @@
 #include "fare/weight_clipper.hpp"
 #include "gnn/hardware_model.hpp"
 #include "reram/accelerator.hpp"
+#include "reram/compiled_overlay.hpp"
 #include "reram/corruption.hpp"
 #include "reram/timing_model.hpp"
 
@@ -69,6 +70,9 @@ struct FaultyHardwareConfig {
 class IdealQuantizedHardware final : public HardwareModel {
 public:
     Matrix effective_weights(std::size_t idx, const Matrix& w) override;
+    /// Deterministic and stateless: opt in to trainer-side caching.
+    std::uint64_t weights_state_version() const override { return 0; }
+    std::uint64_t adjacency_state_version() const override { return 0; }
 };
 
 /// Shared faulty-hardware implementation, specialised by Scheme.
@@ -82,6 +86,8 @@ public:
     BitMatrix effective_adjacency(std::size_t batch_idx,
                                   const BitMatrix& ideal) override;
     void on_epoch_end(std::size_t epoch) override;
+    std::uint64_t weights_state_version() const override;
+    std::uint64_t adjacency_state_version() const override { return adjacency_version_; }
 
     // Introspection (tests, examples, benches).
     Scheme scheme() const { return scheme_; }
@@ -91,8 +97,14 @@ public:
     double total_mapping_cost() const;
 
 private:
+    /// Rescan the weight regions (BIST), rebuild their fault grids and
+    /// recompile the per-region fault overlays. Bumps the weights version:
+    /// anything cached off effective_weights() must recompute.
     void refresh_weight_grids();
-    std::vector<FaultMap> adjacency_pool_maps() const;
+    /// Rebuild the cached adjacency-pool fault maps (BIST image of the pool).
+    /// Called only when the pool's faults may have changed; every per-batch
+    /// consumer reads the cache instead of re-copying ~pool-size maps.
+    std::vector<FaultMap> build_adjacency_pool_maps() const;
     /// NR: bit-level row mismatch matching at neuron granularity.
     /// The permutation is refreshed once per epoch (after the BIST rescan),
     /// not per batch: recomputing on every batch's drifted weights makes the
@@ -116,6 +128,9 @@ private:
         CrossbarRange range;
         std::size_t rows = 0, cols = 0;
         WeightFaultGrid grid;
+        /// Fault grid folded into branchless per-weight masks; recompiled on
+        /// BIST rescan (all schemes) and NR re-permutation, applied per batch.
+        CompiledFaultOverlay overlay;
     };
     std::vector<ParamRegion> params_;
     std::vector<std::vector<std::uint16_t>> nr_perm_;  // per-param cache
@@ -123,7 +138,10 @@ private:
     CrossbarRange adj_range_{};
     std::vector<AdjacencyMapping> mappings_;  // one per batch
     std::vector<BitMatrix> batch_bits_;       // ideal bits (for repermute)
+    std::vector<FaultMap> adj_maps_;          // cached pool BIST image
     std::size_t bist_scans_ = 0;
+    std::uint64_t weights_version_ = 0;    // bumped by refresh_weight_grids
+    std::uint64_t adjacency_version_ = 0;  // bumped on preprocess/wear events
 };
 
 /// Factory covering all five schemes; kFaultFree returns the quantised-ideal

@@ -1,28 +1,34 @@
 #include "gnn/batch_view.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace fare {
+
+namespace {
+
+/// Rows per parallel chunk of the aggregation loops.
+constexpr std::size_t kRowChunk = 64;
+
+}  // namespace
 
 BatchGraphView BatchGraphView::from_bits(const BitMatrix& adj) {
     FARE_CHECK(adj.rows == adj.cols, "adjacency must be square");
     BatchGraphView v;
     v.n_ = adj.rows;
     v.offsets_.assign(v.n_ + 1, 0);
+    // Single pass over the dense bits: emit columns as they are seen and
+    // close each row's offset from the running total.
+    v.cols_.reserve(v.n_ * 2);
     for (std::size_t r = 0; r < v.n_; ++r) {
-        std::size_t count = 0;
+        const std::uint8_t* row = adj.bits.data() + r * v.n_;
         for (std::size_t c = 0; c < v.n_; ++c)
-            if (adj.at(r, c) != 0 || c == r) ++count;
-        v.offsets_[r + 1] = v.offsets_[r] + count;
+            if (row[c] != 0 || c == r) v.cols_.push_back(static_cast<std::uint32_t>(c));
+        v.offsets_[r + 1] = v.cols_.size();
     }
-    v.cols_.resize(v.offsets_.back());
-    std::size_t pos = 0;
-    for (std::size_t r = 0; r < v.n_; ++r)
-        for (std::size_t c = 0; c < v.n_; ++c)
-            if (adj.at(r, c) != 0 || c == r)
-                v.cols_[pos++] = static_cast<std::uint32_t>(c);
     v.finalize();
     return v;
 }
@@ -68,33 +74,65 @@ void BatchGraphView::finalize() {
             mean_vals_[e] = inv_out;
         }
     }
+
+    // Transpose structure (counting sort by target column, scanning rows in
+    // ascending order): lets multiply_t gather per *output* row, which makes
+    // it embarrassingly row-parallel, and preserves the ascending-source-row
+    // accumulation order of the old scatter implementation bit for bit.
+    t_offsets_.assign(n_ + 1, 0);
+    for (const std::uint32_t c : cols_) ++t_offsets_[c + 1];
+    for (std::size_t c = 0; c < n_; ++c) t_offsets_[c + 1] += t_offsets_[c];
+    t_src_.resize(cols_.size());
+    t_edge_.resize(cols_.size());
+    std::vector<std::size_t> cursor(t_offsets_.begin(), t_offsets_.end() - 1);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+            const std::size_t slot = cursor[cols_[e]]++;
+            t_src_[slot] = static_cast<std::uint32_t>(r);
+            t_edge_[slot] = static_cast<std::uint32_t>(e);
+        }
+    }
 }
 
 Matrix BatchGraphView::multiply(const std::vector<float>& vals, const Matrix& x) const {
     FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
     Matrix y(n_, x.cols());
-    for (std::size_t r = 0; r < n_; ++r) {
-        auto yrow = y.row(r);
-        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-            const float w = vals[e];
-            auto xrow = x.row(cols_[e]);
-            for (std::size_t f = 0; f < x.cols(); ++f) yrow[f] += w * xrow[f];
+    const std::size_t cols = x.cols();
+    const float* __restrict xp = x.flat().data();
+    const float* __restrict vp = vals.data();
+    float* __restrict yp = y.flat().data();
+    auto rows_fn = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            float* __restrict yrow = yp + r * cols;
+            for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+                const float w = vp[e];
+                const float* __restrict xrow = xp + cols_[e] * cols;
+                for (std::size_t f = 0; f < cols; ++f) yrow[f] += w * xrow[f];
+            }
         }
-    }
+    };
+    parallel_row_blocks(n_, cols_.size() * cols, kRowChunk, rows_fn);
     return y;
 }
 
 Matrix BatchGraphView::multiply_t(const std::vector<float>& vals, const Matrix& x) const {
     FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
     Matrix y(n_, x.cols());
-    for (std::size_t r = 0; r < n_; ++r) {
-        auto xrow = x.row(r);
-        for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-            const float w = vals[e];
-            auto yrow = y.row(cols_[e]);
-            for (std::size_t f = 0; f < x.cols(); ++f) yrow[f] += w * xrow[f];
+    const std::size_t cols = x.cols();
+    const float* __restrict xp = x.flat().data();
+    const float* __restrict vp = vals.data();
+    float* __restrict yp = y.flat().data();
+    auto rows_fn = [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+            float* __restrict yrow = yp + c * cols;
+            for (std::size_t t = t_offsets_[c]; t < t_offsets_[c + 1]; ++t) {
+                const float w = vp[t_edge_[t]];
+                const float* __restrict xrow = xp + t_src_[t] * cols;
+                for (std::size_t f = 0; f < cols; ++f) yrow[f] += w * xrow[f];
+            }
         }
-    }
+    };
+    parallel_row_blocks(n_, cols_.size() * cols, kRowChunk, rows_fn);
     return y;
 }
 

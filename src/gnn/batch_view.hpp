@@ -47,15 +47,24 @@ public:
     Matrix mean_multiply_t(const Matrix& x) const;
 
 private:
+    // Both aggregation directions are row-parallel over the common/parallel
+    // pool: forward gathers per output row through the CSR structure,
+    // backward gathers per output row through the precomputed transpose
+    // index (instead of scattering, which would race). Accumulation order
+    // per output row is ascending source row either way, so threaded
+    // results are bit-identical to serial.
     Matrix multiply(const std::vector<float>& vals, const Matrix& x) const;
     Matrix multiply_t(const std::vector<float>& vals, const Matrix& x) const;
-    void finalize();  // compute degrees and edge weights from structure
+    void finalize();  // degrees, edge weights and transpose index
 
     std::size_t n_ = 0;
     std::vector<std::size_t> offsets_;  // CSR structure incl. self-loops
     std::vector<std::uint32_t> cols_;
     std::vector<float> gcn_vals_;
     std::vector<float> mean_vals_;
+    std::vector<std::size_t> t_offsets_;  // transpose: incoming edges per node
+    std::vector<std::uint32_t> t_src_;    // source row of each incoming edge
+    std::vector<std::uint32_t> t_edge_;   // forward edge index (into *_vals_)
 };
 
 }  // namespace fare

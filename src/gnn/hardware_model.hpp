@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "numeric/bitmatrix.hpp"
@@ -53,6 +54,38 @@ public:
 
     /// Epoch boundary hook (0-based epoch that just finished).
     virtual void on_epoch_end(std::size_t epoch) { (void)epoch; }
+
+    // ---- Effective-state versioning -------------------------------------
+    //
+    // effective_weights / effective_adjacency are pure functions of
+    // (logical input, hardware fault state). The fault state only changes at
+    // discrete events — bind, preprocess, epoch-end wear + BIST rescan,
+    // re-permutation — so the trainer caches derived state (effective
+    // weights, batch graph views) keyed on these stamps and skips recompute
+    // while they are unchanged.
+    //
+    // Caching is OPT-IN: the default returns a fresh stamp per query, which
+    // keeps the per-batch recompute behaviour for any subclass that doesn't
+    // think about versioning (fail safe, never stale). Deterministic
+    // implementations override these to return a stamp they bump on every
+    // event that could alter the corresponding answer; non-deterministic
+    // read-out (e.g. read noise) must keep returning fresh stamps.
+
+    /// Version of the fault/mapping state behind effective_weights().
+    virtual std::uint64_t weights_state_version() const { return next_fresh_stamp(); }
+
+    /// Version of the fault/mapping state behind effective_adjacency().
+    virtual std::uint64_t adjacency_state_version() const { return next_fresh_stamp(); }
+
+protected:
+    /// A stamp that never repeats: returning it from a version query marks
+    /// the answer as uncacheable.
+    std::uint64_t next_fresh_stamp() const { return fresh_stamp_++; }
+
+private:
+    /// Starts high so an overriding subclass's event-counted versions (small
+    /// integers) can never collide with a fresh stamp.
+    mutable std::uint64_t fresh_stamp_ = 1ull << 32;
 };
 
 }  // namespace fare

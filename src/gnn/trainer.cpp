@@ -66,27 +66,49 @@ Trainer::Trainer(const Dataset& dataset, const TrainConfig& config,
 }
 
 void Trainer::refresh_effective_weights() {
+    const std::uint64_t hw_version =
+        hardware_ != nullptr ? hardware_->weights_state_version() : 0;
+    if (weights_refreshed_once_ && refreshed_params_version_ == params_version_ &&
+        refreshed_hw_version_ == hw_version)
+        return;  // nothing changed since the last corruption pass
+
     auto params = model_->params();
     auto eff = model_->effective_params();
     if (hardware_ == nullptr) {
         model_->sync_effective();
-        return;
+    } else {
+        for (std::size_t i = 0; i < params.size(); ++i)
+            *eff[i] = hardware_->effective_weights(i, *params[i]);
     }
-    for (std::size_t i = 0; i < params.size(); ++i)
-        *eff[i] = hardware_->effective_weights(i, *params[i]);
+    weights_refreshed_once_ = true;
+    refreshed_params_version_ = params_version_;
+    refreshed_hw_version_ = hw_version;
 }
 
-BatchGraphView Trainer::effective_view(std::size_t batch_idx, const BatchData& batch) {
+const BatchGraphView& Trainer::effective_view(std::size_t batch_idx,
+                                              const BatchData& batch) {
     if (hardware_ == nullptr) return batch.ideal_view;
-    BitMatrix bits = hardware_->effective_adjacency(batch_idx, batch_bits_[batch_idx]);
-    return BatchGraphView::from_bits(bits);
+    const std::uint64_t version = hardware_->adjacency_state_version();
+    if (!view_cache_valid_ || version != view_cache_version_) {
+        view_cache_.assign(batches_.size(), BatchGraphView());
+        view_cached_.assign(batches_.size(), false);
+        view_cache_version_ = version;
+        view_cache_valid_ = true;
+    }
+    if (!view_cached_[batch_idx]) {
+        const BitMatrix bits =
+            hardware_->effective_adjacency(batch_idx, batch_bits_[batch_idx]);
+        view_cache_[batch_idx] = BatchGraphView::from_bits(bits);
+        view_cached_[batch_idx] = true;
+    }
+    return view_cache_[batch_idx];
 }
 
 void Trainer::evaluate(MetricAccumulator& acc, Split split) {
     refresh_effective_weights();
     for (std::size_t bi = 0; bi < batches_.size(); ++bi) {
         auto& batch = batches_[bi];
-        const BatchGraphView view = effective_view(bi, batch);
+        const BatchGraphView& view = effective_view(bi, batch);
         const Matrix logits = model_->forward(batch.features, view);
         const auto& mask = split == Split::kTrain  ? batch.train_mask
                            : split == Split::kVal ? batch.val_mask
@@ -110,6 +132,7 @@ void Trainer::import_params(const std::vector<Matrix>& params) {
                    "parameter shape mismatch on import");
         *dst[i] = params[i];
     }
+    ++params_version_;
 }
 
 void Trainer::prepare_hardware() {
@@ -146,7 +169,7 @@ TrainResult Trainer::run() {
         for (std::size_t bi : order) {
             auto& batch = batches_[bi];
             refresh_effective_weights();
-            const BatchGraphView view = effective_view(bi, batch);
+            const BatchGraphView& view = effective_view(bi, batch);
 
             model_->zero_grads();
             const Matrix logits = model_->forward(batch.features, view);
@@ -156,6 +179,7 @@ TrainResult Trainer::run() {
             train_acc.update(logits, batch.labels, batch.train_mask);
             model_->backward(loss.grad, view);
             optimizer.step(model_->params(), model_->grads());
+            ++params_version_;
             loss_acc += loss.loss;
             ++loss_batches;
         }

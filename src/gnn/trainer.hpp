@@ -83,8 +83,16 @@ private:
         std::vector<bool> train_mask, val_mask, test_mask;
     };
 
+    /// Recorrupt effective weights from the logical params. No-op while
+    /// neither the params (stamped by every optimizer step / import) nor the
+    /// hardware fault state changed since the last refresh — evaluate() right
+    /// after a train step reuses the step's corruption instead of redoing it.
     void refresh_effective_weights();
-    BatchGraphView effective_view(std::size_t batch_idx, const BatchData& batch);
+    /// Effective adjacency view of a batch, cached per batch keyed on the
+    /// hardware's adjacency state version: fault maps only change at epoch
+    /// boundaries, so the O(n^2) bits -> CSR rebuild happens once per fault
+    /// event instead of once per batch visit.
+    const BatchGraphView& effective_view(std::size_t batch_idx, const BatchData& batch);
     /// Forward all batches with current effective weights, accumulating
     /// metrics for the chosen split mask.
     void evaluate(MetricAccumulator& acc, Split split);
@@ -95,6 +103,17 @@ private:
     std::unique_ptr<Model> model_;
     std::vector<BatchData> batches_;
     std::vector<BitMatrix> batch_bits_;
+
+    // Effective-state caches (tentpole: the hot loop recomputes these only
+    // when the stamped inputs actually changed).
+    std::uint64_t params_version_ = 1;          // bumped per optimizer step
+    std::uint64_t refreshed_params_version_ = 0;
+    std::uint64_t refreshed_hw_version_ = 0;
+    bool weights_refreshed_once_ = false;
+    std::vector<BatchGraphView> view_cache_;
+    std::vector<bool> view_cached_;
+    std::uint64_t view_cache_version_ = 0;
+    bool view_cache_valid_ = false;
 };
 
 }  // namespace fare

@@ -1,31 +1,9 @@
 #include "numeric/fixed_point.hpp"
 
-#include <cmath>
-#include <cstdlib>
-
 namespace fare {
 
-std::int16_t float_to_fixed(float v) {
-    const float scaled = v * static_cast<float>(1 << kFixedFractionBits);
-    const float rounded = std::nearbyint(scaled);
-    // Symmetric saturation: sign-magnitude cannot encode -32768.
-    if (rounded >= 32767.0f) return 32767;
-    if (rounded <= -32767.0f) return -32767;
-    return static_cast<std::int16_t>(rounded);
-}
-
-float fixed_to_float(std::int16_t q) {
-    return static_cast<float>(q) / static_cast<float>(1 << kFixedFractionBits);
-}
-
 CellSlices slice_fixed(std::int16_t q) {
-    // Sign-magnitude cell image: bit 15 = sign, bits 14..0 = |q|.
-    const std::uint16_t mag =
-        static_cast<std::uint16_t>(q < 0 ? -static_cast<std::int32_t>(q)
-                                         : static_cast<std::int32_t>(q)) &
-        0x7FFFu;
-    const std::uint16_t u =
-        static_cast<std::uint16_t>((q < 0 ? 0x8000u : 0u) | mag);
+    const std::uint16_t u = fixed_to_cell_image(q);
     CellSlices slices{};
     for (int c = 0; c < kCellsPerWeight; ++c) {
         const int shift = kFixedTotalBits - kBitsPerCell * (c + 1);
@@ -41,8 +19,7 @@ std::int16_t unslice_fixed(const CellSlices& slices) {
         u = static_cast<std::uint16_t>(u << kBitsPerCell);
         u = static_cast<std::uint16_t>(u | (slices[static_cast<std::size_t>(c)] & 0x3u));
     }
-    const auto mag = static_cast<std::int32_t>(u & 0x7FFFu);
-    return static_cast<std::int16_t>((u & 0x8000u) ? -mag : mag);
+    return cell_image_to_fixed(u);
 }
 
 }  // namespace fare

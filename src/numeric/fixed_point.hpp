@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace fare {
@@ -34,11 +35,39 @@ inline constexpr float kFixedMin = -127.99609375f;  // -0x7FFF / 256
 using CellSlices = std::array<std::uint8_t, kCellsPerWeight>;
 
 /// Quantise a float to the Q8.8 grid (round to nearest, saturate at the
-/// symmetric format limits; -32768 is never produced).
-std::int16_t float_to_fixed(float v);
+/// symmetric format limits; -32768 is never produced). Inline: this runs
+/// once per weight per batch in the corruption hot path.
+inline std::int16_t float_to_fixed(float v) {
+    const float scaled = v * static_cast<float>(1 << kFixedFractionBits);
+    const float rounded = std::nearbyint(scaled);
+    // Symmetric saturation: sign-magnitude cannot encode -32768.
+    if (rounded >= 32767.0f) return 32767;
+    if (rounded <= -32767.0f) return -32767;
+    return static_cast<std::int16_t>(rounded);
+}
 
 /// Exact inverse of the quantiser on in-range values.
-float fixed_to_float(std::int16_t q);
+inline float fixed_to_float(std::int16_t q) {
+    return static_cast<float>(q) / static_cast<float>(1 << kFixedFractionBits);
+}
+
+/// The 16-bit cell image of a value: bit 15 = sign, bits 14..0 = magnitude.
+/// Equals the concatenation of slice_fixed()'s slices, MSB slice first —
+/// the domain the compiled fault-overlay masks operate in.
+inline std::uint16_t fixed_to_cell_image(std::int16_t q) {
+    const std::uint16_t mag =
+        static_cast<std::uint16_t>(q < 0 ? -static_cast<std::int32_t>(q)
+                                         : static_cast<std::int32_t>(q)) &
+        0x7FFFu;
+    return static_cast<std::uint16_t>((q < 0 ? 0x8000u : 0u) | mag);
+}
+
+/// Inverse of fixed_to_cell_image (identical to unslice_fixed on the
+/// re-assembled slices; 0x8000 decodes to 0 just like unslice does).
+inline std::int16_t cell_image_to_fixed(std::uint16_t u) {
+    const auto mag = static_cast<std::int32_t>(u & 0x7FFFu);
+    return static_cast<std::int16_t>((u & 0x8000u) ? -mag : mag);
+}
 
 /// Split a value into 8 cells of 2 bits of its sign-magnitude encoding
 /// (sign bit + 15 magnitude bits), MSB slice first.

@@ -5,12 +5,36 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace fare {
 
 class Rng;
+
+namespace detail {
+/// Allocator that default-initialises on plain construct(), so
+/// vector<float>::resize leaves the floats uninitialised. Only used behind
+/// Matrix::uninitialized() for buffers every element of which is about to be
+/// overwritten (GEMM outputs, overlay apply) — skips a redundant memset on
+/// the hot path.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+    template <typename U>
+    struct rebind {
+        using other = DefaultInitAllocator<U>;
+    };
+    template <typename U, typename... Args>
+    void construct(U* p, Args&&... args) {
+        if constexpr (sizeof...(Args) == 0)
+            ::new (static_cast<void*>(p)) U;
+        else
+            ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+};
+}  // namespace detail
 
 /// Row-major dense matrix of float.
 ///
@@ -22,6 +46,10 @@ public:
     Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
     /// Build from nested initializer list (rows of equal length).
     Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+    /// A (rows x cols) matrix with UNINITIALISED contents. Strictly for
+    /// buffers the caller overwrites in full before any read.
+    static Matrix uninitialized(std::size_t rows, std::size_t cols);
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
@@ -60,8 +88,13 @@ public:
 private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float> data_;
+    std::vector<float, detail::DefaultInitAllocator<float>> data_;
 };
+
+// The three GEMMs are blocked (register-tiled accumulators) and
+// row-parallelised over the common/parallel worker pool above a fixed work
+// threshold. Accumulation order per output element is ascending-k for every
+// blocking and thread count, so results are bit-identical to a serial run.
 
 /// C = A * B. Shapes validated.
 Matrix matmul(const Matrix& a, const Matrix& b);

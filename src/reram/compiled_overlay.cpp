@@ -1,0 +1,85 @@
+#include "reram/compiled_overlay.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace fare {
+
+CompiledFaultOverlay::CompiledFaultOverlay(const WeightFaultGrid& grid,
+                                           std::size_t rows, std::size_t cols,
+                                           std::span<const std::uint16_t> perm)
+    : rows_(rows), cols_(cols) {
+    FARE_CHECK(grid.rows() >= rows && grid.cols() == cols,
+               "fault grid does not cover weight matrix");
+    FARE_CHECK(perm.empty() || perm.size() == rows, "permutation size mismatch");
+
+    // O(faults): walk each mapped physical row's sparse fault list (sorted by
+    // weight column, then slice) and fold every faulty weight's slices into
+    // one mask pair. At most one entry per faulty cell, usually fewer.
+    entries_.reserve(grid.num_faults());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t pr = perm.empty() ? r : perm[r];
+        FARE_CHECK(pr < grid.rows(), "permutation target out of range");
+        const auto faults = grid.row_fault_list(pr);
+        for (std::size_t i = 0; i < faults.size();) {
+            const std::uint32_t weight_c = faults[i].weight_col;
+            std::uint16_t and_mask = 0xFFFFu, or_mask = 0;
+            do {
+                const int shift =
+                    kFixedTotalBits - kBitsPerCell * (faults[i].slice + 1);
+                const auto bits = static_cast<std::uint16_t>(0x3u << shift);
+                and_mask = static_cast<std::uint16_t>(and_mask & ~bits);
+                if (static_cast<FaultType>(faults[i].type) == FaultType::kSA1)
+                    or_mask = static_cast<std::uint16_t>(or_mask | bits);
+                ++i;
+            } while (i < faults.size() && faults[i].weight_col == weight_c);
+            entries_.push_back({static_cast<std::uint32_t>(r * cols + weight_c),
+                                and_mask, or_mask});
+        }
+    }
+}
+
+Matrix CompiledFaultOverlay::apply(const Matrix& w,
+                                   std::optional<float> clip) const {
+    FARE_CHECK(compiled(), "overlay not compiled");
+    FARE_CHECK(w.rows() == rows_ && w.cols() == cols_,
+               "overlay geometry does not match weight matrix");
+    Matrix out = Matrix::uninitialized(w.rows(), w.cols());
+    const float* __restrict src = w.flat().data();
+    float* __restrict dst = out.flat().data();
+    const std::size_t n = w.size();
+
+    if (!clip.has_value()) {
+        // Dense pass: the fault-free quantise -> dequantise round trip.
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = fixed_to_float(float_to_fixed(src[i]));
+        // Sparse branchless fix-up at the faulty entries only.
+        for (const MaskEntry& e : entries_) {
+            FARE_DCHECK(e.index < n, "overlay entry out of range");
+            const std::uint16_t image =
+                fixed_to_cell_image(float_to_fixed(src[e.index]));
+            const auto fixed =
+                static_cast<std::uint16_t>((image & e.and_mask) | e.or_mask);
+            dst[e.index] = fixed_to_float(cell_image_to_fixed(fixed));
+        }
+        return out;
+    }
+
+    // Same two passes with the clipping unit fused in (identical result to
+    // corrupt-then-clamp: the fix-up re-clamps the entries it rewrites).
+    const float hi = *clip, lo = -hi;
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::clamp(fixed_to_float(float_to_fixed(src[i])), lo, hi);
+    for (const MaskEntry& e : entries_) {
+        FARE_DCHECK(e.index < n, "overlay entry out of range");
+        const std::uint16_t image = fixed_to_cell_image(float_to_fixed(src[e.index]));
+        const auto fixed =
+            static_cast<std::uint16_t>((image & e.and_mask) | e.or_mask);
+        dst[e.index] = std::clamp(fixed_to_float(cell_image_to_fixed(fixed)), lo, hi);
+    }
+    return out;
+}
+
+}  // namespace fare

@@ -1,0 +1,67 @@
+// Compiled fault overlay: the stuck-cell effect of a WeightFaultGrid (plus an
+// optional logical->physical row permutation) folded into per-weight 16-bit
+// AND/OR masks over the sign-magnitude cell image, with a sparse index of the
+// weights that have any faulty cell at all.
+//
+// Motivation (hot-loop economics): the training loop re-derives effective
+// weights on every batch, but the *fault pattern* only changes at epoch
+// boundaries (BIST rescan after wear, re-permutation). Compiling the pattern
+// once turns per-batch corruption into one vectorisable quantise->dequantise
+// (+clip) pass over all weights plus a branchless
+//
+//     image' = (image & and_mask) | or_mask
+//
+// fix-up applied only at the faulty entries — at the paper's densities well
+// under 15% of weights are touched. Bit-identical to corrupt_fixed() (and
+// therefore to the mvm_engine readback path): a stuck-at-0 slice clears its
+// two image bits (AND), a stuck-at-1 slice sets them (OR); the masks are the
+// composition of all eight slices' effects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "reram/corruption.hpp"
+
+namespace fare {
+
+class CompiledFaultOverlay {
+public:
+    CompiledFaultOverlay() = default;
+
+    /// Compile the overlay for a (rows x cols) logical weight matrix stored
+    /// on `grid`, with logical row r placed at physical row perm[r]. An empty
+    /// perm means identity placement (the no-permutation fast path — nothing
+    /// is allocated per call). Grid coverage and permutation targets are
+    /// validated here, once, instead of per weight per batch.
+    CompiledFaultOverlay(const WeightFaultGrid& grid, std::size_t rows,
+                         std::size_t cols,
+                         std::span<const std::uint16_t> perm = {});
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool compiled() const { return rows_ != 0; }
+    /// Number of weights with at least one faulty cell.
+    std::size_t num_faulty_weights() const { return entries_.size(); }
+
+    /// Effective weights: quantise -> dequantise every entry, apply the
+    /// masked fix-up at the faulty entries, then optionally clamp everything
+    /// to [-clip, clip]. Bit-identical to corrupt_weights_permuted_reference
+    /// (and the ProgrammedWeights::read_effective readback).
+    Matrix apply(const Matrix& w, std::optional<float> clip = std::nullopt) const;
+
+private:
+    struct MaskEntry {
+        std::uint32_t index;     ///< flat r * cols + c into the weight matrix
+        std::uint16_t and_mask;  ///< SA0 slices cleared
+        std::uint16_t or_mask;   ///< SA1 slices set
+    };
+
+    std::size_t rows_ = 0, cols_ = 0;
+    std::vector<MaskEntry> entries_;  // sorted by index
+};
+
+}  // namespace fare

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "reram/compiled_overlay.hpp"
 
 namespace fare {
 
@@ -21,6 +22,10 @@ WeightFaultGrid::WeightFaultGrid(std::size_t rows, std::size_t cols,
 
     const std::size_t cell_cols = cols * static_cast<std::size_t>(kCellsPerWeight);
     cells_.assign(rows * cell_cols, 0);
+    // (physical row, fault) pairs in (grid row, grid col, map row, map col)
+    // order; the stable counting sort below groups them per row while keeping
+    // each row's (weight_col, slice) ascending.
+    std::vector<std::pair<std::uint32_t, SliceFault>> collected;
     for (std::size_t gr = 0; gr < grid_rows; ++gr) {
         for (std::size_t gc = 0; gc < grid_cols; ++gc) {
             const auto& map = grid_maps[gr * grid_cols + gc];
@@ -35,9 +40,20 @@ WeightFaultGrid::WeightFaultGrid(std::size_t rows, std::size_t cols,
                 cells_[r * cell_cols + weight_c * kCellsPerWeight + s] =
                     static_cast<std::uint8_t>(f.type);
                 ++num_faults_;
+                collected.push_back(
+                    {static_cast<std::uint32_t>(r),
+                     SliceFault{static_cast<std::uint32_t>(weight_c),
+                                static_cast<std::uint8_t>(s),
+                                static_cast<std::uint8_t>(f.type)}});
             }
         }
     }
+    row_offsets_.assign(rows + 1, 0);
+    for (const auto& [r, f] : collected) ++row_offsets_[r + 1];
+    for (std::size_t r = 0; r < rows; ++r) row_offsets_[r + 1] += row_offsets_[r];
+    sparse_.resize(collected.size());
+    std::vector<std::size_t> cursor(row_offsets_.begin(), row_offsets_.end() - 1);
+    for (const auto& [r, f] : collected) sparse_[cursor[r]++] = f;
 }
 
 std::optional<FaultType> WeightFaultGrid::slice_fault(std::size_t r, std::size_t c,
@@ -64,13 +80,27 @@ std::int16_t corrupt_fixed(std::int16_t q, const WeightFaultGrid& grid, std::siz
 
 Matrix corrupt_weights(const Matrix& w, const WeightFaultGrid& grid,
                        std::optional<float> clip) {
-    return corrupt_weights_permuted(
-        w, grid, identity_perm(static_cast<std::uint16_t>(w.rows())), clip);
+    // No-permutation fast path: identity placement is the overlay default, so
+    // no identity_perm vector is materialised per call.
+    return CompiledFaultOverlay(grid, w.rows(), w.cols()).apply(w, clip);
 }
 
 Matrix corrupt_weights_permuted(const Matrix& w, const WeightFaultGrid& grid,
                                 const std::vector<std::uint16_t>& perm,
                                 std::optional<float> clip) {
+    FARE_CHECK(perm.size() == w.rows(), "permutation size mismatch");
+    return CompiledFaultOverlay(grid, w.rows(), w.cols(), perm).apply(w, clip);
+}
+
+Matrix corrupt_weights_reference(const Matrix& w, const WeightFaultGrid& grid,
+                                 std::optional<float> clip) {
+    return corrupt_weights_permuted_reference(
+        w, grid, identity_perm(static_cast<std::uint16_t>(w.rows())), clip);
+}
+
+Matrix corrupt_weights_permuted_reference(const Matrix& w, const WeightFaultGrid& grid,
+                                          const std::vector<std::uint16_t>& perm,
+                                          std::optional<float> clip) {
     FARE_CHECK(grid.rows() >= w.rows() && grid.cols() == w.cols(),
                "fault grid does not cover weight matrix");
     FARE_CHECK(perm.size() == w.rows(), "permutation size mismatch");

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "numeric/matrix.hpp"
@@ -36,12 +37,28 @@ public:
     /// Fault on slice s (0 = MSB slice) of weight (r, c), if any.
     std::optional<FaultType> slice_fault(std::size_t r, std::size_t c, int s) const;
 
+    /// One faulty cell in weight-slice coordinates.
+    struct SliceFault {
+        std::uint32_t weight_col;  ///< weight column c
+        std::uint8_t slice;        ///< 0 = MSB slice
+        std::uint8_t type;         ///< FaultType
+    };
+
+    /// Faulty cells of physical row r, sorted by (weight_col, slice). Lets
+    /// CompiledFaultOverlay compile in O(faults) instead of scanning the
+    /// dense (rows x cols*8) cell grid.
+    std::span<const SliceFault> row_fault_list(std::size_t r) const {
+        return {sparse_.data() + row_offsets_[r], row_offsets_[r + 1] - row_offsets_[r]};
+    }
+
     /// Total faulty cells covering the weight region.
     std::size_t num_faults() const { return num_faults_; }
 
 private:
     std::size_t rows_ = 0, cols_ = 0;
     std::vector<std::uint8_t> cells_;  // (rows x cols*8), 0 = healthy
+    std::vector<std::size_t> row_offsets_;  // sparse index: rows_ + 1 offsets
+    std::vector<SliceFault> sparse_;        // sorted by (row, weight_col, slice)
     std::size_t num_faults_ = 0;
 };
 
@@ -52,6 +69,9 @@ std::int16_t corrupt_fixed(std::int16_t q, const WeightFaultGrid& grid, std::siz
 /// Effective weight matrix the tile computes with: quantise -> slice ->
 /// stuck-cell overlay -> shift-and-add -> dequantise, then optionally clamp
 /// to [-clip, clip] (the 16-bit comparator + 2:1 mux clipping unit).
+/// Implemented by compiling a CompiledFaultOverlay on the fly; hot callers
+/// that apply the same fault pattern repeatedly (the training loop) should
+/// compile once and call CompiledFaultOverlay::apply per batch instead.
 Matrix corrupt_weights(const Matrix& w, const WeightFaultGrid& grid,
                        std::optional<float> clip = std::nullopt);
 
@@ -61,6 +81,16 @@ Matrix corrupt_weights(const Matrix& w, const WeightFaultGrid& grid,
 Matrix corrupt_weights_permuted(const Matrix& w, const WeightFaultGrid& grid,
                                 const std::vector<std::uint16_t>& perm,
                                 std::optional<float> clip = std::nullopt);
+
+/// Scalar reference implementations (the pre-overlay code path): one checked
+/// slice_fault lookup per cell per weight through corrupt_fixed. Kept as the
+/// oracle for the overlay-equivalence tests and as the baseline the
+/// bench_micro_corruption speedup is measured against. Not for hot loops.
+Matrix corrupt_weights_reference(const Matrix& w, const WeightFaultGrid& grid,
+                                 std::optional<float> clip = std::nullopt);
+Matrix corrupt_weights_permuted_reference(const Matrix& w, const WeightFaultGrid& grid,
+                                          const std::vector<std::uint16_t>& perm,
+                                          std::optional<float> clip = std::nullopt);
 
 /// Dense binary adjacency block (paper: adjacency is stored 1 bit per cell).
 struct BinaryBlock {
