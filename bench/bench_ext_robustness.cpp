@@ -81,21 +81,16 @@ int main() {
     std::cout << "=== E3: read-noise robustness, Reddit (GCN), 3% SAFs, 1:1 ===\n\n";
     {
         const std::vector<double> sigmas{0.0, 0.02, 0.05, 0.1};
-        // Sigma is not a builder axis: list the cells directly — a plan is
-        // just a value.
-        ExperimentPlan plan;
-        plan.name = "ext_read_noise";
-        for (const double sigma : sigmas) {
-            for (const Scheme scheme : {Scheme::kFaultUnaware, Scheme::kFARe}) {
-                CellSpec cell;
-                cell.workload = workload;
-                cell.scheme = scheme;
-                cell.faults =
-                    FaultScenario::pre_deployment(0.03, 0.5).with_read_noise(sigma);
-                cell.seed = 1;
-                plan.cells.push_back(cell);
-            }
-        }
+        // Sigma is a builder axis (noise-major, then scheme — the same cell
+        // order the hand-built plan used).
+        const ExperimentPlan plan =
+            SweepBuilder("ext_read_noise")
+                .workload(workload)
+                .scenario(FaultScenario::pre_deployment(0.03, 0.5))
+                .noise_sigmas(sigmas)
+                .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+                .seed(1)
+                .build();
         const ResultSet results = session.run(plan);
 
         Table t({"Noise sigma", "fault-unaware", "FARe", "FARe drop vs clean"});

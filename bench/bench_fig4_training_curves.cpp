@@ -28,7 +28,9 @@ int main() {
     SessionOptions options;
     options.progress = &std::cout;
     SimSession session(options);
-    session.add_sink(std::make_unique<JsonLinesSink>());
+    // Streaming sink: cells reach the BENCH_*.json.tmp staging file as they
+    // finish; the final file is published atomically at plan end.
+    session.add_sink(std::make_unique<JsonLinesSink>()).streaming();
     const ResultSet results = session.run(plan);
 
     struct Curve {

@@ -69,8 +69,14 @@ int main(int argc, char** argv) {
 
     SessionOptions options;
     options.progress = &std::cout;
+    // A wear sweep is the canonical long-running study: point FARE_CACHE_DIR
+    // at a directory and a killed run resumes at the first unfinished stage.
+    if (const char* cache_dir = std::getenv("FARE_CACHE_DIR"))
+        options.cache_dir = cache_dir;
     SimSession session(options);
-    session.add_sink(std::make_unique<JsonLinesSink>());
+    // Streaming: finished stages appear in BENCH_*.json.tmp as the sweep
+    // runs; the final file publishes atomically at plan end.
+    session.add_sink(std::make_unique<JsonLinesSink>()).streaming();
     const ResultSet results = session.run(plan);
     const double ff = results.cells.front().accuracy();
     std::cout << "fault-free reference accuracy: " << fmt(ff, 3) << "\n\n";

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Run a built-in fare-run plan as N shard processes and merge their record
+# files into one plan-ordered display JSON — the multi-process counterpart of
+# a single SimSession::run(). Shard partitioning is deterministic, so the
+# merged output is bit-identical to a single-process run of the same plan
+# (pass --canonical to zero the measured-time fields on both sides before
+# diffing; see the CI shard-smoke job).
+#
+# Usage: scripts/shard_run.sh <plan> <num_shards> <out.json> [fare-run args…]
+#   e.g. scripts/shard_run.sh smoke 2 merged.json --canonical --threads 2
+#   A --cache-dir DIR argument is split into one subdirectory per shard
+#   (DIR/shard_<i>_of_<N>) — concurrent processes must not share a single
+#   cache appender.
+#
+# Environment:
+#   FARE_RUN_BIN   path to the fare-run binary (default: build/fare-run)
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+    echo "usage: $0 <plan> <num_shards> <out.json> [fare-run args...]" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+PLAN=$1
+SHARDS=$2
+OUT=$3
+shift 3
+BIN="${FARE_RUN_BIN:-build/fare-run}"
+
+if [ ! -x "$BIN" ]; then
+    echo "$0: fare-run binary not found at $BIN (set FARE_RUN_BIN)" >&2
+    exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Extract --cache-dir from the pass-through args: concurrent shard
+# processes must not share one cache appender (interleaved writes tear the
+# JSONL log), so each shard gets its own subdirectory of the requested dir.
+CACHE_DIR=""
+EXTRA=()
+while [ "$#" -gt 0 ]; do
+    if [ "$1" = "--cache-dir" ]; then
+        CACHE_DIR=$2
+        shift 2
+    else
+        EXTRA+=("$1")
+        shift
+    fi
+done
+set -- ${EXTRA[@]+"${EXTRA[@]}"}
+
+# One process per shard, in parallel — each runs only its deterministic
+# slice of the plan's unique cells and records full-fidelity results.
+pids=()
+for ((i = 0; i < SHARDS; ++i)); do
+    CACHE_ARGS=()
+    [ -n "$CACHE_DIR" ] && CACHE_ARGS=(--cache-dir "$CACHE_DIR/shard_${i}_of_$SHARDS")
+    "$BIN" --plan "$PLAN" --shard "$i/$SHARDS" --quiet \
+        --out "$TMP/shard_$i.jsonl" ${CACHE_ARGS[@]+"${CACHE_ARGS[@]}"} "$@" \
+        >"$TMP/shard_$i.log" 2>&1 &
+    pids+=($!)
+done
+failed=0
+for i in "${!pids[@]}"; do
+    if ! wait "${pids[$i]}"; then
+        echo "$0: shard $i/$SHARDS failed:" >&2
+        cat "$TMP/shard_$i.log" >&2
+        failed=1
+    fi
+done
+[ "$failed" -eq 0 ] || exit 1
+
+# Forward --canonical (if the shards got it) to the merge step so both
+# sides of a diff are canonicalised the same way.
+MERGE_ARGS=()
+for arg in "$@"; do
+    [ "$arg" = "--canonical" ] && MERGE_ARGS+=(--canonical)
+done
+"$BIN" --merge "$OUT" "$TMP"/shard_*.jsonl ${MERGE_ARGS[@]+"${MERGE_ARGS[@]}"}

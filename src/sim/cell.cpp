@@ -1,0 +1,55 @@
+#include "sim/cell.hpp"
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fare {
+
+double CellResult::accuracy() const {
+    return spec.mode == CellMode::kDeploy ? deployment.deployed_accuracy
+                                          : run.train.test_accuracy;
+}
+
+const CellResult& ResultSet::at(const WorkloadSpec& workload, Scheme scheme,
+                                double density, double sa1_fraction,
+                                std::optional<CellMode> mode) const {
+    for (const CellResult& cell : cells) {
+        if (cell.spec.workload.dataset != workload.dataset ||
+            cell.spec.workload.kind != workload.kind)
+            continue;
+        if (cell.spec.scheme != scheme) continue;
+        if (density >= 0.0 && cell.spec.faults.density != density) continue;
+        if (sa1_fraction >= 0.0 && cell.spec.faults.sa1_fraction != sa1_fraction)
+            continue;
+        if (mode && cell.spec.mode != *mode) continue;
+        return cell;
+    }
+    throw InvalidArgument("no cell for " + workload.label() + " / " +
+                          scheme_name(scheme));
+}
+
+double ResultSet::accuracy(const WorkloadSpec& workload, Scheme scheme,
+                           double density, double sa1_fraction,
+                           std::optional<CellMode> mode) const {
+    return at(workload, scheme, density, sa1_fraction, mode).accuracy();
+}
+
+CellResult run_cell(const CellSpec& spec) {
+    CellResult result;
+    result.spec = spec;
+    Stopwatch watch;
+    const Dataset dataset = spec.workload.make_dataset(spec.seed);
+    const TrainConfig tc = spec.train_config();
+    const std::uint64_t hw_seed = spec.hardware_seed.value_or(spec.seed);
+    if (spec.mode == CellMode::kDeploy) {
+        result.deployment = run_deployment(dataset, tc, spec.scheme, spec.faults,
+                                           spec.hardware, hw_seed);
+    } else {
+        result.run = run_scheme(dataset, spec.scheme, tc, spec.faults,
+                                spec.hardware, hw_seed);
+    }
+    result.wall_seconds = watch.elapsed_ms() / 1e3;
+    return result;
+}
+
+}  // namespace fare

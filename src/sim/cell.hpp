@@ -1,0 +1,59 @@
+// Cell execution value types: CellResult (the outcome of one executed or
+// cache-served cell), ResultSet (plan-ordered results with coordinate
+// lookup), and run_cell() — the single pure function every executor,
+// worker and compatibility wrapper lands on. Split out of sim/session.hpp
+// so the scheduler / executor / cache / bus layers can share these types
+// without depending on the session façade.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fare/fare_trainer.hpp"
+#include "sim/plan.hpp"
+
+namespace fare {
+
+/// Outcome of one executed (or cache-served) cell.
+struct CellResult {
+    CellSpec spec;
+    SchemeRunResult run;          ///< CellMode::kTrain metrics
+    DeploymentResult deployment;  ///< CellMode::kDeploy metrics
+    bool from_cache = false;      ///< served from the session memo
+    double wall_seconds = 0.0;    ///< execution time (0 when from_cache)
+    /// Position of this cell in the plan it was reported from. Stable across
+    /// shards: a shard run keeps the *global* plan index, which is what lets
+    /// merge_shards() (and `fare-run --merge`) reassemble plan order.
+    std::size_t plan_index = 0;
+
+    /// Headline number regardless of mode: test accuracy on the chip.
+    double accuracy() const;
+};
+
+/// Plan-ordered results with coordinate lookup for pivot-table assembly.
+class ResultSet {
+public:
+    std::vector<CellResult> cells;
+
+    /// First cell matching the coordinates; negative density / SA1 match any
+    /// and an unset mode matches any mode. Throws InvalidArgument when no
+    /// cell matches.
+    const CellResult& at(const WorkloadSpec& workload, Scheme scheme,
+                         double density = -1.0, double sa1_fraction = -1.0,
+                         std::optional<CellMode> mode = std::nullopt) const;
+    /// Shorthand for at(...).accuracy().
+    double accuracy(const WorkloadSpec& workload, Scheme scheme,
+                    double density = -1.0, double sa1_fraction = -1.0,
+                    std::optional<CellMode> mode = std::nullopt) const;
+
+    std::size_t size() const { return cells.size(); }
+    auto begin() const { return cells.begin(); }
+    auto end() const { return cells.end(); }
+};
+
+/// Execute one cell synchronously, bypassing any session machinery. The
+/// deprecated free-function wrappers and the executors both land here.
+CellResult run_cell(const CellSpec& spec);
+
+}  // namespace fare

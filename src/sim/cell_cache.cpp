@@ -1,0 +1,84 @@
+#include "sim/cell_cache.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sim/serialization.hpp"
+
+namespace fare {
+
+CellCache::~CellCache() = default;
+
+std::optional<CellResult> MemoryCellCache::lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+void MemoryCellCache::store(const std::string& key, const CellResult& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert_or_assign(key, result);
+}
+
+std::size_t MemoryCellCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+DiskCellCache::DiskCellCache(std::string dir) {
+    FARE_CHECK(!dir.empty(), "DiskCellCache needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    FARE_CHECK(!ec, "cannot create cache directory: " + dir);
+    file_ = (std::filesystem::path(dir) / kCacheFileName).string();
+
+    std::ifstream in(file_);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        Expected<CellRecord> record = cell_record_from_json(line);
+        if (!record) {
+            ++skipped_;
+            continue;
+        }
+        CellRecord rec = std::move(record).value();
+        entries_.insert_or_assign(std::move(rec.key), std::move(rec.result));
+    }
+
+    out_.open(file_, std::ios::app);
+    FARE_CHECK(out_.good(), "cannot open cache file for append: " + file_);
+}
+
+std::optional<CellResult> DiskCellCache::lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+void DiskCellCache::store(const std::string& key, const CellResult& result) {
+    CellRecord record;
+    record.key = key;
+    record.plan_index = result.plan_index;
+    record.result = result;
+    const std::string line = cell_record_to_json(record);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert_or_assign(key, result);
+    // One line per completed cell, flushed immediately: an interrupted sweep
+    // keeps everything that finished before the kill.
+    out_ << line << '\n' << std::flush;
+}
+
+std::size_t DiskCellCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir) {
+    if (cache_dir.empty()) return std::make_unique<MemoryCellCache>();
+    return std::make_unique<DiskCellCache>(cache_dir);
+}
+
+}  // namespace fare

@@ -1,0 +1,86 @@
+// CellCache: the memoization seam under SimSession. The session used to own
+// a bare unordered_map; the abstraction lets the same run loop serve cells
+// from the in-process memo (MemoryCellCache) or from a persistent on-disk
+// store (DiskCellCache) so an interrupted sweep resumes where it stopped and
+// nightly runs reuse yesterday's unchanged cells.
+//
+// Implementations are internally synchronised: store() is called from
+// executor worker threads as cells finish (so a crash loses at most the
+// cells still in flight), lookup() from the scheduling thread.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/cell.hpp"
+
+namespace fare {
+
+class CellCache {
+public:
+    virtual ~CellCache();
+
+    /// The stored result for a canonical CellSpec::key(), if any. The
+    /// returned result keeps its stored from_cache / wall_seconds fields;
+    /// the session rewrites both when reporting.
+    virtual std::optional<CellResult> lookup(const std::string& key) = 0;
+
+    /// Persist one freshly-executed cell under its canonical key.
+    virtual void store(const std::string& key, const CellResult& result) = 0;
+
+    /// Distinct keys currently held.
+    virtual std::size_t size() const = 0;
+};
+
+/// The in-process memo the session always had: lives and dies with the
+/// session, no I/O.
+class MemoryCellCache final : public CellCache {
+public:
+    std::optional<CellResult> lookup(const std::string& key) override;
+    void store(const std::string& key, const CellResult& result) override;
+    std::size_t size() const override;
+
+private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, CellResult> entries_;
+};
+
+/// Persistent cache: one JSON-lines file `<dir>/cells.jsonl` of
+/// schema-versioned CellRecords keyed by CellSpec::key(). The whole file is
+/// loaded at construction; store() appends + flushes one line per cell, so a
+/// killed process keeps every completed cell. Lines that fail to parse —
+/// torn tail writes, manual edits, records from another schema version — are
+/// skipped and counted: the cell recomputes and the fresh record is appended
+/// (on load, the last valid record for a key wins).
+class DiskCellCache final : public CellCache {
+public:
+    /// Opens (creating the directory if needed) and loads the cache file.
+    explicit DiskCellCache(std::string dir);
+
+    std::optional<CellResult> lookup(const std::string& key) override;
+    void store(const std::string& key, const CellResult& result) override;
+    std::size_t size() const override;
+
+    /// Lines dropped during load (corrupt or wrong schema version).
+    std::size_t corrupt_lines_skipped() const { return skipped_; }
+    const std::string& path() const { return file_; }
+
+    static constexpr const char* kCacheFileName = "cells.jsonl";
+
+private:
+    std::string file_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, CellResult> entries_;
+    std::ofstream out_;
+    std::size_t skipped_ = 0;
+};
+
+/// Factory honouring SessionOptions: empty dir => MemoryCellCache.
+std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir);
+
+}  // namespace fare

@@ -1,0 +1,322 @@
+// fare-run: process-level driver for sharded / resumable plan execution.
+//
+// One process runs one shard of a built-in plan (the whole plan by default)
+// through a SimSession and can persist full-fidelity cell records; a second
+// invocation merges N shard record files back into one plan-ordered display
+// JSON identical to a single-process run — the multi-process counterpart of
+// merge_shards(). scripts/shard_run.sh wires the two together and the CI
+// shard-smoke job diffs merged-vs-single output.
+//
+//   fare-run --plan smoke --shard 0/2 --out shard0.jsonl [--cache-dir DIR]
+//   fare-run --merge merged.json shard0.jsonl shard1.jsonl
+//
+// Exit codes: 0 success, 1 execution/merge failure, 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/result_sink.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/serialization.hpp"
+#include "sim/session.hpp"
+
+namespace fare {
+namespace {
+
+struct NamedPlan {
+    const char* name;
+    const char* description;
+    ExperimentPlan (*build)();
+};
+
+// Built-in plans. Cells pin their epoch budget explicitly (not FARE_EPOCHS)
+// wherever shard processes must agree on cell keys without sharing an
+// environment.
+const NamedPlan kPlans[] = {
+    {"smoke", "PPI (GCN), 2 densities x {fault-free, fault-unaware, FARe}, "
+              "2 epochs — seconds; the CI shard-smoke plan",
+     [] {
+         return SweepBuilder("smoke")
+             .workload(find_workload("PPI", GnnKind::kGCN))
+             .densities({0.01, 0.05})
+             .sa1_fraction(0.5)
+             .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kFARe})
+             .epochs(2)
+             .build();
+     }},
+    {"seed_stats", "PPI (GCN) @ 3% faults, {fault-unaware, FARe} x seeds "
+                   "{1,2,3} — pair with --stats for mean/sigma error bars",
+     [] {
+         return SweepBuilder("seed_stats")
+             .workload(find_workload("PPI", GnnKind::kGCN))
+             .density(0.03)
+             .sa1_fraction(0.5)
+             .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+             .seeds({1, 2, 3})
+             .epochs(2)
+             .build();
+     }},
+    {"read_noise", "Reddit (GCN), 3% SAFs, read-noise sigma axis "
+                   "{0, 2%, 5%, 10%} x {fault-unaware, FARe}",
+     [] {
+         return SweepBuilder("read_noise")
+             .workload(find_workload("Reddit", GnnKind::kGCN))
+             .scenario(FaultScenario::pre_deployment(0.03, 0.5))
+             .noise_sigmas({0.0, 0.02, 0.05, 0.1})
+             .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+             .build();
+     }},
+    {"fig5", "the full Fig. 5 accuracy grid (180 cells) — the sweep worth "
+             "sharding across machines",
+     [] {
+         return SweepBuilder("fig5")
+             .workloads(fig5_workloads())
+             .densities({0.01, 0.03, 0.05})
+             .sa1_fractions({0.1, 0.5})
+             .schemes(figure_schemes())
+             .build();
+     }},
+};
+
+int usage(std::ostream& os, int code) {
+    os << "fare-run — sharded / resumable experiment-plan driver\n\n"
+          "Run one shard of a built-in plan:\n"
+          "  fare-run --plan NAME [options]\n"
+          "    --shard I/N      run slice I of N (default 0/1 = whole plan)\n"
+          "    --threads N      worker threads (0 = auto / FARE_THREADS)\n"
+          "    --cache-dir DIR  persistent cell cache: resume interrupted\n"
+          "                     sweeps, reuse unchanged cells across runs\n"
+          "    --epochs E       override every cell's epoch budget\n"
+          "    --out PATH       write full-fidelity cell records (JSONL),\n"
+          "                     mergeable with --merge\n"
+          "    --json PATH      write display JSON lines (BENCH_* format)\n"
+          "    --canonical      zero measured timings / from_cache in --json\n"
+          "                     output so runs diff bit-identically\n"
+          "    --stats          print seed-replicate mean/sigma table\n"
+          "    --stream         print the console table cells as they finish\n"
+          "    --quiet          no console table\n"
+          "    --progress       print one dot per executed cell\n\n"
+          "Merge shard record files into plan-ordered display JSON:\n"
+          "  fare-run --merge OUT IN1 IN2 ... [--canonical]\n\n"
+          "  fare-run --list-plans\n";
+    return code;
+}
+
+ExperimentPlan find_plan(const std::string& name) {
+    for (const NamedPlan& plan : kPlans)
+        if (name == plan.name) return plan.build();
+    std::string known;
+    for (const NamedPlan& plan : kPlans)
+        known += std::string(known.empty() ? "" : ", ") + plan.name;
+    throw InvalidArgument("unknown plan '" + name + "' (known: " + known + ")");
+}
+
+/// --stream: one display-JSON line per cell, printed the moment the plan
+/// prefix up to it completes (ordered-prefix streaming delivery).
+class StreamingLineSink final : public ResultSink {
+public:
+    explicit StreamingLineSink(std::ostream& os) : os_(os) { streaming(); }
+    void begin(const ExperimentPlan& plan) override { plan_ = plan.name; }
+    void cell(const CellResult& r) override {
+        os_ << cell_to_json(plan_, r.plan_index, r) << '\n' << std::flush;
+    }
+
+private:
+    std::ostream& os_;
+    std::string plan_;
+};
+
+/// --canonical: zero every measured-time field and the cache flag — the
+/// only nondeterministic parts of a cell — so two runs of the same plan
+/// (sharded or not) produce byte-identical display JSON.
+CellResult canonicalized(CellResult cell, bool canonical) {
+    if (canonical) {
+        cell.wall_seconds = 0.0;
+        cell.from_cache = false;
+        cell.run.train.preprocess_seconds = 0.0;
+        cell.run.train.train_seconds = 0.0;
+    }
+    return cell;
+}
+
+int merge(const std::string& out_path, const std::vector<std::string>& inputs,
+          bool canonical) {
+    std::map<std::size_t, CellResult> by_index;
+    std::string plan_name;
+    for (const std::string& input : inputs) {
+        std::ifstream in(input);
+        if (!in.good()) {
+            std::cerr << "fare-run: cannot open " << input << '\n';
+            return 1;
+        }
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            if (line.empty()) continue;
+            const Expected<CellRecord> record = cell_record_from_json(line);
+            if (!record) {
+                std::cerr << "fare-run: " << input << ':' << line_no << ": "
+                          << record.error() << '\n';
+                return 1;
+            }
+            const CellRecord& rec = record.value();
+            if (plan_name.empty()) plan_name = rec.plan;
+            if (rec.plan != plan_name) {
+                std::cerr << "fare-run: " << input << " is from plan '"
+                          << rec.plan << "', expected '" << plan_name << "'\n";
+                return 1;
+            }
+            if (!by_index.emplace(rec.plan_index, rec.result).second) {
+                std::cerr << "fare-run: plan cell " << rec.plan_index
+                          << " appears in two shards\n";
+                return 1;
+            }
+        }
+    }
+    if (by_index.empty()) {
+        std::cerr << "fare-run: no records to merge\n";
+        return 1;
+    }
+    // Shards jointly cover the plan exactly once: indices must be 0..M-1.
+    std::size_t expected = 0;
+    for (const auto& [index, cell] : by_index) {
+        if (index != expected) {
+            std::cerr << "fare-run: plan cell " << expected
+                      << " missing from every shard\n";
+            return 1;
+        }
+        ++expected;
+    }
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out.good()) {
+        std::cerr << "fare-run: cannot open " << out_path << '\n';
+        return 1;
+    }
+    for (const auto& [index, cell] : by_index)
+        out << cell_to_json(plan_name, index, canonicalized(cell, canonical))
+            << '\n';
+    std::cout << "merged " << by_index.size() << " cells from " << inputs.size()
+              << " shard file(s) into " << out_path << '\n';
+    return 0;
+}
+
+int run(int argc, char** argv) {
+    std::string plan_name, out_path, json_path, merge_out, cache_dir;
+    std::vector<std::string> merge_inputs;
+    SessionOptions options;
+    std::optional<std::size_t> epochs;
+    bool canonical = false, stats = false, stream = false, quiet = false;
+    bool list_plans = false, merging = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw InvalidArgument(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--list-plans") list_plans = true;
+        else if (arg == "--plan") plan_name = value();
+        else if (arg == "--shard") {
+            Expected<ShardSpec> shard = parse_shard(value());
+            if (!shard) throw InvalidArgument(shard.error());
+            options.shard = shard.value();
+        } else if (arg == "--threads") {
+            const Expected<double> n = parse_double(value());
+            if (!n || n.value() < 0) throw InvalidArgument("bad --threads");
+            options.threads = static_cast<std::size_t>(n.value());
+        } else if (arg == "--cache-dir") cache_dir = value();
+        else if (arg == "--epochs") {
+            const Expected<double> e = parse_double(value());
+            if (!e || e.value() < 1) throw InvalidArgument("bad --epochs");
+            epochs = static_cast<std::size_t>(e.value());
+        } else if (arg == "--out") out_path = value();
+        else if (arg == "--json") json_path = value();
+        else if (arg == "--canonical") canonical = true;
+        else if (arg == "--stats") stats = true;
+        else if (arg == "--stream") stream = true;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--progress") options.progress = &std::cerr;
+        else if (arg == "--merge") {
+            merging = true;
+            merge_out = value();
+        } else if (merging && arg.rfind("--", 0) != 0) {
+            merge_inputs.push_back(arg);
+        } else {
+            std::cerr << "fare-run: unknown argument " << arg << "\n\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (list_plans) {
+        for (const NamedPlan& plan : kPlans)
+            std::cout << plan.name << " — " << plan.description << '\n';
+        return 0;
+    }
+    if (merging) {
+        if (merge_inputs.empty()) {
+            std::cerr << "fare-run: --merge needs input files\n\n";
+            return usage(std::cerr, 2);
+        }
+        return merge(merge_out, merge_inputs, canonical);
+    }
+    if (plan_name.empty()) return usage(std::cerr, 2);
+
+    ExperimentPlan plan = find_plan(plan_name);
+    if (epochs)
+        for (CellSpec& cell : plan.cells) cell.epochs = epochs;
+
+    options.cache_dir = cache_dir;
+    SimSession session(options);
+    if (!quiet) session.add_sink(std::make_unique<ConsoleTableSink>(std::cout));
+    if (stream) session.add_sink(std::make_unique<StreamingLineSink>(std::cout));
+    if (stats) session.add_sink(std::make_unique<SeedStatsSink>(std::cout));
+    const ResultSet results = session.run(plan);
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::trunc);
+        FARE_CHECK(out.good(), "cannot open --out path: " + out_path);
+        for (const CellResult& cell : results) {
+            CellRecord record;
+            record.plan = plan.name;
+            record.key = cell.spec.key();
+            record.plan_index = cell.plan_index;
+            record.result = cell;
+            out << cell_record_to_json(record) << '\n';
+        }
+    }
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        FARE_CHECK(out.good(), "cannot open --json path: " + json_path);
+        for (const CellResult& cell : results)
+            out << cell_to_json(plan.name, cell.plan_index,
+                                canonicalized(cell, canonical))
+                << '\n';
+    }
+    std::cerr << "fare-run: plan '" << plan.name << "' shard "
+              << options.shard.label() << ": " << results.size()
+              << " cells, " << session.cache_hits() << " cache hits\n";
+    return 0;
+}
+
+}  // namespace
+}  // namespace fare
+
+int main(int argc, char** argv) {
+    try {
+        return fare::run(argc, argv);
+    } catch (const fare::InvalidArgument& e) {
+        std::cerr << "fare-run: " << e.what() << '\n';
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "fare-run: " << e.what() << '\n';
+        return 1;
+    }
+}

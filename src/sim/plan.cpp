@@ -96,6 +96,20 @@ SweepBuilder& SweepBuilder::sa1_fractions(const std::vector<double>& f) {
     sa1_fractions_ = f;
     return *this;
 }
+SweepBuilder& SweepBuilder::noise_sigma(double sigma) {
+    return noise_sigmas({sigma});
+}
+SweepBuilder& SweepBuilder::noise_sigmas(const std::vector<double>& sigmas) {
+    noise_sigmas_ = sigmas;
+    return *this;
+}
+SweepBuilder& SweepBuilder::clip_threshold(float tau) {
+    return clip_thresholds({tau});
+}
+SweepBuilder& SweepBuilder::clip_thresholds(const std::vector<float>& taus) {
+    clip_thresholds_ = taus;
+    return *this;
+}
 SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
 SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
     seeds_ = s;
@@ -129,7 +143,10 @@ SweepBuilder& SweepBuilder::seed_policy(SeedPolicy p) {
 std::size_t SweepBuilder::size() const {
     const std::size_t densities = densities_ ? densities_->size() : 1;
     const std::size_t sa1s = sa1_fractions_ ? sa1_fractions_->size() : 1;
-    return workloads_.size() * densities * sa1s * schemes_.size() * seeds_.size();
+    const std::size_t noises = noise_sigmas_ ? noise_sigmas_->size() : 1;
+    const std::size_t clips = clip_thresholds_ ? clip_thresholds_->size() : 1;
+    return workloads_.size() * densities * sa1s * noises * clips *
+           schemes_.size() * seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -141,6 +158,12 @@ ExperimentPlan SweepBuilder::build() const {
         densities_ ? *densities_ : std::vector<double>{scenario_.density};
     const std::vector<double> sa1s =
         sa1_fractions_ ? *sa1_fractions_ : std::vector<double>{scenario_.sa1_fraction};
+    const std::vector<double> noises =
+        noise_sigmas_ ? *noise_sigmas_
+                      : std::vector<double>{scenario_.read_noise_sigma};
+    const std::vector<float> clips =
+        clip_thresholds_ ? *clip_thresholds_
+                         : std::vector<float>{hardware_.clip_threshold};
     // Catch typo'd axis values at build time, not mid-sweep on a worker.
     for (const double d : densities)
         FARE_CHECK(d >= 0.0 && d <= 1.0,
@@ -148,6 +171,12 @@ ExperimentPlan SweepBuilder::build() const {
     for (const double f : sa1s)
         FARE_CHECK(f >= 0.0 && f <= 1.0,
                    "sweep '" + name_ + "': SA1 fraction outside [0,1]");
+    for (const double sigma : noises)
+        FARE_CHECK(sigma >= 0.0,
+                   "sweep '" + name_ + "': read-noise sigma must be >= 0");
+    for (const float tau : clips)
+        FARE_CHECK(tau > 0.0f,
+                   "sweep '" + name_ + "': clip threshold must be > 0");
 
     ExperimentPlan plan;
     plan.name = name_;
@@ -155,27 +184,34 @@ ExperimentPlan SweepBuilder::build() const {
     for (const WorkloadSpec& w : workloads_) {
         for (const double density : densities) {
             for (const double sa1 : sa1s) {
-                for (const Scheme scheme : schemes_) {
-                    for (const std::uint64_t base_seed : seeds_) {
-                        CellSpec cell;
-                        cell.workload = w;
-                        cell.scheme = scheme;
-                        cell.faults = scenario_;
-                        cell.faults.density = density;
-                        cell.faults.sa1_fraction = sa1;
-                        if (scenario_.post_sa1_follows_pre)
-                            cell.faults.post_sa1_fraction = sa1;
-                        cell.hardware = hardware_;
-                        cell.mode = mode_;
-                        cell.record_curve = record_curve_;
-                        cell.epochs = epochs_;
-                        cell.seed = base_seed;
-                        if (seed_policy_ == SeedPolicy::kDerived) {
-                            CellSpec coords = cell;  // key() sans seed bits
-                            coords.seed = 0;
-                            cell.seed = splitmix64(base_seed ^ fnv1a(coords.key()));
+                for (const double noise : noises) {
+                    for (const float clip : clips) {
+                        for (const Scheme scheme : schemes_) {
+                            for (const std::uint64_t base_seed : seeds_) {
+                                CellSpec cell;
+                                cell.workload = w;
+                                cell.scheme = scheme;
+                                cell.faults = scenario_;
+                                cell.faults.density = density;
+                                cell.faults.sa1_fraction = sa1;
+                                cell.faults.read_noise_sigma = noise;
+                                if (scenario_.post_sa1_follows_pre)
+                                    cell.faults.post_sa1_fraction = sa1;
+                                cell.hardware = hardware_;
+                                cell.hardware.clip_threshold = clip;
+                                cell.mode = mode_;
+                                cell.record_curve = record_curve_;
+                                cell.epochs = epochs_;
+                                cell.seed = base_seed;
+                                if (seed_policy_ == SeedPolicy::kDerived) {
+                                    CellSpec coords = cell;  // key() sans seed
+                                    coords.seed = 0;
+                                    cell.seed =
+                                        splitmix64(base_seed ^ fnv1a(coords.key()));
+                                }
+                                plan.cells.push_back(std::move(cell));
+                            }
                         }
-                        plan.cells.push_back(std::move(cell));
                     }
                 }
             }

@@ -81,8 +81,8 @@ struct ExperimentPlan {
 /// with only a workload and a scheme yields exactly one cell.
 ///
 /// Enumeration order is deterministic: workload-major, then density, then
-/// SA1 fraction, then scheme, then seed — the row/column order the paper's
-/// tables use.
+/// SA1 fraction, then read-noise sigma, then clip threshold, then scheme,
+/// then seed — the row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
@@ -95,6 +95,14 @@ public:
     SweepBuilder& densities(const std::vector<double>& d);
     SweepBuilder& sa1_fraction(double f);
     SweepBuilder& sa1_fractions(const std::vector<double>& f);
+    /// Multiplicative read-noise sigma axis (extension E3). Unset: the
+    /// scenario template's read_noise_sigma.
+    SweepBuilder& noise_sigma(double sigma);
+    SweepBuilder& noise_sigmas(const std::vector<double>& sigmas);
+    /// Clipping threshold tau axis (paper §IV-B ablations). Unset: the
+    /// hardware template's clip_threshold.
+    SweepBuilder& clip_threshold(float tau);
+    SweepBuilder& clip_thresholds(const std::vector<float>& taus);
     SweepBuilder& seed(std::uint64_t s);
     SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
 
@@ -121,6 +129,8 @@ private:
     std::vector<Scheme> schemes_{Scheme::kFaultFree};
     std::optional<std::vector<double>> densities_;
     std::optional<std::vector<double>> sa1_fractions_;
+    std::optional<std::vector<double>> noise_sigmas_;
+    std::optional<std::vector<float>> clip_thresholds_;
     std::vector<std::uint64_t> seeds_{1};
     FaultScenario scenario_;
     HardwareOverrides hardware_;

@@ -1,10 +1,9 @@
 #include "sim/result_sink.hpp"
 
-#include <cstdio>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <ostream>
-#include <sstream>
 
 #include "common/error.hpp"
 
@@ -31,29 +30,16 @@ std::vector<std::string> cell_row(const CellResult& r) {
             fmt(r.wall_seconds, 2)};
 }
 
-std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    return out;
+/// Group key for seed-replicate aggregation: the cell's canonical key with
+/// the seed axis (dataset seed and any explicit hardware seed) zeroed out,
+/// so replicates of one coordinate collapse onto one row — including seeds
+/// derived per cell by SeedPolicy::kDerived.
+std::string seedless_coordinate_key(const CellSpec& spec) {
+    CellSpec coords = spec;
+    coords.seed = 0;
+    coords.hardware_seed.reset();
+    return coords.key();
 }
-
-std::string json_num(double v) { return fmt_exact(v); }
 
 }  // namespace
 
@@ -95,55 +81,115 @@ void JsonLinesSink::begin(const ExperimentPlan& plan) {
     const std::string path =
         path_.empty() ? default_bench_out_path(plan.name) : path_;
     if (out_.is_open()) out_.close();
-    // First open of a path truncates (a re-run replaces stale results);
-    // later plans hitting the same explicit path append instead of silently
-    // discarding the earlier plans' cells.
+    final_path_ = path;
+    tmp_path_ = path + ".tmp";
+    // The first plan resolving to a path replaces it (a re-run supersedes
+    // stale results); later plans hitting the same explicit path append.
+    // Either way cells land in the staging file and only reach `path` via
+    // the atomic rename in end() — a crash mid-plan never tears `path`.
     const bool fresh = seen_paths_.insert(path).second;
-    out_.open(path, fresh ? std::ios::trunc : std::ios::app);
-    FARE_CHECK(out_.good(), "cannot open JSON-lines sink path: " + path);
+    if (!fresh && std::filesystem::exists(final_path_)) {
+        std::error_code ec;
+        std::filesystem::copy_file(
+            final_path_, tmp_path_,
+            std::filesystem::copy_options::overwrite_existing, ec);
+        FARE_CHECK(!ec, "cannot stage JSON-lines sink file: " + tmp_path_);
+        out_.open(tmp_path_, std::ios::app);
+    } else {
+        out_.open(tmp_path_, std::ios::trunc);
+    }
+    FARE_CHECK(out_.good(), "cannot open JSON-lines sink path: " + tmp_path_);
     plan_name_ = plan.name;
     index_ = 0;
 }
 
 void JsonLinesSink::cell(const CellResult& result) {
-    // begin() may not have run when a sink is driven manually; open lazily.
+    // begin() may not have run when a sink is driven manually; open lazily,
+    // writing straight to the destination (no staging without an end()).
     if (!out_.is_open()) {
         FARE_CHECK(!path_.empty(),
                    "JsonLinesSink without a path needs a plan (begin())");
+        tmp_path_.clear();
         out_.open(path_, std::ios::trunc);
         FARE_CHECK(out_.good(), "cannot open JSON-lines sink path: " + path_);
     }
     out_ << cell_to_json(plan_name_, index_++, result) << '\n' << std::flush;
 }
 
-std::string cell_to_json(const std::string& plan_name, std::size_t index,
-                         const CellResult& r) {
-    const CellSpec& s = r.spec;
-    std::ostringstream os;
-    os << '{' << "\"plan\":\"" << json_escape(plan_name) << "\",\"cell\":" << index
-       << ",\"workload\":\"" << json_escape(s.workload.label()) << "\""
-       << ",\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
-       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
-       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
-       << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
-       << ",\"density\":" << json_num(s.faults.density)
-       << ",\"sa1_fraction\":" << json_num(s.faults.sa1_fraction)
-       << ",\"post_total_density\":" << json_num(s.faults.post_total_density)
-       << ",\"read_noise_sigma\":" << json_num(s.faults.read_noise_sigma)
-       << ",\"seed\":" << s.seed << ",\"accuracy\":" << json_num(r.accuracy());
-    if (s.mode == CellMode::kTrain) {
-        os << ",\"macro_f1\":" << json_num(r.run.train.test_macro_f1)
-           << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
-           << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
-           << ",\"mapping_cost\":" << json_num(r.run.total_mapping_cost)
-           << ",\"bist_scans\":" << r.run.bist_scans;
+void JsonLinesSink::end(const ExperimentPlan&) {
+    if (tmp_path_.empty()) return;  // lazily-opened direct write
+    out_.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp_path_, final_path_, ec);
+    FARE_CHECK(!ec, "cannot publish JSON-lines sink file: " + final_path_);
+    tmp_path_.clear();
+}
+
+void SeedStatsSink::Stats::add(double x) {
+    if (n == 0) {
+        min = max = x;
     } else {
-        os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
-           << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);
+        min = std::min(min, x);
+        max = std::max(max, x);
     }
-    os << ",\"from_cache\":" << (r.from_cache ? "true" : "false")
-       << ",\"wall_seconds\":" << json_num(r.wall_seconds) << '}';
-    return os.str();
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+}
+
+double SeedStatsSink::Stats::stddev() const {
+    if (n < 2) return 0.0;
+    return std::sqrt(m2 / static_cast<double>(n - 1));
+}
+
+SeedStatsSink::SeedStatsSink(std::ostream& os) : os_(os) {}
+
+void SeedStatsSink::begin(const ExperimentPlan&) {
+    rows_.clear();
+    row_of_coord_.clear();
+    seen_cells_.clear();
+}
+
+void SeedStatsSink::cell(const CellResult& result) {
+    // A plan may list the same canonical cell several times (the fault-free
+    // reference repeats per density row); count each distinct cell once per
+    // plan or duplicates would inflate n and deflate sigma.
+    if (!seen_cells_.insert(result.spec.key()).second) return;
+    const std::string coord = seedless_coordinate_key(result.spec);
+    const auto [it, fresh] = row_of_coord_.emplace(coord, rows_.size());
+    if (fresh) {
+        Row row;
+        row.spec = result.spec;
+        rows_.push_back(std::move(row));
+    }
+    Row& row = rows_[it->second];
+    row.accuracy.add(result.accuracy());
+    if (result.spec.mode == CellMode::kTrain)
+        row.macro_f1.add(result.run.train.test_macro_f1);
+}
+
+void SeedStatsSink::end(const ExperimentPlan& plan) {
+    Table table({"Workload", "Scheme", "Mode", "Density", "SA1", "Noise", "n",
+                 "Acc mean", "Acc sigma", "Acc min", "Acc max", "F1 mean"});
+    for (const Row& row : rows_) {
+        const CellSpec& s = row.spec;
+        table.add_row({s.workload.label(),
+                       scheme_name(s.scheme),
+                       cell_mode_name(s.mode),
+                       fmt_pct(s.faults.density, 1),
+                       fmt_pct(s.faults.sa1_fraction, 0),
+                       fmt_pct(s.faults.read_noise_sigma, 0),
+                       std::to_string(row.accuracy.n),
+                       fmt(row.accuracy.mean, 4),
+                       fmt(row.accuracy.stddev(), 4),
+                       fmt(row.accuracy.min, 4),
+                       fmt(row.accuracy.max, 4),
+                       row.macro_f1.n ? fmt(row.macro_f1.mean, 4) : "-"});
+    }
+    os_ << "--- " << plan.name << " seed stats (" << rows_.size()
+        << " coordinates) ---\n"
+        << table.to_ascii() << std::flush;
 }
 
 std::string default_bench_out_path(const std::string& name) {

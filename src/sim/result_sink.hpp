@@ -1,27 +1,49 @@
 // Pluggable result reporting for SimSession: benches stop hand-formatting
 // output and instead attach sinks — an aligned console table, RFC-4180 CSV,
-// or JSON lines (one object per cell) for machine-readable perf/accuracy
-// trajectories under bench/out/BENCH_<plan>.json.
+// JSON lines (one object per cell) for machine-readable perf/accuracy
+// trajectories under bench/out/BENCH_<plan>.json, or seed-replicate
+// statistics (mean/σ error bars over the seed axis).
+//
+// Delivery contract: by default a sink observes begin / every cell / end in
+// plan order once the run completes. A sink switched to streaming() instead
+// observes begin at run start and each cell as soon as the plan prefix up to
+// it has finished — same order, delivered incrementally (see
+// sim/result_bus.hpp).
 #pragma once
 
 #include <fstream>
 #include <iosfwd>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/table.hpp"
+#include "sim/serialization.hpp"
 #include "sim/session.hpp"
 
 namespace fare {
 
-/// Observer over one plan execution. Sinks are notified in plan order after
-/// all cells complete, so implementations need no synchronisation.
+/// Observer over one plan execution.
 class ResultSink {
 public:
     virtual ~ResultSink();
     virtual void begin(const ExperimentPlan& plan);
     virtual void cell(const CellResult& result) = 0;
     virtual void end(const ExperimentPlan& plan);
+
+    /// Opt into streaming delivery (cells as the completed prefix grows,
+    /// possibly mid-run) instead of plan-order-at-end. Callbacks are
+    /// serialised by the ResultBus either way, so implementations never need
+    /// their own locking. Returns *this for chaining off add_sink().
+    ResultSink& streaming(bool on = true) {
+        streaming_ = on;
+        return *this;
+    }
+    bool is_streaming() const { return streaming_; }
+
+private:
+    bool streaming_ = false;
 };
 
 /// Aligned ASCII table of the generic cell columns, printed at plan end.
@@ -51,10 +73,13 @@ private:
     Table table_;
 };
 
-/// JSON lines: one self-describing object per cell, appended as cells are
-/// reported. A path is truncated the first time this sink opens it (so a
-/// re-run replaces stale results) and appended to by any later plan that
-/// resolves to the same file.
+/// JSON lines: one self-describing object per cell. Cells are staged in
+/// `<path>.tmp` and atomically renamed over `<path>` at plan end, so readers
+/// never observe a truncated file and a run killed mid-plan leaves any
+/// previously-published results intact (a resumed run republishes from
+/// scratch instead of appending to a torn tail). The first plan resolving to
+/// a path replaces it; later plans hitting the same explicit path append.
+/// Works in streaming mode: lines land in the staging file as cells finish.
 class JsonLinesSink final : public ResultSink {
 public:
     /// Writes to `path`; an empty path derives
@@ -63,13 +88,58 @@ public:
     explicit JsonLinesSink(std::string path = {});
     void begin(const ExperimentPlan& plan) override;
     void cell(const CellResult& result) override;
+    void end(const ExperimentPlan& plan) override;
 
 private:
     std::string path_;
     std::string plan_name_;
-    std::set<std::string> seen_paths_;  // truncate first open, append after
+    std::set<std::string> seen_paths_;  // replace on first open, append after
+    std::string final_path_;  ///< publish destination of the active plan
+    std::string tmp_path_;    ///< staging file ("" => legacy direct write)
     std::ofstream out_;
     std::size_t index_ = 0;
+};
+
+/// Seed-replicate statistics: aggregates accuracy (and macro-F1 for
+/// training cells) over the seed axis, grouping cells that share every
+/// coordinate except the seed — (workload, scheme, density, SA1, noise,
+/// chip, mode) — so figures can report mean ± σ error bars instead of a
+/// single replicate. Resets per plan; prints one row per group at plan end.
+class SeedStatsSink final : public ResultSink {
+public:
+    /// Streaming-capable running moments (Welford).
+    struct Stats {
+        std::size_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+
+        void add(double x);
+        /// Sample standard deviation (n-1); 0 with fewer than 2 replicates.
+        double stddev() const;
+    };
+
+    struct Row {
+        CellSpec spec;  ///< first-seen cell of the group (its seed included)
+        Stats accuracy;
+        Stats macro_f1;
+    };
+
+    explicit SeedStatsSink(std::ostream& os);
+    void begin(const ExperimentPlan& plan) override;
+    void cell(const CellResult& result) override;
+    void end(const ExperimentPlan& plan) override;
+
+    /// Aggregated rows of the current (or just-finished) plan, in
+    /// first-appearance order.
+    const std::vector<Row>& rows() const { return rows_; }
+
+private:
+    std::ostream& os_;
+    std::vector<Row> rows_;
+    std::unordered_map<std::string, std::size_t> row_of_coord_;
+    std::set<std::string> seen_cells_;  ///< full keys: dedup in-plan repeats
 };
 
 /// Canonical output path for a bench's machine-readable results:
@@ -77,8 +147,7 @@ private:
 /// directory created on demand.
 std::string default_bench_out_path(const std::string& name);
 
-/// One cell as a single-line JSON object (exposed for tests).
-std::string cell_to_json(const std::string& plan_name, std::size_t index,
-                         const CellResult& result);
+// cell_to_json (one cell as a single-line display JSON object) moved to
+// sim/serialization.hpp, re-exported via the include above.
 
 }  // namespace fare

@@ -1,0 +1,498 @@
+#include "sim/serialization.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace fare {
+
+namespace {
+
+std::string json_num(double v) { return fmt_exact(v); }
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over one document. Internal errors throw
+// std::runtime_error; the public entry points convert to Expected.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("JSON parse error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kString;
+            v.text = parse_string();
+            return v;
+        }
+        if (consume_literal("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = true;
+            return v;
+        }
+        if (consume_literal("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            return v;
+        }
+        if (consume_literal("null")) return JsonValue{};
+        return parse_number();
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.members.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= h - '0';
+                        else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                        else fail("bad \\u escape digit");
+                    }
+                    // Our writer only emits \u00xx control escapes; decode
+                    // the low byte and keep anything else as '?'.
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                c == 'e' || c == 'E' || c == '+' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kNumber;
+        v.text = text_.substr(start, pos_ - start);
+        // Validate the token now so as_double() can't fail later.
+        char* end = nullptr;
+        std::strtod(v.text.c_str(), &end);
+        if (end != v.text.c_str() + v.text.size()) fail("malformed number");
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+[[noreturn]] void bad_field(const std::string& what) {
+    throw std::runtime_error("cell record: " + what);
+}
+
+const JsonValue& member(const JsonValue& v, const char* key) {
+    const JsonValue* m = v.find(key);
+    if (!m) bad_field(std::string("missing field '") + key + "'");
+    return *m;
+}
+
+double dnum(const JsonValue& v, const char* key) {
+    return member(v, key).as_double();
+}
+
+std::uint64_t u64(const JsonValue& v, const char* key) {
+    return member(v, key).as_u64();
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [name, value] : members)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+double JsonValue::as_double() const {
+    if (kind != Kind::kNumber) bad_field("expected a number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::as_u64() const {
+    if (kind != Kind::kNumber) bad_field("expected a number");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+bool JsonValue::as_bool() const {
+    if (kind != Kind::kBool) bad_field("expected a bool");
+    return boolean;
+}
+
+const std::string& JsonValue::as_string() const {
+    if (kind != Kind::kString) bad_field("expected a string");
+    return text;
+}
+
+Expected<JsonValue> parse_json(const std::string& text) {
+    try {
+        return JsonParser(text).parse_document();
+    } catch (const std::runtime_error& e) {
+        return Expected<JsonValue>::failure(e.what());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-fidelity CellResult round trip.
+// ---------------------------------------------------------------------------
+
+std::string cell_result_to_json(const CellResult& r) {
+    const CellSpec& s = r.spec;
+    const FaultScenario& f = s.faults;
+    const HardwareOverrides& h = s.hardware;
+    std::ostringstream os;
+    os << "{\"spec\":{"
+       << "\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
+       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
+       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
+       << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
+       << ",\"seed\":" << s.seed << ",\"hardware_seed\":"
+       << (s.hardware_seed ? std::to_string(*s.hardware_seed) : "null")
+       << ",\"record_curve\":" << (s.record_curve ? "true" : "false")
+       << ",\"epochs\":" << (s.epochs ? std::to_string(*s.epochs) : "null")
+       << ",\"faults\":{"
+       << "\"density\":" << json_num(f.density)
+       << ",\"sa1_fraction\":" << json_num(f.sa1_fraction)
+       << ",\"cluster_shape\":" << json_num(f.cluster_shape)
+       << ",\"post_total_density\":" << json_num(f.post_total_density)
+       << ",\"post_epochs\":" << f.post_epochs
+       << ",\"post_sa1_fraction\":" << json_num(f.post_sa1_fraction)
+       << ",\"post_sa1_follows_pre\":" << (f.post_sa1_follows_pre ? "true" : "false")
+       << ",\"faults_on_weights\":" << (f.faults_on_weights ? "true" : "false")
+       << ",\"faults_on_adjacency\":" << (f.faults_on_adjacency ? "true" : "false")
+       << ",\"read_noise_sigma\":" << json_num(f.read_noise_sigma) << '}'
+       << ",\"hardware\":{"
+       << "\"num_tiles\":" << h.num_tiles
+       << ",\"clip_threshold\":" << json_num(h.clip_threshold)
+       << ",\"match_sa0\":" << json_num(h.match_weights.sa0)
+       << ",\"match_sa1\":" << json_num(h.match_weights.sa1)
+       << ",\"spare_column_fraction\":" << json_num(h.spare_column_fraction)
+       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool << "}}"
+       << ",\"run\":{\"scheme\":\"" << scheme_name(r.run.scheme) << "\""
+       << ",\"total_mapping_cost\":" << json_num(r.run.total_mapping_cost)
+       << ",\"bist_scans\":" << r.run.bist_scans
+       << ",\"train\":{\"test_accuracy\":" << json_num(r.run.train.test_accuracy)
+       << ",\"test_macro_f1\":" << json_num(r.run.train.test_macro_f1)
+       << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
+       << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
+       << ",\"curve\":[";
+    for (std::size_t i = 0; i < r.run.train.curve.size(); ++i) {
+        const EpochStats& e = r.run.train.curve[i];
+        os << (i ? "," : "") << '[' << json_num(e.train_loss) << ','
+           << json_num(e.train_accuracy) << ',' << json_num(e.val_accuracy)
+           << ']';
+    }
+    os << "]}}"
+       << ",\"deployment\":{\"trained_accuracy\":"
+       << json_num(r.deployment.trained_accuracy)
+       << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy)
+       << '}'
+       << ",\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << ",\"wall_seconds\":" << json_num(r.wall_seconds)
+       << ",\"plan_index\":" << r.plan_index << '}';
+    return os.str();
+}
+
+Expected<CellResult> cell_result_from_json(const JsonValue& v) {
+    try {
+        CellResult r;
+        const JsonValue& spec = member(v, "spec");
+        const Expected<GnnKind> kind =
+            parse_gnn_kind(member(spec, "model").as_string());
+        if (!kind) bad_field(kind.error());
+        r.spec.workload =
+            find_workload(member(spec, "dataset").as_string(), kind.value());
+        const Expected<Scheme> scheme =
+            parse_scheme(member(spec, "scheme").as_string());
+        if (!scheme) bad_field(scheme.error());
+        r.spec.scheme = scheme.value();
+        const std::string& mode = member(spec, "mode").as_string();
+        if (mode != "train" && mode != "deploy") bad_field("bad mode: " + mode);
+        r.spec.mode = mode == "deploy" ? CellMode::kDeploy : CellMode::kTrain;
+        r.spec.seed = u64(spec, "seed");
+        const JsonValue& hw_seed = member(spec, "hardware_seed");
+        if (hw_seed.kind != JsonValue::Kind::kNull)
+            r.spec.hardware_seed = hw_seed.as_u64();
+        r.spec.record_curve = member(spec, "record_curve").as_bool();
+        const JsonValue& epochs = member(spec, "epochs");
+        if (epochs.kind != JsonValue::Kind::kNull)
+            r.spec.epochs = static_cast<std::size_t>(epochs.as_u64());
+
+        const JsonValue& f = member(spec, "faults");
+        FaultScenario& faults = r.spec.faults;
+        faults.density = dnum(f, "density");
+        faults.sa1_fraction = dnum(f, "sa1_fraction");
+        faults.cluster_shape = dnum(f, "cluster_shape");
+        faults.post_total_density = dnum(f, "post_total_density");
+        faults.post_epochs = static_cast<std::size_t>(u64(f, "post_epochs"));
+        faults.post_sa1_fraction = dnum(f, "post_sa1_fraction");
+        faults.post_sa1_follows_pre = member(f, "post_sa1_follows_pre").as_bool();
+        faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
+        faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
+        faults.read_noise_sigma = dnum(f, "read_noise_sigma");
+
+        const JsonValue& h = member(spec, "hardware");
+        HardwareOverrides& hw = r.spec.hardware;
+        hw.num_tiles = static_cast<int>(u64(h, "num_tiles"));
+        hw.clip_threshold = static_cast<float>(dnum(h, "clip_threshold"));
+        hw.match_weights.sa0 = dnum(h, "match_sa0");
+        hw.match_weights.sa1 = dnum(h, "match_sa1");
+        hw.spare_column_fraction = dnum(h, "spare_column_fraction");
+        hw.max_adjacency_pool =
+            static_cast<std::size_t>(u64(h, "max_adjacency_pool"));
+
+        const JsonValue& run = member(v, "run");
+        const Expected<Scheme> run_scheme =
+            parse_scheme(member(run, "scheme").as_string());
+        if (!run_scheme) bad_field(run_scheme.error());
+        r.run.scheme = run_scheme.value();
+        r.run.total_mapping_cost = dnum(run, "total_mapping_cost");
+        r.run.bist_scans = static_cast<std::size_t>(u64(run, "bist_scans"));
+        const JsonValue& train = member(run, "train");
+        r.run.train.test_accuracy = dnum(train, "test_accuracy");
+        r.run.train.test_macro_f1 = dnum(train, "test_macro_f1");
+        r.run.train.preprocess_seconds = dnum(train, "preprocess_seconds");
+        r.run.train.train_seconds = dnum(train, "train_seconds");
+        const JsonValue& curve = member(train, "curve");
+        if (curve.kind != JsonValue::Kind::kArray) bad_field("curve not an array");
+        for (const JsonValue& point : curve.items) {
+            if (point.kind != JsonValue::Kind::kArray || point.items.size() != 3)
+                bad_field("curve point is not [loss, train, val]");
+            EpochStats e;
+            e.train_loss = static_cast<float>(point.items[0].as_double());
+            e.train_accuracy = point.items[1].as_double();
+            e.val_accuracy = point.items[2].as_double();
+            r.run.train.curve.push_back(e);
+        }
+
+        const JsonValue& dep = member(v, "deployment");
+        r.deployment.trained_accuracy = dnum(dep, "trained_accuracy");
+        r.deployment.deployed_accuracy = dnum(dep, "deployed_accuracy");
+
+        r.from_cache = member(v, "from_cache").as_bool();
+        r.wall_seconds = dnum(v, "wall_seconds");
+        r.plan_index = static_cast<std::size_t>(u64(v, "plan_index"));
+        return r;
+    } catch (const std::exception& e) {
+        // find_workload throws InvalidArgument on unknown workloads; fold it
+        // into the same corrupt-record channel as structural errors.
+        return Expected<CellResult>::failure(e.what());
+    }
+}
+
+std::string cell_record_to_json(const CellRecord& record) {
+    std::ostringstream os;
+    os << "{\"schema\":" << record.schema << ",\"plan\":\""
+       << json_escape(record.plan) << "\",\"key\":\"" << json_escape(record.key)
+       << "\",\"plan_index\":" << record.plan_index
+       << ",\"result\":" << cell_result_to_json(record.result) << '}';
+    return os.str();
+}
+
+Expected<CellRecord> cell_record_from_json(const std::string& line) {
+    const Expected<JsonValue> doc = parse_json(line);
+    if (!doc) return Expected<CellRecord>::failure(doc.error());
+    const JsonValue& v = doc.value();
+    try {
+        CellRecord record;
+        record.schema = static_cast<int>(u64(v, "schema"));
+        if (record.schema != kCellJsonSchemaVersion)
+            bad_field("schema version " + std::to_string(record.schema) +
+                      " != " + std::to_string(kCellJsonSchemaVersion));
+        record.plan = member(v, "plan").as_string();
+        record.key = member(v, "key").as_string();
+        record.plan_index = static_cast<std::size_t>(u64(v, "plan_index"));
+        Expected<CellResult> result = cell_result_from_json(member(v, "result"));
+        if (!result) return Expected<CellRecord>::failure(result.error());
+        record.result = std::move(result).value();
+        return record;
+    } catch (const std::runtime_error& e) {
+        return Expected<CellRecord>::failure(e.what());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display format (bench/out/BENCH_*.json lines) — unchanged since PR 1.
+// ---------------------------------------------------------------------------
+
+std::string cell_to_json(const std::string& plan_name, std::size_t index,
+                         const CellResult& r) {
+    const CellSpec& s = r.spec;
+    std::ostringstream os;
+    os << '{' << "\"plan\":\"" << json_escape(plan_name) << "\",\"cell\":" << index
+       << ",\"workload\":\"" << json_escape(s.workload.label()) << "\""
+       << ",\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
+       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
+       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
+       << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
+       << ",\"density\":" << json_num(s.faults.density)
+       << ",\"sa1_fraction\":" << json_num(s.faults.sa1_fraction)
+       << ",\"post_total_density\":" << json_num(s.faults.post_total_density)
+       << ",\"read_noise_sigma\":" << json_num(s.faults.read_noise_sigma)
+       << ",\"seed\":" << s.seed << ",\"accuracy\":" << json_num(r.accuracy());
+    if (s.mode == CellMode::kTrain) {
+        os << ",\"macro_f1\":" << json_num(r.run.train.test_macro_f1)
+           << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
+           << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
+           << ",\"mapping_cost\":" << json_num(r.run.total_mapping_cost)
+           << ",\"bist_scans\":" << r.run.bist_scans;
+    } else {
+        os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
+           << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);
+    }
+    os << ",\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << ",\"wall_seconds\":" << json_num(r.wall_seconds) << '}';
+    return os.str();
+}
+
+}  // namespace fare

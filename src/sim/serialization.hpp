@@ -1,0 +1,82 @@
+// CellResult <-> JSON serialization, refactored out of the sink-side
+// cell_to_json so the on-disk cell cache and the fare-run shard driver can
+// persist *full-fidelity* results and read them back bit-identically.
+//
+// Two formats share the helpers here:
+//   * the display format (cell_to_json): one flat, self-describing object
+//     per cell for bench/out/BENCH_*.json consumers — lossy (no curve, no
+//     chip overrides) and stable since PR 1;
+//   * the record format (CellRecord): schema-versioned envelope
+//     {"schema":N,"plan":...,"key":...,"plan_index":...,"result":{...}}
+//     whose "result" member round-trips every CellResult field exactly
+//     (doubles via %.17g, 64-bit seeds as raw integer tokens). DiskCellCache
+//     lines and fare-run shard outputs are CellRecords.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/cell.hpp"
+
+namespace fare {
+
+/// Version stamp written into every persisted record. Bump when the result
+/// JSON changes shape; readers skip records from other versions (the cell
+/// recomputes instead of deserializing wrongly).
+inline constexpr int kCellJsonSchemaVersion = 1;
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Minimal JSON document model for the parser below: enough for our own
+/// records (objects, arrays, strings, numbers, bools, null). Numbers keep
+/// their raw token so 64-bit seeds survive (a double mantissa would not).
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    std::string text;  ///< string payload, or the raw number token
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+    std::vector<JsonValue> items;                            ///< kArray
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* find(const std::string& key) const;
+    double as_double() const;            ///< kNumber
+    std::uint64_t as_u64() const;        ///< kNumber, integral token
+    bool as_bool() const;                ///< kBool
+    const std::string& as_string() const;  ///< kString
+};
+
+/// Strict parse of one JSON document (trailing garbage is an error).
+Expected<JsonValue> parse_json(const std::string& text);
+
+/// Full-fidelity CellResult serialization: every spec field, both metric
+/// payloads, the training curve, and the cache/timing metadata.
+std::string cell_result_to_json(const CellResult& result);
+Expected<CellResult> cell_result_from_json(const JsonValue& value);
+
+/// One persisted cell: the schema-versioned envelope around a CellResult.
+struct CellRecord {
+    int schema = kCellJsonSchemaVersion;
+    std::string plan;       ///< plan name ("" for cache entries)
+    std::string key;        ///< CellSpec::key() at store time
+    std::size_t plan_index = 0;
+    CellResult result;
+};
+
+std::string cell_record_to_json(const CellRecord& record);
+/// Parses + validates one record line. Failure (malformed JSON, missing
+/// fields, wrong schema version) is an Expected error, never a throw — a
+/// corrupt cache line must cost a recompute, not the run.
+Expected<CellRecord> cell_record_from_json(const std::string& line);
+
+/// One cell as a single-line *display* JSON object — the flat format the
+/// JSON-lines sink writes under bench/out/ (also re-exported by
+/// sim/result_sink.hpp). `index` is the cell's position in its plan.
+std::string cell_to_json(const std::string& plan_name, std::size_t index,
+                         const CellResult& result);
+
+}  // namespace fare

@@ -1,63 +1,29 @@
 #include "sim/session.hpp"
 
 #include <mutex>
+#include <optional>
 #include <ostream>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
-#include "common/stopwatch.hpp"
+#include "sim/cell_cache.hpp"
+#include "sim/executor.hpp"
+#include "sim/result_bus.hpp"
 #include "sim/result_sink.hpp"
 
 namespace fare {
 
-double CellResult::accuracy() const {
-    return spec.mode == CellMode::kDeploy ? deployment.deployed_accuracy
-                                          : run.train.test_accuracy;
-}
+SimSession::SimSession(SessionOptions options)
+    : SimSession(options, nullptr, nullptr) {}
 
-const CellResult& ResultSet::at(const WorkloadSpec& workload, Scheme scheme,
-                                double density, double sa1_fraction,
-                                std::optional<CellMode> mode) const {
-    for (const CellResult& cell : cells) {
-        if (cell.spec.workload.dataset != workload.dataset ||
-            cell.spec.workload.kind != workload.kind)
-            continue;
-        if (cell.spec.scheme != scheme) continue;
-        if (density >= 0.0 && cell.spec.faults.density != density) continue;
-        if (sa1_fraction >= 0.0 && cell.spec.faults.sa1_fraction != sa1_fraction)
-            continue;
-        if (mode && cell.spec.mode != *mode) continue;
-        return cell;
-    }
-    throw InvalidArgument("no cell for " + workload.label() + " / " +
-                          scheme_name(scheme));
-}
-
-double ResultSet::accuracy(const WorkloadSpec& workload, Scheme scheme,
-                           double density, double sa1_fraction,
-                           std::optional<CellMode> mode) const {
-    return at(workload, scheme, density, sa1_fraction, mode).accuracy();
-}
-
-CellResult run_cell(const CellSpec& spec) {
-    CellResult result;
-    result.spec = spec;
-    Stopwatch watch;
-    const Dataset dataset = spec.workload.make_dataset(spec.seed);
-    const TrainConfig tc = spec.train_config();
-    const std::uint64_t hw_seed = spec.hardware_seed.value_or(spec.seed);
-    if (spec.mode == CellMode::kDeploy) {
-        result.deployment = run_deployment(dataset, tc, spec.scheme, spec.faults,
-                                           spec.hardware, hw_seed);
-    } else {
-        result.run = run_scheme(dataset, spec.scheme, tc, spec.faults,
-                                spec.hardware, hw_seed);
-    }
-    result.wall_seconds = watch.elapsed_ms() / 1e3;
-    return result;
-}
-
-SimSession::SimSession(SessionOptions options) : options_(options) {}
+SimSession::SimSession(SessionOptions options,
+                       std::unique_ptr<CellExecutor> executor,
+                       std::unique_ptr<CellCache> cache)
+    : options_(options),
+      executor_(executor ? std::move(executor)
+                         : make_cell_executor(options.threads)),
+      cache_(cache ? std::move(cache) : make_cell_cache(options.cache_dir)) {}
 
 SimSession::~SimSession() = default;
 
@@ -67,90 +33,86 @@ ResultSink& SimSession::add_sink(std::unique_ptr<ResultSink> sink) {
     return *sinks_.back();
 }
 
-std::size_t SimSession::threads() const { return resolve_threads(options_.threads); }
+std::size_t SimSession::threads() const { return executor_->width(); }
+
+std::size_t SimSession::cache_entries() const { return cache_->size(); }
 
 ResultSet SimSession::run(const ExperimentPlan& plan) {
-    if (!options_.memoize) {
-        // No dedup at all: every listed cell executes, repeats included.
-        ResultSet results;
-        results.cells.resize(plan.cells.size());
-        std::mutex progress_mutex;
-        parallel_for_each(options_.threads, plan.cells.size(), [&](std::size_t i) {
-            results.cells[i] = run_cell(plan.cells[i]);
-            if (options_.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                (*options_.progress) << '.' << std::flush;
-            }
-        });
-        finish_run(plan, results, !plan.cells.empty());
-        return results;
-    }
+    const PlanScheduler scheduler(options_.shard, options_.memoize);
+    const ScheduledPlan sched = scheduler.schedule(plan);
 
-    // Partition the plan into cells already cached and cells to execute,
-    // deduplicating equal keys so each distinct cell runs exactly once.
-    std::vector<std::string> keys;
-    keys.reserve(plan.cells.size());
-    for (const CellSpec& cell : plan.cells) keys.push_back(cell.key());
+    // Report slot per owned plan cell, and owned plan cells per job
+    // (ascending, so the first entry is the job's fresh occurrence).
+    std::unordered_map<std::size_t, std::size_t> slot_of_cell;
+    slot_of_cell.reserve(sched.owned_cells.size());
+    for (std::size_t slot = 0; slot < sched.owned_cells.size(); ++slot)
+        slot_of_cell.emplace(sched.owned_cells[slot], slot);
+    std::unordered_map<std::size_t, std::vector<std::size_t>> cells_of_job;
+    for (const std::size_t i : sched.owned_cells)
+        cells_of_job[sched.job_of_cell[i]].push_back(i);
 
-    std::unordered_map<std::string, std::size_t> job_of_key;
-    std::vector<const CellSpec*> jobs;
-    std::vector<std::string> job_keys;
-    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
-        if (cache_.count(keys[i])) continue;
-        if (job_of_key.emplace(keys[i], jobs.size()).second) {
-            jobs.push_back(&plan.cells[i]);
-            job_keys.push_back(keys[i]);
+    std::vector<ResultSink*> sinks;
+    sinks.reserve(sinks_.size());
+    for (const auto& sink : sinks_) sinks.push_back(sink.get());
+    ResultBus bus(plan, std::move(sinks), sched.owned_cells.size());
+    bus.begin();
+
+    // Fan one job's outcome out to every owned plan cell listing its key.
+    // A cell is reported from_cache unless it is the first occurrence of a
+    // job executed in this run; its spec keeps the requested coordinates
+    // (the cached run is behaviourally identical by construction of key()).
+    const auto deliver_job = [&](std::size_t job, const CellResult& result,
+                                 bool executed_here) {
+        const std::vector<std::size_t>& cells = cells_of_job.at(job);
+        for (std::size_t n = 0; n < cells.size(); ++n) {
+            const std::size_t i = cells[n];
+            CellResult cell = result;
+            cell.spec = plan.cells[i];
+            cell.plan_index = i;
+            cell.from_cache = !(executed_here && n == 0);
+            if (cell.from_cache) cell.wall_seconds = 0.0;
+            bus.deliver(slot_of_cell.at(i), std::move(cell));
         }
-    }
+    };
 
-    // Execute unique cells on the pool; slots are pre-sized so workers never
-    // contend on the output container.
-    std::vector<CellResult> executed(jobs.size());
+    // Serve cache hits first — streaming sinks can then emit the completed
+    // prefix before any execution starts (a fully-cached resume streams the
+    // whole plan immediately).
+    std::vector<std::size_t> to_run;
+    for (const std::size_t job : sched.owned_jobs) {
+        if (options_.memoize) {
+            const std::optional<CellResult> hit =
+                cache_->lookup(sched.keys[sched.rep_cell[job]]);
+            if (hit) {
+                deliver_job(job, *hit, /*executed_here=*/false);
+                continue;
+            }
+        }
+        to_run.push_back(job);
+    }
+    cache_hits_ += sched.owned_cells.size() - to_run.size();
+
+    std::vector<const CellSpec*> jobs;
+    jobs.reserve(to_run.size());
+    for (const std::size_t job : to_run)
+        jobs.push_back(&plan.cells[sched.rep_cell[job]]);
+
     std::mutex progress_mutex;
-    parallel_for_each(options_.threads, jobs.size(), [&](std::size_t j) {
-        executed[j] = run_cell(*jobs[j]);
+    executor_->execute(jobs, [&](std::size_t j, CellResult result) {
+        const std::size_t job = to_run[j];
+        // Store before delivery: once a cell is observable anywhere it is
+        // also durable, so a crash mid-run resumes past every finished cell.
+        if (options_.memoize)
+            cache_->store(sched.keys[sched.rep_cell[job]], result);
+        deliver_job(job, result, /*executed_here=*/true);
         if (options_.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             (*options_.progress) << '.' << std::flush;
         }
     });
-    for (std::size_t j = 0; j < jobs.size(); ++j)
-        cache_.emplace(std::move(job_keys[j]), std::move(executed[j]));
+    if (options_.progress && !jobs.empty()) (*options_.progress) << '\n';
 
-    // Assemble plan-ordered results. A cell is reported from_cache when its
-    // key was served by a previous run() or an earlier duplicate in this
-    // plan; its spec keeps the requested coordinates (the cached run is
-    // behaviourally identical by construction of key()).
-    ResultSet results;
-    results.cells.reserve(plan.cells.size());
-    std::unordered_map<std::string, bool> seen_in_plan;
-    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
-        const auto it = cache_.find(keys[i]);
-        FARE_ASSERT(it != cache_.end());
-        CellResult cell = it->second;
-        cell.spec = plan.cells[i];
-        const bool executed_here =
-            job_of_key.count(keys[i]) && !seen_in_plan.count(keys[i]);
-        cell.from_cache = !executed_here;
-        if (cell.from_cache) {
-            cell.wall_seconds = 0.0;
-            ++cache_hits_;
-        }
-        seen_in_plan.emplace(keys[i], true);
-        results.cells.push_back(std::move(cell));
-    }
-
-    finish_run(plan, results, !jobs.empty());
-    return results;
-}
-
-void SimSession::finish_run(const ExperimentPlan& plan, const ResultSet& results,
-                            bool printed_progress) {
-    if (options_.progress && printed_progress) (*options_.progress) << '\n';
-    for (const auto& sink : sinks_) sink->begin(plan);
-    for (const CellResult& cell : results.cells)
-        for (const auto& sink : sinks_) sink->cell(cell);
-    for (const auto& sink : sinks_) sink->end(plan);
+    return bus.finish();
 }
 
 }  // namespace fare

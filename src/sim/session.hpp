@@ -1,93 +1,85 @@
-// SimSession: executes an ExperimentPlan on a worker pool with per-cell
-// deterministic seeding and cross-plan memoization, and streams results to
-// pluggable ResultSinks (console table / CSV / JSON lines).
+// SimSession: the user-facing façade over the execution stack —
+//
+//   PlanScheduler  (sim/scheduler.hpp)  canonical keys, dedup, shard slices
+//   CellExecutor   (sim/executor.hpp)   inline or worker-pool execution
+//   CellCache      (sim/cell_cache.hpp) in-memory memo or on-disk resume
+//   ResultBus      (sim/result_bus.hpp) streaming + plan-order sink delivery
+//
+// A session wires the four together from SessionOptions (or injected
+// implementations), so benches keep the one-liner API while sweeps gain
+// sharding (run slice i of N, merge with merge_shards / `fare-run --merge`),
+// crash-resume via a persistent cache directory, and sinks that report cells
+// as they finish.
 //
 // Guarantees:
 //   * results are returned (and reported to sinks) in plan order, regardless
-//     of which worker finished which cell first;
+//     of which worker finished which cell first; streaming sinks see the
+//     same order, delivered as the completed prefix grows;
 //   * every cell is a pure function of its CellSpec, so a parallel run is
-//     bit-identical to a serial run of the same plan;
+//     bit-identical to a serial run, and an N-shard run merges bit-identical
+//     to a single-session run of the same plan;
 //   * cells with equal canonical keys execute once — e.g. the fault-free
 //     reference listed in every density row, or a plan re-run in the same
-//     session (the cache persists across run() calls).
+//     session (the cache persists across run() calls, and across *processes*
+//     when cache_dir is set).
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "fare/fare_trainer.hpp"
+#include "sim/cell.hpp"
 #include "sim/plan.hpp"
+#include "sim/scheduler.hpp"
 
 namespace fare {
 
+class CellCache;
+class CellExecutor;
 class ResultSink;
-
-/// Outcome of one executed (or cache-served) cell.
-struct CellResult {
-    CellSpec spec;
-    SchemeRunResult run;          ///< CellMode::kTrain metrics
-    DeploymentResult deployment;  ///< CellMode::kDeploy metrics
-    bool from_cache = false;      ///< served from the session memo
-    double wall_seconds = 0.0;    ///< execution time (0 when from_cache)
-
-    /// Headline number regardless of mode: test accuracy on the chip.
-    double accuracy() const;
-};
-
-/// Plan-ordered results with coordinate lookup for pivot-table assembly.
-class ResultSet {
-public:
-    std::vector<CellResult> cells;
-
-    /// First cell matching the coordinates; negative density / SA1 match any
-    /// and an unset mode matches any mode. Throws InvalidArgument when no
-    /// cell matches.
-    const CellResult& at(const WorkloadSpec& workload, Scheme scheme,
-                         double density = -1.0, double sa1_fraction = -1.0,
-                         std::optional<CellMode> mode = std::nullopt) const;
-    /// Shorthand for at(...).accuracy().
-    double accuracy(const WorkloadSpec& workload, Scheme scheme,
-                    double density = -1.0, double sa1_fraction = -1.0,
-                    std::optional<CellMode> mode = std::nullopt) const;
-
-    std::size_t size() const { return cells.size(); }
-    auto begin() const { return cells.begin(); }
-    auto end() const { return cells.end(); }
-};
-
-/// Execute one cell synchronously, bypassing any session machinery. The
-/// deprecated free-function wrappers and the session workers both land here.
-CellResult run_cell(const CellSpec& spec);
 
 struct SessionOptions {
     /// Worker threads; 0 = auto (FARE_THREADS env, else hardware
     /// concurrency). 1 forces serial execution.
     std::size_t threads = 0;
-    /// Serve repeated cell keys from the in-session cache.
+    /// Serve repeated cell keys from the cache. Off: every listed cell
+    /// executes, repeats included, and the cache is bypassed entirely.
     bool memoize = true;
-    /// If set, one progress dot is printed per completed cell.
+    /// If set, one progress dot is printed per executed cell.
     std::ostream* progress = nullptr;
+    /// Run only this slice of the plan's unique cells (default: all of it).
+    /// Shard partitioning is deterministic, so N processes each running one
+    /// shard jointly cover the plan exactly once.
+    ShardSpec shard{};
+    /// Non-empty: persist executed cells under this directory
+    /// (DiskCellCache) so interrupted sweeps resume and later runs reuse
+    /// unchanged cells. Empty: in-memory memo only.
+    std::string cache_dir;
 };
 
 class SimSession {
 public:
     explicit SimSession(SessionOptions options = {});
+    /// Dependency-injecting constructor: bring your own executor and/or
+    /// cache (null falls back to what `options` implies).
+    SimSession(SessionOptions options, std::unique_ptr<CellExecutor> executor,
+               std::unique_ptr<CellCache> cache);
     ~SimSession();
 
     SimSession(const SimSession&) = delete;
     SimSession& operator=(const SimSession&) = delete;
 
     /// Attach a sink; the session owns it. Sinks observe every subsequent
-    /// run() in plan order. Returns a reference for further configuration.
+    /// run() — in plan order at run end by default, or incrementally when
+    /// the sink enables streaming(). Returns a reference for configuration.
     ResultSink& add_sink(std::unique_ptr<ResultSink> sink);
 
-    /// Execute the plan: unique cell keys fan out across the worker pool,
-    /// duplicates and cross-run repeats are served from the cache.
+    /// Execute the plan (this session's shard of it): unique cell keys fan
+    /// out across the executor, duplicates and cache hits are served without
+    /// re-execution. The ResultSet holds the shard's cells in plan order,
+    /// each stamped with its global plan_index.
     ResultSet run(const ExperimentPlan& plan);
 
     /// Resolved worker count used by run().
@@ -95,17 +87,17 @@ public:
 
     /// Cumulative cells served from cache across all run() calls.
     std::size_t cache_hits() const { return cache_hits_; }
-    /// Distinct cell keys executed so far.
-    std::size_t cache_entries() const { return cache_.size(); }
+    /// Distinct cell keys held by the cache.
+    std::size_t cache_entries() const;
+
+    CellCache& cache() { return *cache_; }
+    CellExecutor& executor() { return *executor_; }
 
 private:
-    /// Close out a run: progress newline + plan-ordered sink notification.
-    void finish_run(const ExperimentPlan& plan, const ResultSet& results,
-                    bool printed_progress);
-
     SessionOptions options_;
+    std::unique_ptr<CellExecutor> executor_;
+    std::unique_ptr<CellCache> cache_;
     std::vector<std::unique_ptr<ResultSink>> sinks_;
-    std::unordered_map<std::string, CellResult> cache_;
     std::size_t cache_hits_ = 0;
 };
 

@@ -1,0 +1,127 @@
+// CellCache implementations: in-memory memo semantics, on-disk persistence
+// across instances (the crash/resume substrate), corrupt-line tolerance and
+// schema-version skipping. Pure I/O tests — no training runs here.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/cell_cache.hpp"
+#include "sim/registry.hpp"
+#include "sim/serialization.hpp"
+
+namespace fare {
+namespace {
+
+CellResult fake_result(double accuracy, std::uint64_t seed) {
+    CellResult r;
+    r.spec.workload = find_workload("PPI", GnnKind::kGCN);
+    r.spec.scheme = Scheme::kFARe;
+    r.spec.faults = FaultScenario::pre_deployment(0.05, 0.5);
+    r.spec.seed = seed;
+    r.run.train.test_accuracy = accuracy;
+    r.wall_seconds = 1.0;
+    return r;
+}
+
+std::string temp_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(MemoryCellCacheTest, StoreLookupOverwrite) {
+    MemoryCellCache cache;
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    cache.store("k1", fake_result(0.5, 1));
+    cache.store("k2", fake_result(0.6, 2));
+    EXPECT_EQ(cache.size(), 2u);
+    const std::optional<CellResult> first = cache.lookup("k1");
+    ASSERT_TRUE(first.has_value());
+    EXPECT_DOUBLE_EQ(first->run.train.test_accuracy, 0.5);
+    cache.store("k1", fake_result(0.7, 1));  // last write wins
+    EXPECT_EQ(cache.size(), 2u);
+    const std::optional<CellResult> second = cache.lookup("k1");
+    ASSERT_TRUE(second.has_value());
+    EXPECT_DOUBLE_EQ(second->run.train.test_accuracy, 0.7);
+}
+
+TEST(DiskCellCacheTest, PersistsAcrossInstances) {
+    const std::string dir = temp_dir("disk_cache_persist");
+    {
+        DiskCellCache cache(dir);
+        EXPECT_EQ(cache.size(), 0u);
+        cache.store("k1", fake_result(0.5, 1));
+        cache.store("k2", fake_result(0.25, 2));
+    }  // instance dropped — like a finished (or killed) process
+    DiskCellCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.corrupt_lines_skipped(), 0u);
+    const std::optional<CellResult> hit = reopened.lookup("k2");
+    ASSERT_TRUE(hit.has_value());
+    const CellResult& r = *hit;
+    EXPECT_DOUBLE_EQ(r.run.train.test_accuracy, 0.25);
+    EXPECT_EQ(r.spec.seed, 2u);
+    // Full fidelity: byte-identical re-serialization.
+    EXPECT_EQ(cell_result_to_json(r), cell_result_to_json(fake_result(0.25, 2)));
+}
+
+TEST(DiskCellCacheTest, SkipsCorruptAndForeignSchemaLines) {
+    const std::string dir = temp_dir("disk_cache_corrupt");
+    {
+        DiskCellCache cache(dir);
+        cache.store("k1", fake_result(0.5, 1));
+        cache.store("k2", fake_result(0.6, 2));
+        cache.store("k3", fake_result(0.7, 3));
+    }
+    // Corrupt k2's line and append a foreign-schema record.
+    const std::string file =
+        (std::filesystem::path(dir) / DiskCellCache::kCacheFileName).string();
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(file);
+        std::string line;
+        while (std::getline(in, line)) lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 3u);
+    lines[1] = "{\"schema\":1,\"torn write";
+    CellRecord foreign;
+    foreign.schema = kCellJsonSchemaVersion + 7;
+    foreign.key = "k4";
+    foreign.result = fake_result(0.9, 4);
+    lines.push_back(cell_record_to_json(foreign));
+    {
+        std::ofstream out(file, std::ios::trunc);
+        for (const std::string& line : lines) out << line << '\n';
+    }
+
+    DiskCellCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 2u);  // k1, k3
+    EXPECT_EQ(reopened.corrupt_lines_skipped(), 2u);
+    EXPECT_TRUE(reopened.lookup("k1").has_value());
+    EXPECT_FALSE(reopened.lookup("k2").has_value());  // recomputes
+    EXPECT_TRUE(reopened.lookup("k3").has_value());
+    EXPECT_FALSE(reopened.lookup("k4").has_value());
+
+    // Storing the recomputed k2 appends; a third instance sees all three
+    // (the replacement record supersedes the corrupt line).
+    reopened.store("k2", fake_result(0.61, 2));
+    DiskCellCache third(dir);
+    EXPECT_EQ(third.size(), 3u);
+    const std::optional<CellResult> replaced = third.lookup("k2");
+    ASSERT_TRUE(replaced.has_value());
+    EXPECT_DOUBLE_EQ(replaced->run.train.test_accuracy, 0.61);
+}
+
+TEST(DiskCellCacheTest, CreatesDirectoryAndFactorySelects) {
+    const std::string dir = temp_dir("disk_cache_fresh") + "/nested/deep";
+    const auto cache = make_cell_cache(dir);
+    ASSERT_NE(dynamic_cast<DiskCellCache*>(cache.get()), nullptr);
+    EXPECT_TRUE(std::filesystem::exists(dir));
+    const auto memory = make_cell_cache("");
+    ASSERT_NE(dynamic_cast<MemoryCellCache*>(memory.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace fare

@@ -124,6 +124,57 @@ TEST(SweepBuilderTest, PinnedPostSa1SurvivesTheAxis) {
     EXPECT_DOUBLE_EQ(plan.cells[1].faults.post_sa1_fraction, 0.5);
 }
 
+TEST(SweepBuilderTest, NoiseAndClipAxes) {
+    const WorkloadSpec w = find_workload("Reddit", GnnKind::kGCN);
+    const ExperimentPlan plan =
+        SweepBuilder("robustness")
+            .workload(w)
+            .scenario(FaultScenario::pre_deployment(0.03, 0.5))
+            .noise_sigmas({0.0, 0.02, 0.05})
+            .clip_thresholds({0.5f, 1.0f})
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .build();
+    EXPECT_EQ(plan.size(), 3u * 2 * 2);
+
+    // Order: noise-major, then clip, then scheme — and the unset density /
+    // SA1 axes collapse to the scenario template.
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.read_noise_sigma, 0.0);
+    EXPECT_FLOAT_EQ(plan.cells[0].hardware.clip_threshold, 0.5f);
+    EXPECT_EQ(plan.cells[0].scheme, Scheme::kFaultUnaware);
+    EXPECT_EQ(plan.cells[1].scheme, Scheme::kFARe);
+    EXPECT_FLOAT_EQ(plan.cells[2].hardware.clip_threshold, 1.0f);
+    EXPECT_DOUBLE_EQ(plan.cells[4].faults.read_noise_sigma, 0.02);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.density, 0.03);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.sa1_fraction, 0.5);
+
+    // The axes are behaviour-relevant: distinct keys per coordinate (except
+    // fault-free cells, which normalise the chip away entirely).
+    EXPECT_NE(plan.cells[1].key(), plan.cells[3].key());  // clip differs
+    EXPECT_NE(plan.cells[1].key(), plan.cells[5].key());  // noise differs
+
+    // Unset axes keep the template's values.
+    FaultScenario noisy = FaultScenario::pre_deployment(0.03, 0.5);
+    noisy.with_read_noise(0.07);
+    HardwareOverrides hw;
+    hw.clip_threshold = 0.8f;
+    const ExperimentPlan defaults = SweepBuilder("defaults")
+                                        .workload(w)
+                                        .scenario(noisy)
+                                        .hardware(hw)
+                                        .scheme(Scheme::kFARe)
+                                        .build();
+    ASSERT_EQ(defaults.size(), 1u);
+    EXPECT_DOUBLE_EQ(defaults.cells[0].faults.read_noise_sigma, 0.07);
+    EXPECT_FLOAT_EQ(defaults.cells[0].hardware.clip_threshold, 0.8f);
+
+    EXPECT_THROW(
+        SweepBuilder("bad").workload(w).noise_sigmas({-0.1}).build(),
+        InvalidArgument);
+    EXPECT_THROW(
+        SweepBuilder("bad").workload(w).clip_thresholds({0.0f}).build(),
+        InvalidArgument);
+}
+
 TEST(SweepBuilderTest, RejectsOutOfRangeAxisValues) {
     const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
     EXPECT_THROW(

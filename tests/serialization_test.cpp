@@ -1,0 +1,139 @@
+// CellResult <-> JSON round trip (the DiskCellCache / fare-run record
+// format): bit-exact field recovery including doubles, 64-bit seeds and the
+// training curve; schema versioning; corrupt-input tolerance via Expected.
+#include <gtest/gtest.h>
+
+#include "sim/registry.hpp"
+#include "sim/serialization.hpp"
+
+namespace fare {
+namespace {
+
+/// A CellResult exercising every serialized field with awkward values:
+/// non-representable decimals, a full-range 64-bit seed, optionals set.
+CellResult sample_result() {
+    CellResult r;
+    r.spec.workload = find_workload("Reddit", GnnKind::kGCN);
+    r.spec.scheme = Scheme::kFARe;
+    r.spec.faults = FaultScenario::pre_deployment(0.03, 0.1);
+    r.spec.faults.with_post_deployment(0.01, 0.9).with_read_noise(0.02);
+    r.spec.faults.cluster_shape = 2.5;
+    r.spec.faults.post_epochs = 7;
+    r.spec.faults.faults_on_adjacency = false;
+    r.spec.hardware.num_tiles = 2;
+    r.spec.hardware.clip_threshold = 0.7f;
+    r.spec.hardware.match_weights = {1.25, 3.75};
+    r.spec.hardware.spare_column_fraction = 0.12;
+    r.spec.hardware.max_adjacency_pool = 32;
+    r.spec.seed = 0xDEADBEEFCAFEF00Dull;  // > 2^53: breaks a double mantissa
+    r.spec.hardware_seed = 0xFFFFFFFFFFFFFFFFull;
+    r.spec.mode = CellMode::kTrain;
+    r.spec.record_curve = true;
+    r.spec.epochs = 5;
+    r.run.scheme = Scheme::kFARe;
+    r.run.total_mapping_cost = 1234.5678;
+    r.run.bist_scans = 3;
+    r.run.train.test_accuracy = 0.923076923076923;
+    r.run.train.test_macro_f1 = 1.0 / 3.0;
+    r.run.train.preprocess_seconds = 0.001234;
+    r.run.train.train_seconds = 1.75;
+    r.run.train.curve = {{0.9f, 0.1, 0.2}, {0.45f, 0.65, 0.7}};
+    r.deployment.trained_accuracy = 0.91;
+    r.deployment.deployed_accuracy = 0.77;
+    r.from_cache = false;
+    r.wall_seconds = 2.5;
+    r.plan_index = 17;
+    return r;
+}
+
+TEST(SerializationTest, CellResultRoundTripsExactly) {
+    const CellResult original = sample_result();
+    const std::string json = cell_result_to_json(original);
+    const Expected<JsonValue> doc = parse_json(json);
+    ASSERT_TRUE(doc.ok()) << doc.error();
+    const Expected<CellResult> back = cell_result_from_json(doc.value());
+    ASSERT_TRUE(back.ok()) << back.error();
+    const CellResult& r = back.value();
+
+    // The strongest statement: re-serializing is byte-identical.
+    EXPECT_EQ(cell_result_to_json(r), json);
+    // And behaviourally: the canonical key (every behaviour-relevant spec
+    // field) survives, so a deserialized cell memoizes correctly.
+    EXPECT_EQ(r.spec.key(), original.spec.key());
+    EXPECT_EQ(r.spec.seed, original.spec.seed);
+    EXPECT_EQ(r.spec.hardware_seed, original.spec.hardware_seed);
+    EXPECT_DOUBLE_EQ(r.run.train.test_accuracy, original.run.train.test_accuracy);
+    EXPECT_DOUBLE_EQ(r.run.total_mapping_cost, original.run.total_mapping_cost);
+    ASSERT_EQ(r.run.train.curve.size(), 2u);
+    EXPECT_FLOAT_EQ(r.run.train.curve[0].train_loss, 0.9f);
+    EXPECT_DOUBLE_EQ(r.run.train.curve[1].val_accuracy, 0.7);
+    EXPECT_EQ(r.plan_index, 17u);
+}
+
+TEST(SerializationTest, UnsetOptionalsRoundTrip) {
+    CellResult r;
+    r.spec.workload = find_workload("PPI", GnnKind::kGCN);
+    ASSERT_FALSE(r.spec.hardware_seed.has_value());
+    ASSERT_FALSE(r.spec.epochs.has_value());
+    const std::string json = cell_result_to_json(r);
+    const Expected<JsonValue> doc = parse_json(json);
+    ASSERT_TRUE(doc.ok()) << doc.error();
+    const Expected<CellResult> back = cell_result_from_json(doc.value());
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_FALSE(back.value().spec.hardware_seed.has_value());
+    EXPECT_FALSE(back.value().spec.epochs.has_value());
+    EXPECT_TRUE(back.value().run.train.curve.empty());
+}
+
+TEST(SerializationTest, CellRecordEnvelope) {
+    CellRecord record;
+    record.plan = "unit \"quoted\"";
+    record.key = "w=PPI/GCN|s=FARe";
+    record.plan_index = 42;
+    record.result = sample_result();
+    const std::string line = cell_record_to_json(record);
+    EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per record
+
+    const Expected<CellRecord> back = cell_record_from_json(line);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().schema, kCellJsonSchemaVersion);
+    EXPECT_EQ(back.value().plan, "unit \"quoted\"");
+    EXPECT_EQ(back.value().key, "w=PPI/GCN|s=FARe");
+    EXPECT_EQ(back.value().plan_index, 42u);
+    EXPECT_EQ(cell_result_to_json(back.value().result),
+              cell_result_to_json(record.result));
+}
+
+TEST(SerializationTest, CorruptInputIsAnErrorNotAThrow) {
+    EXPECT_FALSE(cell_record_from_json("").ok());
+    EXPECT_FALSE(cell_record_from_json("CORRUPT GARBAGE").ok());
+    EXPECT_FALSE(cell_record_from_json("{\"schema\":1}").ok());  // missing fields
+    // Truncated tail write (a crash mid-append).
+    CellRecord record;
+    record.key = "k";
+    record.result = sample_result();
+    const std::string line = cell_record_to_json(record);
+    EXPECT_FALSE(cell_record_from_json(line.substr(0, line.size() / 2)).ok());
+    EXPECT_TRUE(cell_record_from_json(line).ok());
+}
+
+TEST(SerializationTest, WrongSchemaVersionIsSkippable) {
+    CellRecord record;
+    record.schema = kCellJsonSchemaVersion + 1;
+    record.key = "k";
+    record.result = sample_result();
+    const Expected<CellRecord> back =
+        cell_record_from_json(cell_record_to_json(record));
+    ASSERT_FALSE(back.ok());
+    EXPECT_NE(back.error().find("schema version"), std::string::npos);
+}
+
+TEST(SerializationTest, ParserRejectsTrailingGarbage) {
+    EXPECT_TRUE(parse_json("{\"a\":1}").ok());
+    EXPECT_FALSE(parse_json("{\"a\":1} extra").ok());
+    EXPECT_FALSE(parse_json("{\"a\":}").ok());
+    EXPECT_FALSE(parse_json("[1,2").ok());
+}
+
+}  // namespace
+}  // namespace fare

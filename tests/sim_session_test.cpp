@@ -198,6 +198,132 @@ TEST(SimSessionTest, DeployModeCellsCarryDeploymentResult) {
     EXPECT_NE(json.find("\"trained_accuracy\":"), std::string::npos);
 }
 
+/// Records delivery order and lifecycle callbacks; used in streaming mode.
+class RecordingSink final : public ResultSink {
+public:
+    void begin(const ExperimentPlan&) override { ++begins; }
+    void cell(const CellResult& result) override {
+        indices.push_back(result.plan_index);
+    }
+    void end(const ExperimentPlan&) override { ++ends; }
+
+    std::vector<std::size_t> indices;
+    int begins = 0;
+    int ends = 0;
+};
+
+TEST(SimSessionTest, StreamingSinkSeesOrderedPrefixDelivery) {
+    SessionOptions options;
+    options.threads = 4;  // workers finish out of order; delivery must not
+    SimSession session(options);
+    auto streaming = std::make_unique<RecordingSink>();
+    RecordingSink* stream = streaming.get();
+    session.add_sink(std::move(streaming)).streaming();
+    auto at_end = std::make_unique<RecordingSink>();
+    RecordingSink* plan_order = at_end.get();
+    session.add_sink(std::move(at_end));
+
+    const ExperimentPlan plan = tiny_plan("streamed");
+    const ResultSet results = session.run(plan);
+
+    // Both contracts observe every cell in strict plan order.
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < plan.size(); ++i) expected.push_back(i);
+    EXPECT_EQ(stream->indices, expected);
+    EXPECT_EQ(plan_order->indices, expected);
+    EXPECT_EQ(stream->begins, 1);
+    EXPECT_EQ(stream->ends, 1);
+    EXPECT_EQ(plan_order->begins, 1);
+    EXPECT_EQ(plan_order->ends, 1);
+    ASSERT_EQ(results.size(), plan.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results.cells[i].plan_index, i);
+}
+
+TEST(SimSessionTest, JsonLinesSinkPublishesAtomically) {
+    const std::string path = ::testing::TempDir() + "/atomic.json";
+    std::remove(path.c_str());
+    const ExperimentPlan plan = tiny_plan("atomic");
+
+    {
+        // Simulated crash: cells reported but the plan never ends. Nothing
+        // may appear at the published path — only the staging file.
+        SimSession session;
+        auto& sink = session.add_sink(std::make_unique<JsonLinesSink>(path));
+        sink.streaming();
+        sink.begin(plan);
+        CellResult fake;
+        fake.spec = plan.cells[0];
+        sink.cell(fake);
+    }
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_TRUE(std::ifstream(path + ".tmp").good());
+
+    // A completed run publishes the full file and removes the staging copy.
+    SimSession session;
+    session.add_sink(std::make_unique<JsonLinesSink>(path)).streaming();
+    session.run(plan);
+    std::ifstream published(path);
+    ASSERT_TRUE(published.good());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(published, line)) ++lines;
+    EXPECT_EQ(lines, plan.size());
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(SeedStatsSinkTest, AggregatesMeanAndSigmaOverSeeds) {
+    // Driven directly with synthetic results — no training required.
+    std::ostringstream out;
+    SeedStatsSink sink(out);
+    ExperimentPlan plan;
+    plan.name = "stats";
+    sink.begin(plan);
+
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const double accs[3] = {0.8, 0.9, 1.0};
+    for (int group = 0; group < 2; ++group) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            CellResult r;
+            r.spec.workload = w;
+            r.spec.scheme = group == 0 ? Scheme::kFaultUnaware : Scheme::kFARe;
+            r.spec.faults = FaultScenario::pre_deployment(0.03, 0.5);
+            r.spec.seed = seed;
+            r.run.train.test_accuracy = accs[seed - 1] - 0.1 * group;
+            r.run.train.test_macro_f1 = 0.5;
+            sink.cell(r);
+            // In-plan duplicates of one canonical cell (e.g. the fault-free
+            // reference repeated per density row) must not inflate n.
+            sink.cell(r);
+        }
+    }
+    sink.end(plan);
+
+    ASSERT_EQ(sink.rows().size(), 2u);  // one row per coordinate, not per seed
+    const SeedStatsSink::Row& fu = sink.rows()[0];
+    EXPECT_EQ(fu.spec.scheme, Scheme::kFaultUnaware);
+    EXPECT_EQ(fu.accuracy.n, 3u);
+    EXPECT_NEAR(fu.accuracy.mean, 0.9, 1e-12);
+    EXPECT_NEAR(fu.accuracy.stddev(), 0.1, 1e-12);  // sample sigma of .8/.9/1
+    EXPECT_DOUBLE_EQ(fu.accuracy.min, 0.8);
+    EXPECT_DOUBLE_EQ(fu.accuracy.max, 1.0);
+    EXPECT_NEAR(fu.macro_f1.mean, 0.5, 1e-12);
+    const SeedStatsSink::Row& fare = sink.rows()[1];
+    EXPECT_EQ(fare.spec.scheme, Scheme::kFARe);
+    EXPECT_NEAR(fare.accuracy.mean, 0.8, 1e-12);
+
+    // The printed table appears at end().
+    EXPECT_NE(out.str().find("stats seed stats (2 coordinates)"),
+              std::string::npos)
+        << out.str();
+
+    // A single replicate reports sigma 0 (no error bar, not NaN).
+    SeedStatsSink::Stats one;
+    one.add(0.5);
+    EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+}
+
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(SimSessionTest, DeprecatedWrappersMatchDeclarativePath) {
