@@ -1,13 +1,17 @@
-// Wear / lifetime study: how long can the edge device keep (re)training as
-// stuck-at faults accumulate with write wear?
+// Wear / lifetime study: how long can the edge device keep training as its
+// cells wear out under write endurance?
 //
-//   $ ./wear_lifetime [pre_density=0.01] [wear_per_stage=0.01] [stages=6]
+//   $ ./wear_lifetime [endurance_kwrites=500] [hot_spot_fraction=0.25]
 //
-// Simulates successive "deployment stages": each stage adds `wear_per_stage`
-// fault density (endurance wear-out), re-runs BIST, and retrains from
-// scratch under FARe vs fault-unaware. The whole lifetime is one declarative
-// plan (two cells per stage, distinct seeds per stage) executed in parallel
-// by SimSession — the long-horizon version of the paper's Fig. 6.
+// Earlier revisions approximated wear as a ladder of independent
+// re-deployments at increasing pre-set fault densities. This version uses
+// the *live* wear model (reram/wear_model.hpp): every training step charges
+// writes to the crossbars in use, each cell draws a Weibull write lifetime,
+// and worn-out cells become stuck mid-run — with arrival checkpoints every
+// 2 training steps, so faults land inside epochs, not just between them.
+// One declarative SweepBuilder plan sweeps device endurance classes
+// (binned chips: the CLI argument scales the middle class) for
+// fault-unaware vs FARe, executed in parallel by SimSession.
 #include <cstdlib>
 #include <iostream>
 
@@ -18,79 +22,78 @@
 
 int main(int argc, char** argv) {
     using namespace fare;
-    const Expected<double> pre_arg =
-        argc > 1 ? parse_double(argv[1]) : Expected<double>(0.01);
-    const Expected<double> wear_arg =
-        argc > 2 ? parse_double(argv[2]) : Expected<double>(0.01);
-    const int stages = argc > 3 ? std::atoi(argv[3]) : 6;
-    const double pre = pre_arg.value_or(-1.0);
-    const double wear = wear_arg.value_or(-1.0);
-    if (pre < 0.0 || pre > 0.12 || wear < 0.0 || wear > 0.12 || stages < 1) {
-        std::cerr << "usage: wear_lifetime [pre_density] [wear_per_stage] "
-                     "[stages]\n  densities are fractions in [0, 0.12] (the "
-                     "study's shipping ceiling), stages >= 1\n";
+    // Default tuned to the registry's 40-epoch budget: Reddit runs 12 steps
+    // per epoch at 1000 writes each (~480k writes per crossbar), so the
+    // nominal 500k-write class sits right at the wear-out knee. With
+    // FARE_EPOCHS=3 smoke runs, pass a proportionally smaller endurance.
+    const Expected<double> endurance_arg =
+        argc > 1 ? parse_double(argv[1]) : Expected<double>(500.0);
+    const Expected<double> hot_arg =
+        argc > 2 ? parse_double(argv[2]) : Expected<double>(0.25);
+    const double endurance_kwrites = endurance_arg.value_or(-1.0);
+    const double hot = hot_arg.value_or(-1.0);
+    if (endurance_kwrites <= 0.0 || hot < 0.0 || hot > 1.0) {
+        std::cerr << "usage: wear_lifetime [endurance_kwrites] "
+                     "[hot_spot_fraction]\n  endurance is the mean cell "
+                     "lifetime in thousands of writes (> 0), hot-spot "
+                     "fraction lies in [0, 1]\n";
         return 2;
     }
 
     const WorkloadSpec workload = find_workload("Reddit", GnnKind::kGCN);
-    std::cout << "=== Lifetime study: " << workload.label() << ", start at "
-              << fmt_pct(pre, 1) << " faults, +" << fmt_pct(wear, 1)
-              << " per stage, SA0:SA1 = 1:1 ===\n\n";
+    std::cout << "=== Lifetime study: " << workload.label()
+              << ", 1% manufacturing SAFs, live wear around "
+              << endurance_kwrites << "k writes, " << fmt_pct(hot, 0)
+              << " hot spots ===\n\n";
 
-    // One plan for the whole lifetime: a fault-free reference plus, per
-    // stage, fault-unaware and FARe cells at the worn density. Every stage
-    // trains on the same graph (seed 1) but draws a fresh fault map
-    // (hardware_seed 1 + stage), so the trend isolates wear from dataset
-    // resampling.
-    ExperimentPlan plan;
-    plan.name = "wear_lifetime";
-    {
-        CellSpec reference;
-        reference.workload = workload;
-        reference.scheme = Scheme::kFaultFree;
-        reference.seed = 1;
-        plan.cells.push_back(reference);
-    }
-    std::vector<double> stage_density;
-    for (int stage = 0; stage < stages; ++stage) {
-        const double density = pre + wear * stage;
-        if (density > 0.12) break;  // beyond any plausible shipping threshold
-        stage_density.push_back(density);
-        for (const Scheme scheme : {Scheme::kFaultUnaware, Scheme::kFARe}) {
-            CellSpec cell;
-            cell.workload = workload;
-            cell.scheme = scheme;
-            cell.faults = FaultScenario::pre_deployment(density, 0.5);
-            cell.seed = 1;
-            cell.hardware_seed = 1 + static_cast<std::uint64_t>(stage);
-            plan.cells.push_back(cell);
-        }
-    }
+    // Device endurance classes around the requested mean: half, nominal,
+    // double, plus the unworn reference (endurance 0 disables wear). Each
+    // training step charges 1000 array writes so the endurance knob reads
+    // in realistic units.
+    WearSpec wear;
+    wear.writes_per_step = 1000;
+    wear.hot_spot_fraction = hot;
+    FaultScenario scenario = FaultScenario::pre_deployment(0.01, 0.5);
+    scenario.with_wear(wear).with_arrival_period(2);
+    const std::vector<double> endurances{0.0, endurance_kwrites * 500.0,
+                                         endurance_kwrites * 1000.0,
+                                         endurance_kwrites * 2000.0};
+
+    const ExperimentPlan plan =
+        SweepBuilder("wear_lifetime")
+            .workload(workload)
+            .scenario(scenario)
+            .endurance_means(endurances)
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .seed(1)
+            .build();
 
     SessionOptions options;
     options.progress = &std::cout;
     // A wear sweep is the canonical long-running study: point FARE_CACHE_DIR
-    // at a directory and a killed run resumes at the first unfinished stage.
+    // at a directory and a killed run resumes at the first unfinished cell.
     if (const char* cache_dir = std::getenv("FARE_CACHE_DIR"))
         options.cache_dir = cache_dir;
     SimSession session(options);
-    // Streaming: finished stages appear in BENCH_*.json.tmp as the sweep
+    // Streaming: finished cells appear in BENCH_*.json.tmp as the sweep
     // runs; the final file publishes atomically at plan end.
     session.add_sink(std::make_unique<JsonLinesSink>()).streaming();
     const ResultSet results = session.run(plan);
-    const double ff = results.cells.front().accuracy();
-    std::cout << "fault-free reference accuracy: " << fmt(ff, 3) << "\n\n";
 
-    Table t({"Stage", "Density", "fault-unaware", "FARe", "FARe margin vs ff"});
-    for (std::size_t stage = 0; stage < stage_density.size(); ++stage) {
-        const double fu = results.cells[1 + 2 * stage].accuracy();
-        const double fare = results.cells[2 + 2 * stage].accuracy();
-        t.add_row({std::to_string(stage), fmt_pct(stage_density[stage], 1),
-                   fmt(fu, 3), fmt(fare, 3), fmt_pct(fare - ff, 1)});
+    Table t({"Endurance", "fault-unaware", "FARe", "FARe margin",
+             "worn cells (FARe)"});
+    for (const double endurance : endurances) {
+        const CellResult& fu = results.at_wear(Scheme::kFaultUnaware, endurance);
+        const CellResult& fare = results.at_wear(Scheme::kFARe, endurance);
+        t.add_row({endurance <= 0.0 ? "no wear"
+                                    : fmt(endurance / 1e3, 0) + "k writes",
+                   fmt(fu.accuracy(), 3), fmt(fare.accuracy(), 3),
+                   fmt_pct(fare.accuracy() - fu.accuracy(), 1),
+                   std::to_string(fare.run.wear_faults)});
     }
     std::cout << t.to_ascii() << '\n'
-              << "The paper discards chips above 5% fault density; this sweep\n"
-                 "shows why that threshold is conservative under FARe — and how\n"
-                 "quickly naive training degrades without it.\n";
+              << "Shorter-endurance device classes lose cells mid-run; FARe's\n"
+                 "arrival-triggered BIST + re-permutation keeps training on\n"
+                 "its feet long after naive training collapses.\n";
     return 0;
 }

@@ -1,11 +1,24 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure with -Wall -Wextra (as errors), build
-# everything (library, tests, benches, examples), and run the test suite.
+# Tier-1 verification: lint the public headers, configure with -Wall -Wextra
+# (as errors), build everything (library, tests, benches, examples), and run
+# the test suite.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+
+# Doc-comment lint: every public header under src/reram and src/fare must
+# open with a file-level `//` comment explaining what the module models —
+# these are the headers docs/fault_models.md sends readers into.
+missing=0
+for header in src/reram/*.hpp src/fare/*.hpp; do
+    if [ "$(head -c 2 "$header")" != "//" ]; then
+        echo "check.sh: $header lacks a file-level doc comment" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
 
 cmake -B "$BUILD_DIR" -S . -DFARE_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"

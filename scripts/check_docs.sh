@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Docs gate: every fenced ```cpp block in README.md and docs/*.md must
+# compile (g++ -fsyntax-only against the real headers), and every intra-repo
+# markdown link must point at a file that exists.
+#
+# Snippet contract: a block's `#include` lines are hoisted to the top of a
+# generated TU and the remaining lines are wrapped in a function body, so
+# snippets are statement-level code (declarations with initializers, calls,
+# …). A block preceded — within two lines above its fence — by the marker
+#   <!-- snippet: skip -->
+# is excluded (pseudo-code, deliberately partial fragments).
+#
+# Usage: scripts/check_docs.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-build-docs}/snippets"
+CXX="${CXX:-g++}"
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+python3 - "$OUT_DIR" README.md docs/*.md <<'PY'
+import os
+import re
+import sys
+
+out_dir, docs = sys.argv[1], sys.argv[2:]
+failures = []
+snippets = []
+
+for doc in docs:
+    lines = open(doc, encoding="utf-8").read().splitlines()
+    in_cpp = False
+    skip = False
+    block = []
+    start = 0
+    for i, line in enumerate(lines):
+        if not in_cpp and line.strip() == "```cpp":
+            in_cpp = True
+            start = i + 1
+            block = []
+            skip = any(
+                "<!-- snippet: skip -->" in lines[j]
+                for j in range(max(0, i - 2), i)
+            )
+            continue
+        if in_cpp and line.strip() == "```":
+            in_cpp = False
+            if not skip:
+                snippets.append((doc, start, block))
+            continue
+        if in_cpp:
+            block.append(line)
+    if in_cpp:
+        failures.append(f"{doc}: unterminated ```cpp fence")
+
+    # Intra-repo link check: resolve relative targets against the doc's
+    # directory; anchors and external schemes are ignored.
+    for m in re.finditer(r"\]\(([^)\s]+)\)", "\n".join(lines)):
+        target = m.group(1)
+        if re.match(r"^[a-z]+:", target) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(os.path.dirname(doc), path))
+        if not os.path.exists(resolved):
+            failures.append(f"{doc}: broken link -> {target}")
+
+for n, (doc, start, block) in enumerate(snippets):
+    includes = [l for l in block if l.lstrip().startswith("#include")]
+    body = [l for l in block if not l.lstrip().startswith("#include")]
+    tu = "\n".join(
+        includes
+        + [f"[[maybe_unused]] static void docs_snippet_{n}() {{"]
+        + ["    " + l for l in body]
+        + ["}", ""]
+    )
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", doc)
+    path = os.path.join(out_dir, f"{slug}_L{start}.cpp")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(tu)
+    print(f"{path} <- {doc}:{start}")
+
+if failures:
+    print("\n".join(failures), file=sys.stderr)
+    sys.exit(1)
+PY
+
+status=0
+for tu in "$OUT_DIR"/*.cpp; do
+    [ -e "$tu" ] || continue
+    if ! "$CXX" -std=c++20 -fsyntax-only -I src "$tu"; then
+        echo "check_docs: snippet fails to compile: $tu" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: all snippets compile, all intra-repo links resolve"
+fi
+exit "$status"

@@ -27,6 +27,12 @@ FaultyHardware::FaultyHardware(Scheme scheme, const FaultyHardwareConfig& config
     FARE_CHECK(scheme != Scheme::kFaultFree,
                "use IdealQuantizedHardware for the fault-free scheme");
     accelerator_.inject_pre_deployment_faults(config.injection);
+    if (config.wear.enabled())
+        wear_model_ = WearModel(accelerator_.num_crossbars(),
+                                config.accelerator.tile.crossbar_rows,
+                                config.accelerator.tile.crossbar_cols,
+                                config.wear, config.post_sa1_fraction,
+                                config.injection.seed ^ 0x3EA4ULL);
 }
 
 void FaultyHardware::bind_params(const std::vector<Matrix*>& params) {
@@ -241,13 +247,7 @@ BitMatrix FaultyHardware::effective_adjacency(std::size_t batch_idx,
     return mapper_.apply(ideal, mappings_[batch_idx], adj_maps_);
 }
 
-void FaultyHardware::on_epoch_end(std::size_t epoch) {
-    (void)epoch;
-    if (config_.post_total_density <= 0.0) return;
-    const double per_epoch =
-        config_.post_total_density / static_cast<double>(config_.post_epochs);
-    accelerator_.inject_post_deployment_faults(per_epoch, config_.post_sa1_fraction,
-                                               wear_rng_);
+void FaultyHardware::refresh_after_arrival() {
     // BIST refresh of the regions in use (the paper re-enables BIST at every
     // epoch boundary, ~0.13% time overhead); it also invalidates the cached
     // NR reorder, so the next batch recomputes it.
@@ -265,6 +265,65 @@ void FaultyHardware::on_epoch_end(std::size_t epoch) {
         }
     }
     ++adjacency_version_;
+}
+
+std::size_t FaultyHardware::arrival_checkpoint(double uniform_quantum,
+                                               bool force_refresh) {
+    std::size_t arrived = 0;
+    if (uniform_quantum > 0.0)
+        arrived += accelerator_.inject_post_deployment_faults(
+            uniform_quantum, config_.post_sa1_fraction, wear_rng_);
+    arrived += wear_model_.advance(accelerator_).size();
+    // Tentpole contract: overlays / stamps invalidate exactly when fault
+    // state actually changed (force_refresh keeps the legacy schedule's
+    // unconditional per-epoch BIST refresh).
+    if (arrived > 0 || force_refresh) refresh_after_arrival();
+    return arrived;
+}
+
+double FaultyHardware::uniform_checkpoint_quantum() const {
+    if (config_.post_total_density <= 0.0) return 0.0;
+    const double per_epoch =
+        config_.post_total_density / static_cast<double>(config_.post_epochs);
+    const std::size_t period = config_.arrival_period_batches;
+    const std::size_t checkpoints =
+        1 + (period > 0 ? steps_per_epoch_ / period : 0);
+    return per_epoch / static_cast<double>(checkpoints);
+}
+
+void FaultyHardware::on_step_end(std::size_t epoch, std::size_t step,
+                                 std::size_t steps_per_epoch) {
+    (void)epoch;
+    steps_per_epoch_ = steps_per_epoch;
+    // Endurance accounting: one optimizer step rewrites every weight region
+    // and streams the batch's adjacency blocks through the pool — one
+    // array-level write per crossbar in use (O(1) each, no cell traffic).
+    const std::uint64_t writes = config_.wear.writes_per_step;
+    for (const auto& region : params_)
+        for (std::size_t i = 0; i < region.range.count; ++i)
+            accelerator_.crossbar(region.range.first + i)
+                .add_uniform_writes(writes);
+    for (std::size_t i = 0; i < adj_range_.count; ++i)
+        accelerator_.crossbar(adj_range_.first + i).add_uniform_writes(writes);
+
+    const std::size_t period = config_.arrival_period_batches;
+    if (period == 0 || (step + 1) % period != 0) return;
+    if (config_.post_total_density <= 0.0 && !wear_model_.enabled()) return;
+    arrival_checkpoint(uniform_checkpoint_quantum(), /*force_refresh=*/false);
+}
+
+void FaultyHardware::on_epoch_end(std::size_t epoch) {
+    (void)epoch;
+    const bool post_on = config_.post_total_density > 0.0;
+    const bool wear_on = wear_model_.enabled();
+    if (!post_on && !wear_on) return;
+    // Legacy schedule (uniform stream only, epoch-boundary arrivals): keep
+    // the unconditional per-epoch BIST refresh — bit-compatible with the
+    // pre-wear implementation. Every other combination refreshes only when
+    // faults actually arrived.
+    const bool legacy =
+        post_on && !wear_on && config_.arrival_period_batches == 0;
+    arrival_checkpoint(uniform_checkpoint_quantum(), legacy);
 }
 
 double FaultyHardware::total_mapping_cost() const {

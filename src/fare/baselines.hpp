@@ -28,6 +28,7 @@
 #include "reram/compiled_overlay.hpp"
 #include "reram/corruption.hpp"
 #include "reram/timing_model.hpp"
+#include "reram/wear_model.hpp"
 
 namespace fare {
 
@@ -51,6 +52,13 @@ struct FaultyHardwareConfig {
     double post_total_density = 0.0;
     std::size_t post_epochs = 100;
     double post_sa1_fraction = 0.1;
+
+    /// Endurance-driven wear-out (reram/wear_model.hpp); disabled while
+    /// wear.endurance_mean_writes == 0.
+    WearSpec wear;
+    /// Mid-epoch arrival cadence in training steps (0 = epoch boundaries
+    /// only). See FaultScenario::arrival_period_batches.
+    std::size_t arrival_period_batches = 0;
 
     /// Optional non-ideality beyond SAFs (extension; paper §II-A mentions
     /// variation-induced resistance deviations): multiplicative Gaussian
@@ -85,6 +93,14 @@ public:
     Matrix effective_weights(std::size_t idx, const Matrix& w) override;
     BitMatrix effective_adjacency(std::size_t batch_idx,
                                   const BitMatrix& ideal) override;
+    /// Endurance accounting + mid-epoch arrival checkpoints: every training
+    /// step charges `wear.writes_per_step` array writes to the crossbars in
+    /// use, and — when arrival_period_batches > 0 — every period-th step is
+    /// an arrival checkpoint (wear expiries plus this checkpoint's share of
+    /// the uniform stream). Fault state refreshes (BIST, overlay recompile,
+    /// version stamps) only when faults actually arrived.
+    void on_step_end(std::size_t epoch, std::size_t step,
+                     std::size_t steps_per_epoch) override;
     void on_epoch_end(std::size_t epoch) override;
     std::uint64_t weights_state_version() const override;
     std::uint64_t adjacency_state_version() const override { return adjacency_version_; }
@@ -92,8 +108,11 @@ public:
     // Introspection (tests, examples, benches).
     Scheme scheme() const { return scheme_; }
     const Accelerator& accelerator() const { return accelerator_; }
+    const WearModel& wear_model() const { return wear_model_; }
     const std::vector<AdjacencyMapping>& batch_mappings() const { return mappings_; }
     std::size_t bist_scans() const { return bist_scans_; }
+    /// Cells worn out by the endurance model so far.
+    std::size_t wear_faults() const { return wear_model_.total_worn(); }
     double total_mapping_cost() const;
 
 private:
@@ -105,6 +124,20 @@ private:
     /// Called only when the pool's faults may have changed; every per-batch
     /// consumer reads the cache instead of re-copying ~pool-size maps.
     std::vector<FaultMap> build_adjacency_pool_maps() const;
+    /// One arrival checkpoint: inject `uniform_quantum` added density of
+    /// the uniform post-deployment stream (0 skips it), advance the wear
+    /// model, and — iff any fault actually arrived — rescan/recompile the
+    /// fault state and bump both version stamps. `force_refresh` keeps the
+    /// legacy unconditional per-epoch BIST refresh of the uniform-only
+    /// schedule. Returns the number of arrivals.
+    std::size_t arrival_checkpoint(double uniform_quantum, bool force_refresh);
+    /// This checkpoint's share of the uniform post-deployment stream: the
+    /// per-epoch quantum split across the epoch's arrival checkpoints.
+    double uniform_checkpoint_quantum() const;
+    /// Rebuild everything derived from the crossbar fault maps after an
+    /// arrival: BIST rescan + overlay recompile of the weight regions, the
+    /// adjacency-pool image, and the schemes' re-permutations.
+    void refresh_after_arrival();
     /// NR: bit-level row mismatch matching at neuron granularity.
     /// The permutation is refreshed once per epoch (after the BIST rescan),
     /// not per batch: recomputing on every batch's drifted weights makes the
@@ -121,8 +154,10 @@ private:
     Accelerator accelerator_;
     WeightClipper clipper_;
     FaultAwareMapper mapper_;
+    WearModel wear_model_;
     Rng wear_rng_;
     Rng noise_rng_;
+    std::size_t steps_per_epoch_ = 0;  // last seen; sizes the checkpoint split
 
     struct ParamRegion {
         CrossbarRange range;

@@ -13,6 +13,7 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
     if (auto* faulty = dynamic_cast<FaultyHardware*>(hardware.get())) {
         result.total_mapping_cost = faulty->total_mapping_cost();
         result.bist_scans = faulty->bist_scans();
+        result.wear_faults = faulty->wear_faults();
     }
     return result;
 }

@@ -16,6 +16,9 @@ struct SchemeRunResult {
     /// Mapping quality diagnostics (0 for fault-free).
     double total_mapping_cost = 0.0;
     std::size_t bist_scans = 0;
+    /// Cells worn out by the endurance model during the run (0 unless the
+    /// scenario enables wear — see FaultScenario::wear).
+    std::size_t wear_faults = 0;
 };
 
 /// Build the hardware model for `scheme`, run the full training loop and

@@ -48,6 +48,31 @@ FaultScenario& FaultScenario::with_read_noise(double sigma) {
     return *this;
 }
 
+FaultScenario& FaultScenario::with_wear(const WearSpec& spec) {
+    FARE_CHECK(spec.endurance_mean_writes >= 0.0,
+               "endurance mean must be non-negative");
+    FARE_CHECK(spec.weibull_shape > 0.0, "Weibull shape must be positive");
+    FARE_CHECK(spec.hot_spot_fraction >= 0.0 && spec.hot_spot_fraction <= 1.0,
+               "hot-spot fraction outside [0,1]");
+    FARE_CHECK(spec.hot_spot_severity >= 1.0, "hot-spot severity must be >= 1");
+    FARE_CHECK(spec.writes_per_step >= 1, "writes per step must be >= 1");
+    wear = spec;
+    return *this;
+}
+
+FaultScenario& FaultScenario::with_wear(double endurance_mean_writes,
+                                        double hot_spot_fraction) {
+    WearSpec spec = wear;
+    spec.endurance_mean_writes = endurance_mean_writes;
+    if (hot_spot_fraction >= 0.0) spec.hot_spot_fraction = hot_spot_fraction;
+    return with_wear(spec);
+}
+
+FaultScenario& FaultScenario::with_arrival_period(std::size_t batches) {
+    arrival_period_batches = batches;
+    return *this;
+}
+
 FaultScenario& FaultScenario::on_weights_only() {
     faults_on_weights = true;
     faults_on_adjacency = false;
@@ -61,7 +86,8 @@ FaultScenario& FaultScenario::on_adjacency_only() {
 }
 
 bool FaultScenario::fault_free() const {
-    return density == 0.0 && post_total_density == 0.0 && read_noise_sigma == 0.0;
+    return density == 0.0 && post_total_density == 0.0 &&
+           read_noise_sigma == 0.0 && !wear.enabled();
 }
 
 std::string FaultScenario::key() const {
@@ -83,6 +109,18 @@ std::string FaultScenario::key() const {
     }
     os << ";fw=" << faults_on_weights << ";fa=" << faults_on_adjacency
        << ";noise=" << num(read_noise_sigma);
+    // Wear and the arrival cadence are appended only when live, so every
+    // legacy scenario keeps its pre-wear key (and kDerived seeds) unchanged.
+    if (wear.enabled()) {
+        os << ";wear=" << num(wear.endurance_mean_writes)
+           << ",k=" << num(wear.weibull_shape)
+           << ",hot=" << num(wear.hot_spot_fraction)
+           << ",sev=" << num(wear.hot_spot_severity)
+           << ",wps=" << wear.writes_per_step;
+    }
+    // The cadence only matters while some arrival source is active.
+    if (arrival_period_batches > 0 && (wear.enabled() || post_total_density > 0.0))
+        os << ";arr=" << arrival_period_batches;
     return os.str();
 }
 
@@ -114,6 +152,8 @@ FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
         scenario.post_epochs > 0 ? scenario.post_epochs : train_epochs;
     config.post_sa1_fraction = scenario.post_sa1_fraction;
     config.read_noise_sigma = scenario.read_noise_sigma;
+    config.wear = scenario.wear;
+    config.arrival_period_batches = scenario.arrival_period_batches;
     config.spare_column_fraction = hw.spare_column_fraction;
     config.max_adjacency_pool = hw.max_adjacency_pool;
     return config;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "fare/baselines.hpp"
+#include "reram/wear_model.hpp"
 
 namespace fare {
 
@@ -42,6 +43,20 @@ struct FaultScenario {
     /// Multiplicative Gaussian read noise sigma (extension E3; 0 disables).
     double read_noise_sigma = 0.0;
 
+    /// Endurance-driven wear (Hamun, arXiv:2502.01502): per-cell Weibull
+    /// write lifetimes with per-crossbar hot spots, disabled while
+    /// wear.endurance_mean_writes == 0. Orthogonal to the uniform
+    /// post-deployment stream above — both may be active.
+    WearSpec wear;
+
+    /// Online arrival cadence (arXiv:2412.03089): 0 = fault arrivals land
+    /// only at epoch boundaries (the legacy schedule); k > 0 adds an
+    /// arrival checkpoint after every k-th training step, so wear expiries
+    /// and the uniform post-deployment stream can land *mid-epoch*. The
+    /// per-epoch uniform quantum is split evenly across the epoch's
+    /// checkpoints. Inert while no fault source is active.
+    std::size_t arrival_period_batches = 0;
+
     /// No faults at all (the reference chip).
     static FaultScenario none();
     /// The common case: manufacturing faults only.
@@ -51,6 +66,16 @@ struct FaultScenario {
     /// SA1 fraction (the paper's Fig. 6 setting).
     FaultScenario& with_post_deployment(double total_density, double sa1 = -1.0);
     FaultScenario& with_read_noise(double sigma);
+    /// Enable endurance-driven wear-out (full spec, or the two headline
+    /// knobs). The two-knob overload keeps every other field of the
+    /// current wear block — including, when `hot_spot_fraction` is
+    /// omitted (negative), a previously configured hot-spot fraction.
+    FaultScenario& with_wear(const WearSpec& spec);
+    FaultScenario& with_wear(double endurance_mean_writes,
+                             double hot_spot_fraction = -1.0);
+    /// Land arrivals every `batches` training steps instead of only at
+    /// epoch boundaries (0 restores the epoch-boundary schedule).
+    FaultScenario& with_arrival_period(std::size_t batches);
     FaultScenario& on_weights_only();
     FaultScenario& on_adjacency_only();
 

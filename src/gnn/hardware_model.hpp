@@ -52,6 +52,20 @@ public:
         return ideal;
     }
 
+    /// Mini-batch boundary hook: called after every optimizer step with the
+    /// 0-based epoch, the 0-based index of the step within the epoch, and
+    /// the nominal number of steps per epoch. This is where write-endurance
+    /// accounting and *mid-epoch* fault arrival live (faults need not wait
+    /// for the epoch boundary — arXiv:2412.03089); implementations that
+    /// change fault state here must bump their version stamps so the
+    /// trainer's effective-state caches invalidate exactly then.
+    virtual void on_step_end(std::size_t epoch, std::size_t step,
+                             std::size_t steps_per_epoch) {
+        (void)epoch;
+        (void)step;
+        (void)steps_per_epoch;
+    }
+
     /// Epoch boundary hook (0-based epoch that just finished).
     virtual void on_epoch_end(std::size_t epoch) { (void)epoch; }
 

@@ -166,10 +166,10 @@ TrainResult Trainer::run() {
         std::size_t loss_batches = 0;
         MetricAccumulator train_acc(dataset_.num_classes);
 
-        for (std::size_t bi : order) {
-            auto& batch = batches_[bi];
+        for (std::size_t step = 0; step < order.size(); ++step) {
+            auto& batch = batches_[order[step]];
             refresh_effective_weights();
-            const BatchGraphView& view = effective_view(bi, batch);
+            const BatchGraphView& view = effective_view(order[step], batch);
 
             model_->zero_grads();
             const Matrix logits = model_->forward(batch.features, view);
@@ -180,6 +180,12 @@ TrainResult Trainer::run() {
             model_->backward(loss.grad, view);
             optimizer.step(model_->params(), model_->grads());
             ++params_version_;
+            // Step hook: write-endurance accounting and mid-epoch fault
+            // arrival. A hardware model that changes fault state here bumps
+            // its version stamps, so the next refresh_effective_weights /
+            // effective_view recomputes exactly then.
+            if (hardware_ != nullptr)
+                hardware_->on_step_end(epoch, step, order.size());
             loss_acc += loss.loss;
             ++loss_batches;
         }

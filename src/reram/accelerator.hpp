@@ -54,8 +54,10 @@ public:
     void inject_pre_deployment_faults(const FaultInjectionConfig& config);
 
     /// Wear: add faults on top of the existing maps (post-deployment).
-    void inject_post_deployment_faults(double added_density, double sa1_fraction,
-                                       Rng& rng);
+    /// Returns the number of faults actually added (the Poisson draws may
+    /// yield zero — callers skip their BIST refresh then).
+    std::size_t inject_post_deployment_faults(double added_density,
+                                              double sa1_fraction, Rng& rng);
 
     /// Run BIST across all crossbars; returns one detected map per crossbar.
     std::vector<FaultMap> bist_scan_all();

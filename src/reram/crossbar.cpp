@@ -8,6 +8,7 @@ Crossbar::Crossbar(std::uint16_t rows, std::uint16_t cols)
     : rows_(rows),
       cols_(cols),
       cells_(static_cast<std::size_t>(rows) * cols, 0),
+      cell_writes_(static_cast<std::size_t>(rows) * cols, 0),
       faults_(rows, cols) {
     FARE_CHECK(rows > 0 && cols > 0, "crossbar dimensions must be positive");
 }
@@ -22,6 +23,8 @@ void Crossbar::program(std::uint16_t row, std::uint16_t col, std::uint8_t level)
     FARE_CHECK(row < rows_ && col < cols_, "program position out of range");
     FARE_CHECK(level <= max_level(), "level exceeds cell resolution");
     ++writes_;
+    const std::uint32_t cell_count = ++cell_writes_[index(row, col)];
+    if (cell_count > max_cell_extra_) max_cell_extra_ = cell_count;
     cells_[index(row, col)] = level;  // stuck cells keep their stored value
 }
 

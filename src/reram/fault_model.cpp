@@ -94,10 +94,12 @@ std::vector<FaultMap> inject_faults(std::size_t num_crossbars, std::uint16_t row
     return maps;
 }
 
-void inject_additional_faults(std::vector<FaultMap>& maps, double added_density,
-                              double sa1_fraction, Rng& rng) {
+std::size_t inject_additional_faults(std::vector<FaultMap>& maps,
+                                     double added_density, double sa1_fraction,
+                                     Rng& rng) {
     FARE_CHECK(added_density >= 0.0 && added_density <= 1.0,
                "added density must lie in [0,1]");
+    std::size_t total_placed = 0;
     for (auto& map : maps) {
         const std::size_t cells =
             static_cast<std::size_t>(map.rows()) * map.cols();
@@ -116,7 +118,9 @@ void inject_additional_faults(std::vector<FaultMap>& maps, double added_density,
             map.add(r, c, t);
             ++placed;
         }
+        total_placed += placed;
     }
+    return total_placed;
 }
 
 FaultMap repair_worst_columns(const FaultMap& map, std::size_t num_spares,

@@ -92,8 +92,10 @@ std::vector<FaultMap> inject_faults(std::size_t num_crossbars, std::uint16_t row
 
 /// Add post-deployment faults on top of existing maps: `added_density` more
 /// of each crossbar's cells become faulty (skipping already-faulty cells).
-void inject_additional_faults(std::vector<FaultMap>& maps, double added_density,
-                              double sa1_fraction, Rng& rng);
+/// Returns the number of faults placed.
+std::size_t inject_additional_faults(std::vector<FaultMap>& maps,
+                                     double added_density, double sa1_fraction,
+                                     Rng& rng);
 
 /// Aggregate density over a set of crossbars.
 double mean_fault_density(const std::vector<FaultMap>& maps);

@@ -1,0 +1,33 @@
+// Registry of named, self-contained experiment plans shared by the fare-run
+// shard driver and the benches. A built-in plan pins everything that affects
+// cell keys (epoch budgets included), so N shard processes — or a bench and
+// a fare-run invocation — agree on the plan without sharing an environment,
+// and a sharded run merges bit-identical to a single-process run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/plan.hpp"
+
+namespace fare {
+
+struct NamedPlan {
+    const char* name;
+    const char* description;
+    ExperimentPlan (*build)();
+};
+
+/// All built-in plans, in listing order.
+const std::vector<NamedPlan>& builtin_plans();
+
+/// Build a plan by name. Throws InvalidArgument listing the known names.
+ExperimentPlan find_builtin_plan(const std::string& name);
+
+/// The wear_arrival sweep (also registered as the built-in "wear_arrival"):
+/// live endurance-driven wear with mid-epoch arrival checkpoints, swept over
+/// write-endurance mean x hot-spot fraction for fault-unaware vs FARe.
+/// Every knob is documented in docs/fault_models.md.
+ExperimentPlan wear_arrival_plan();
+
+}  // namespace fare

@@ -34,6 +34,21 @@ double ResultSet::accuracy(const WorkloadSpec& workload, Scheme scheme,
     return at(workload, scheme, density, sa1_fraction, mode).accuracy();
 }
 
+const CellResult& ResultSet::at_wear(Scheme scheme,
+                                     double endurance_mean_writes,
+                                     double hot_spot_fraction) const {
+    for (const CellResult& cell : cells) {
+        if (cell.spec.scheme != scheme) continue;
+        if (cell.spec.faults.wear.endurance_mean_writes != endurance_mean_writes)
+            continue;
+        if (hot_spot_fraction >= 0.0 &&
+            cell.spec.faults.wear.hot_spot_fraction != hot_spot_fraction)
+            continue;
+        return cell;
+    }
+    throw InvalidArgument("no wear cell for " + std::string(scheme_name(scheme)));
+}
+
 CellResult run_cell(const CellSpec& spec) {
     CellResult result;
     result.spec = spec;

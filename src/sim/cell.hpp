@@ -47,6 +47,13 @@ public:
                     double density = -1.0, double sa1_fraction = -1.0,
                     std::optional<CellMode> mode = std::nullopt) const;
 
+    /// Wear-axis lookup: first cell of `scheme` at the given endurance mean
+    /// (negative hot_spot_fraction matches any). Wear sweeps vary these two
+    /// coordinates where the classic grids vary density/SA1. Throws
+    /// InvalidArgument when no cell matches.
+    const CellResult& at_wear(Scheme scheme, double endurance_mean_writes,
+                              double hot_spot_fraction = -1.0) const;
+
     std::size_t size() const { return cells.size(); }
     auto begin() const { return cells.begin(); }
     auto end() const { return cells.end(); }

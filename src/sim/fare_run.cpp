@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "sim/builtin_plans.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/serialization.hpp"
@@ -27,61 +28,6 @@
 
 namespace fare {
 namespace {
-
-struct NamedPlan {
-    const char* name;
-    const char* description;
-    ExperimentPlan (*build)();
-};
-
-// Built-in plans. Cells pin their epoch budget explicitly (not FARE_EPOCHS)
-// wherever shard processes must agree on cell keys without sharing an
-// environment.
-const NamedPlan kPlans[] = {
-    {"smoke", "PPI (GCN), 2 densities x {fault-free, fault-unaware, FARe}, "
-              "2 epochs — seconds; the CI shard-smoke plan",
-     [] {
-         return SweepBuilder("smoke")
-             .workload(find_workload("PPI", GnnKind::kGCN))
-             .densities({0.01, 0.05})
-             .sa1_fraction(0.5)
-             .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware, Scheme::kFARe})
-             .epochs(2)
-             .build();
-     }},
-    {"seed_stats", "PPI (GCN) @ 3% faults, {fault-unaware, FARe} x seeds "
-                   "{1,2,3} — pair with --stats for mean/sigma error bars",
-     [] {
-         return SweepBuilder("seed_stats")
-             .workload(find_workload("PPI", GnnKind::kGCN))
-             .density(0.03)
-             .sa1_fraction(0.5)
-             .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
-             .seeds({1, 2, 3})
-             .epochs(2)
-             .build();
-     }},
-    {"read_noise", "Reddit (GCN), 3% SAFs, read-noise sigma axis "
-                   "{0, 2%, 5%, 10%} x {fault-unaware, FARe}",
-     [] {
-         return SweepBuilder("read_noise")
-             .workload(find_workload("Reddit", GnnKind::kGCN))
-             .scenario(FaultScenario::pre_deployment(0.03, 0.5))
-             .noise_sigmas({0.0, 0.02, 0.05, 0.1})
-             .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
-             .build();
-     }},
-    {"fig5", "the full Fig. 5 accuracy grid (180 cells) — the sweep worth "
-             "sharding across machines",
-     [] {
-         return SweepBuilder("fig5")
-             .workloads(fig5_workloads())
-             .densities({0.01, 0.03, 0.05})
-             .sa1_fractions({0.1, 0.5})
-             .schemes(figure_schemes())
-             .build();
-     }},
-};
 
 int usage(std::ostream& os, int code) {
     os << "fare-run — sharded / resumable experiment-plan driver\n\n"
@@ -105,15 +51,6 @@ int usage(std::ostream& os, int code) {
           "  fare-run --merge OUT IN1 IN2 ... [--canonical]\n\n"
           "  fare-run --list-plans\n";
     return code;
-}
-
-ExperimentPlan find_plan(const std::string& name) {
-    for (const NamedPlan& plan : kPlans)
-        if (name == plan.name) return plan.build();
-    std::string known;
-    for (const NamedPlan& plan : kPlans)
-        known += std::string(known.empty() ? "" : ", ") + plan.name;
-    throw InvalidArgument("unknown plan '" + name + "' (known: " + known + ")");
 }
 
 /// --stream: one display-JSON line per cell, printed the moment the plan
@@ -256,7 +193,7 @@ int run(int argc, char** argv) {
     }
 
     if (list_plans) {
-        for (const NamedPlan& plan : kPlans)
+        for (const NamedPlan& plan : builtin_plans())
             std::cout << plan.name << " — " << plan.description << '\n';
         return 0;
     }
@@ -269,7 +206,7 @@ int run(int argc, char** argv) {
     }
     if (plan_name.empty()) return usage(std::cerr, 2);
 
-    ExperimentPlan plan = find_plan(plan_name);
+    ExperimentPlan plan = find_builtin_plan(plan_name);
     if (epochs)
         for (CellSpec& cell : plan.cells) cell.epochs = epochs;
 

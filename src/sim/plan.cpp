@@ -48,6 +48,11 @@ std::string CellSpec::label() const {
            << " sa1=" << fmt_pct(faults.sa1_fraction, 0);
         if (faults.post_total_density > 0.0)
             os << " post=" << fmt_pct(faults.post_total_density, 0);
+        if (faults.wear.enabled()) {
+            os << " endur=" << faults.wear.endurance_mean_writes;
+            if (faults.wear.hot_spot_fraction > 0.0)
+                os << " hot=" << fmt_pct(faults.wear.hot_spot_fraction, 0);
+        }
     }
     if (mode == CellMode::kDeploy) os << " / deploy";
     os << " / seed " << seed;
@@ -110,6 +115,29 @@ SweepBuilder& SweepBuilder::clip_thresholds(const std::vector<float>& taus) {
     clip_thresholds_ = taus;
     return *this;
 }
+SweepBuilder& SweepBuilder::endurance_mean(double writes) {
+    return endurance_means({writes});
+}
+SweepBuilder& SweepBuilder::endurance_means(const std::vector<double>& writes) {
+    endurance_means_ = writes;
+    return *this;
+}
+SweepBuilder& SweepBuilder::hot_spot_fraction(double fraction) {
+    return hot_spot_fractions({fraction});
+}
+SweepBuilder& SweepBuilder::hot_spot_fractions(
+    const std::vector<double>& fractions) {
+    hot_spot_fractions_ = fractions;
+    return *this;
+}
+SweepBuilder& SweepBuilder::arrival_period(std::size_t batches) {
+    return arrival_periods({batches});
+}
+SweepBuilder& SweepBuilder::arrival_periods(
+    const std::vector<std::size_t>& batches) {
+    arrival_periods_ = batches;
+    return *this;
+}
 SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
 SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
     seeds_ = s;
@@ -145,8 +173,11 @@ std::size_t SweepBuilder::size() const {
     const std::size_t sa1s = sa1_fractions_ ? sa1_fractions_->size() : 1;
     const std::size_t noises = noise_sigmas_ ? noise_sigmas_->size() : 1;
     const std::size_t clips = clip_thresholds_ ? clip_thresholds_->size() : 1;
-    return workloads_.size() * densities * sa1s * noises * clips *
-           schemes_.size() * seeds_.size();
+    const std::size_t wears = endurance_means_ ? endurance_means_->size() : 1;
+    const std::size_t hots = hot_spot_fractions_ ? hot_spot_fractions_->size() : 1;
+    const std::size_t arrivals = arrival_periods_ ? arrival_periods_->size() : 1;
+    return workloads_.size() * densities * sa1s * noises * clips * wears *
+           hots * arrivals * schemes_.size() * seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -164,6 +195,15 @@ ExperimentPlan SweepBuilder::build() const {
     const std::vector<float> clips =
         clip_thresholds_ ? *clip_thresholds_
                          : std::vector<float>{hardware_.clip_threshold};
+    const std::vector<double> endurances =
+        endurance_means_ ? *endurance_means_
+                         : std::vector<double>{scenario_.wear.endurance_mean_writes};
+    const std::vector<double> hots =
+        hot_spot_fractions_ ? *hot_spot_fractions_
+                            : std::vector<double>{scenario_.wear.hot_spot_fraction};
+    const std::vector<std::size_t> arrivals =
+        arrival_periods_ ? *arrival_periods_
+                         : std::vector<std::size_t>{scenario_.arrival_period_batches};
     // Catch typo'd axis values at build time, not mid-sweep on a worker.
     for (const double d : densities)
         FARE_CHECK(d >= 0.0 && d <= 1.0,
@@ -177,6 +217,12 @@ ExperimentPlan SweepBuilder::build() const {
     for (const float tau : clips)
         FARE_CHECK(tau > 0.0f,
                    "sweep '" + name_ + "': clip threshold must be > 0");
+    for (const double mean : endurances)
+        FARE_CHECK(mean >= 0.0,
+                   "sweep '" + name_ + "': endurance mean must be >= 0");
+    for (const double hot : hots)
+        FARE_CHECK(hot >= 0.0 && hot <= 1.0,
+                   "sweep '" + name_ + "': hot-spot fraction outside [0,1]");
 
     ExperimentPlan plan;
     plan.name = name_;
@@ -186,30 +232,41 @@ ExperimentPlan SweepBuilder::build() const {
             for (const double sa1 : sa1s) {
                 for (const double noise : noises) {
                     for (const float clip : clips) {
-                        for (const Scheme scheme : schemes_) {
-                            for (const std::uint64_t base_seed : seeds_) {
-                                CellSpec cell;
-                                cell.workload = w;
-                                cell.scheme = scheme;
-                                cell.faults = scenario_;
-                                cell.faults.density = density;
-                                cell.faults.sa1_fraction = sa1;
-                                cell.faults.read_noise_sigma = noise;
-                                if (scenario_.post_sa1_follows_pre)
-                                    cell.faults.post_sa1_fraction = sa1;
-                                cell.hardware = hardware_;
-                                cell.hardware.clip_threshold = clip;
-                                cell.mode = mode_;
-                                cell.record_curve = record_curve_;
-                                cell.epochs = epochs_;
-                                cell.seed = base_seed;
-                                if (seed_policy_ == SeedPolicy::kDerived) {
-                                    CellSpec coords = cell;  // key() sans seed
-                                    coords.seed = 0;
-                                    cell.seed =
-                                        splitmix64(base_seed ^ fnv1a(coords.key()));
+                        for (const double endurance : endurances) {
+                            for (const double hot : hots) {
+                                for (const std::size_t arrival : arrivals) {
+                                    for (const Scheme scheme : schemes_) {
+                                        for (const std::uint64_t base_seed : seeds_) {
+                                            CellSpec cell;
+                                            cell.workload = w;
+                                            cell.scheme = scheme;
+                                            cell.faults = scenario_;
+                                            cell.faults.density = density;
+                                            cell.faults.sa1_fraction = sa1;
+                                            cell.faults.read_noise_sigma = noise;
+                                            cell.faults.wear.endurance_mean_writes =
+                                                endurance;
+                                            cell.faults.wear.hot_spot_fraction = hot;
+                                            cell.faults.arrival_period_batches =
+                                                arrival;
+                                            if (scenario_.post_sa1_follows_pre)
+                                                cell.faults.post_sa1_fraction = sa1;
+                                            cell.hardware = hardware_;
+                                            cell.hardware.clip_threshold = clip;
+                                            cell.mode = mode_;
+                                            cell.record_curve = record_curve_;
+                                            cell.epochs = epochs_;
+                                            cell.seed = base_seed;
+                                            if (seed_policy_ == SeedPolicy::kDerived) {
+                                                CellSpec coords = cell;  // key() sans seed
+                                                coords.seed = 0;
+                                                cell.seed = splitmix64(
+                                                    base_seed ^ fnv1a(coords.key()));
+                                            }
+                                            plan.cells.push_back(std::move(cell));
+                                        }
+                                    }
                                 }
-                                plan.cells.push_back(std::move(cell));
                             }
                         }
                     }

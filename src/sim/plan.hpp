@@ -81,8 +81,9 @@ struct ExperimentPlan {
 /// with only a workload and a scheme yields exactly one cell.
 ///
 /// Enumeration order is deterministic: workload-major, then density, then
-/// SA1 fraction, then read-noise sigma, then clip threshold, then scheme,
-/// then seed — the row/column order the paper's tables use.
+/// SA1 fraction, then read-noise sigma, then clip threshold, then
+/// write-endurance mean, then hot-spot fraction, then arrival period, then
+/// scheme, then seed — the row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
@@ -103,6 +104,19 @@ public:
     /// hardware template's clip_threshold.
     SweepBuilder& clip_threshold(float tau);
     SweepBuilder& clip_thresholds(const std::vector<float>& taus);
+    /// Write-endurance mean axis (live wear; 0 = wear disabled for that
+    /// row). Unset: the scenario template's wear.endurance_mean_writes.
+    /// Shape / severity / step charge come from the template's wear block.
+    SweepBuilder& endurance_mean(double writes);
+    SweepBuilder& endurance_means(const std::vector<double>& writes);
+    /// Endurance hot-spot fraction axis. Unset: the template's
+    /// wear.hot_spot_fraction.
+    SweepBuilder& hot_spot_fraction(double fraction);
+    SweepBuilder& hot_spot_fractions(const std::vector<double>& fractions);
+    /// Mid-epoch arrival cadence axis (0 = epoch boundaries only). Unset:
+    /// the template's arrival_period_batches.
+    SweepBuilder& arrival_period(std::size_t batches);
+    SweepBuilder& arrival_periods(const std::vector<std::size_t>& batches);
     SweepBuilder& seed(std::uint64_t s);
     SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
 
@@ -131,6 +145,9 @@ private:
     std::optional<std::vector<double>> sa1_fractions_;
     std::optional<std::vector<double>> noise_sigmas_;
     std::optional<std::vector<float>> clip_thresholds_;
+    std::optional<std::vector<double>> endurance_means_;
+    std::optional<std::vector<double>> hot_spot_fractions_;
+    std::optional<std::vector<std::size_t>> arrival_periods_;
     std::vector<std::uint64_t> seeds_{1};
     FaultScenario scenario_;
     HardwareOverrides hardware_;

@@ -310,7 +310,14 @@ std::string cell_result_to_json(const CellResult& r) {
        << ",\"post_sa1_follows_pre\":" << (f.post_sa1_follows_pre ? "true" : "false")
        << ",\"faults_on_weights\":" << (f.faults_on_weights ? "true" : "false")
        << ",\"faults_on_adjacency\":" << (f.faults_on_adjacency ? "true" : "false")
-       << ",\"read_noise_sigma\":" << json_num(f.read_noise_sigma) << '}'
+       << ",\"read_noise_sigma\":" << json_num(f.read_noise_sigma)
+       << ",\"wear\":{"
+       << "\"endurance_mean_writes\":" << json_num(f.wear.endurance_mean_writes)
+       << ",\"weibull_shape\":" << json_num(f.wear.weibull_shape)
+       << ",\"hot_spot_fraction\":" << json_num(f.wear.hot_spot_fraction)
+       << ",\"hot_spot_severity\":" << json_num(f.wear.hot_spot_severity)
+       << ",\"writes_per_step\":" << f.wear.writes_per_step << '}'
+       << ",\"arrival_period_batches\":" << f.arrival_period_batches << '}'
        << ",\"hardware\":{"
        << "\"num_tiles\":" << h.num_tiles
        << ",\"clip_threshold\":" << json_num(h.clip_threshold)
@@ -321,6 +328,7 @@ std::string cell_result_to_json(const CellResult& r) {
        << ",\"run\":{\"scheme\":\"" << scheme_name(r.run.scheme) << "\""
        << ",\"total_mapping_cost\":" << json_num(r.run.total_mapping_cost)
        << ",\"bist_scans\":" << r.run.bist_scans
+       << ",\"wear_faults\":" << r.run.wear_faults
        << ",\"train\":{\"test_accuracy\":" << json_num(r.run.train.test_accuracy)
        << ",\"test_macro_f1\":" << json_num(r.run.train.test_macro_f1)
        << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
@@ -380,6 +388,14 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
         faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
         faults.read_noise_sigma = dnum(f, "read_noise_sigma");
+        const JsonValue& wear = member(f, "wear");
+        faults.wear.endurance_mean_writes = dnum(wear, "endurance_mean_writes");
+        faults.wear.weibull_shape = dnum(wear, "weibull_shape");
+        faults.wear.hot_spot_fraction = dnum(wear, "hot_spot_fraction");
+        faults.wear.hot_spot_severity = dnum(wear, "hot_spot_severity");
+        faults.wear.writes_per_step = u64(wear, "writes_per_step");
+        faults.arrival_period_batches =
+            static_cast<std::size_t>(u64(f, "arrival_period_batches"));
 
         const JsonValue& h = member(spec, "hardware");
         HardwareOverrides& hw = r.spec.hardware;
@@ -398,6 +414,7 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         r.run.scheme = run_scheme.value();
         r.run.total_mapping_cost = dnum(run, "total_mapping_cost");
         r.run.bist_scans = static_cast<std::size_t>(u64(run, "bist_scans"));
+        r.run.wear_faults = static_cast<std::size_t>(u64(run, "wear_faults"));
         const JsonValue& train = member(run, "train");
         r.run.train.test_accuracy = dnum(train, "test_accuracy");
         r.run.train.test_macro_f1 = dnum(train, "test_macro_f1");
@@ -479,13 +496,17 @@ std::string cell_to_json(const std::string& plan_name, std::size_t index,
        << ",\"sa1_fraction\":" << json_num(s.faults.sa1_fraction)
        << ",\"post_total_density\":" << json_num(s.faults.post_total_density)
        << ",\"read_noise_sigma\":" << json_num(s.faults.read_noise_sigma)
+       << ",\"endurance_mean\":" << json_num(s.faults.wear.endurance_mean_writes)
+       << ",\"hot_spot_fraction\":" << json_num(s.faults.wear.hot_spot_fraction)
+       << ",\"arrival_period\":" << s.faults.arrival_period_batches
        << ",\"seed\":" << s.seed << ",\"accuracy\":" << json_num(r.accuracy());
     if (s.mode == CellMode::kTrain) {
         os << ",\"macro_f1\":" << json_num(r.run.train.test_macro_f1)
            << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
            << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
            << ",\"mapping_cost\":" << json_num(r.run.total_mapping_cost)
-           << ",\"bist_scans\":" << r.run.bist_scans;
+           << ",\"bist_scans\":" << r.run.bist_scans
+           << ",\"wear_faults\":" << r.run.wear_faults;
     } else {
         os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
            << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);

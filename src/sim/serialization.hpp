@@ -5,7 +5,8 @@
 // Two formats share the helpers here:
 //   * the display format (cell_to_json): one flat, self-describing object
 //     per cell for bench/out/BENCH_*.json consumers — lossy (no curve, no
-//     chip overrides) and stable since PR 1;
+//     chip overrides); stable since PR 1, extended append-only (wear axes
+//     + wear_faults) by the live-wear PR;
 //   * the record format (CellRecord): schema-versioned envelope
 //     {"schema":N,"plan":...,"key":...,"plan_index":...,"result":{...}}
 //     whose "result" member round-trips every CellResult field exactly
@@ -26,7 +27,8 @@ namespace fare {
 /// Version stamp written into every persisted record. Bump when the result
 /// JSON changes shape; readers skip records from other versions (the cell
 /// recomputes instead of deserializing wrongly).
-inline constexpr int kCellJsonSchemaVersion = 1;
+/// v2: FaultScenario wear block + arrival cadence, run.wear_faults.
+inline constexpr int kCellJsonSchemaVersion = 2;
 
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& s);

@@ -197,6 +197,77 @@ TEST(HardwareVersionTest, StampsTrackFaultEvents) {
     EXPECT_NE(hw.weights_state_version(), v1);
 }
 
+TEST(HardwareVersionTest, WearStampsInvalidateExactlyOnArrival) {
+    // Live wear, no uniform stream: the overlay / effective-state stamps
+    // must move exactly at the checkpoints where cells actually wore out —
+    // never on quiet checkpoints (the tentpole contract of the wear PR).
+    FaultyHardwareConfig config;
+    config.injection.density = 0.0;
+    config.injection.seed = 21;
+    config.wear.endurance_mean_writes = 40.0;  // wears out within ~40 steps
+    config.wear.weibull_shape = 2.0;
+    config.arrival_period_batches = 1;  // check after every step
+    FaultyHardware hw(Scheme::kFaultUnaware, config);
+
+    Matrix w(64, 16, 0.25f);
+    std::vector<Matrix*> params{&w};
+    hw.bind_params(params);
+
+    std::size_t arrival_steps = 0, stamp_moves = 0;
+    std::uint64_t version = hw.weights_state_version();
+    std::size_t worn = hw.wear_faults();
+    for (std::size_t step = 0; step < 80; ++step) {
+        hw.on_step_end(0, step, 80);
+        const bool arrived = hw.wear_faults() != worn;
+        const bool moved = hw.weights_state_version() != version;
+        EXPECT_EQ(moved, arrived) << "step " << step;
+        arrival_steps += arrived;
+        stamp_moves += moved;
+        version = hw.weights_state_version();
+        worn = hw.wear_faults();
+    }
+    EXPECT_GT(arrival_steps, 0u);   // the endurance horizon was crossed...
+    EXPECT_LT(stamp_moves, 80u);    // ...but quiet steps outnumber arrivals
+    EXPECT_GT(hw.wear_faults(), 0u);
+
+    // The worn fault state is observable: corruption now differs from a
+    // pristine chip's, and matches a fresh BIST image of the region.
+    FaultyHardwareConfig pristine = config;
+    pristine.wear.endurance_mean_writes = 0.0;
+    FaultyHardware clean(Scheme::kFaultUnaware, pristine);
+    clean.bind_params(params);
+    EXPECT_NE(hw.effective_weights(0, w), clean.effective_weights(0, w));
+    // A 64x16 parameter occupies exactly crossbar 0 of the accelerator.
+    std::vector<FaultMap> maps;
+    maps.push_back(
+        bist_scan(const_cast<Crossbar&>(hw.accelerator().crossbar(0))).detected);
+    const WeightFaultGrid grid(128, 16, maps, 128, 128);
+    EXPECT_EQ(hw.effective_weights(0, w),
+              corrupt_weights_reference(w, grid, std::nullopt));
+}
+
+TEST(HardwareVersionTest, QuietWearNeverInvalidates) {
+    // Endurance far beyond the run's write horizon: no arrivals, so stamps
+    // must stay put across every step and epoch boundary.
+    FaultyHardwareConfig config;
+    config.injection.density = 0.05;
+    config.injection.seed = 23;
+    config.wear.endurance_mean_writes = 1e15;
+    config.arrival_period_batches = 2;
+    FaultyHardware hw(Scheme::kFaultUnaware, config);
+    Matrix w(64, 16, 0.25f);
+    std::vector<Matrix*> params{&w};
+    hw.bind_params(params);
+
+    const std::uint64_t v0 = hw.weights_state_version();
+    const std::uint64_t a0 = hw.adjacency_state_version();
+    for (std::size_t step = 0; step < 10; ++step) hw.on_step_end(0, step, 10);
+    hw.on_epoch_end(0);
+    EXPECT_EQ(hw.weights_state_version(), v0);
+    EXPECT_EQ(hw.adjacency_state_version(), a0);
+    EXPECT_EQ(hw.wear_faults(), 0u);
+}
+
 TEST(HardwareVersionTest, BaseDefaultIsNeverCacheable) {
     // A HardwareModel subclass that doesn't think about versioning must keep
     // the recompute-every-batch behaviour (fail safe, never stale).

@@ -46,6 +46,52 @@ TEST(FaultScenarioTest, KeyNormalizesInertFields) {
     EXPECT_NE(c.key(), d.key());
 }
 
+TEST(FaultScenarioTest, WearAndArrivalKeyNormalization) {
+    // Wear disabled: shape / severity / cadence are inert, and the key is
+    // byte-identical to a pre-wear scenario's (legacy caches and derived
+    // seeds stay stable).
+    FaultScenario plain = FaultScenario::pre_deployment(0.03, 0.5);
+    FaultScenario inert = plain;
+    inert.wear.weibull_shape = 5.0;
+    inert.wear.hot_spot_severity = 3.0;
+    inert.arrival_period_batches = 4;  // no fault source: cadence unused
+    EXPECT_EQ(plain.key(), inert.key());
+    EXPECT_EQ(plain.key().find(";wear="), std::string::npos);
+
+    // Enabled wear: every wear knob and the cadence become load-bearing.
+    FaultScenario worn = plain;
+    worn.with_wear(50000.0, 0.25).with_arrival_period(2);
+    EXPECT_FALSE(worn.fault_free());
+    EXPECT_NE(worn.key(), plain.key());
+    FaultScenario other = worn;
+    other.wear.hot_spot_fraction = 0.5;
+    EXPECT_NE(other.key(), worn.key());
+    other = worn;
+    other.arrival_period_batches = 7;
+    EXPECT_NE(other.key(), worn.key());
+    other = worn;
+    other.wear.writes_per_step = 64;
+    EXPECT_NE(other.key(), worn.key());
+
+    // The cadence also matters for a uniform stream without wear.
+    FaultScenario uniform = plain;
+    uniform.with_post_deployment(0.01).with_arrival_period(3);
+    FaultScenario boundary_only = plain;
+    boundary_only.with_post_deployment(0.01);
+    EXPECT_NE(uniform.key(), boundary_only.key());
+
+    // The two-knob overload keeps a previously configured hot-spot
+    // fraction when the argument is omitted.
+    FaultScenario retune = plain;
+    retune.with_wear(50000.0, 0.25);
+    retune.with_wear(80000.0);
+    EXPECT_DOUBLE_EQ(retune.wear.endurance_mean_writes, 80000.0);
+    EXPECT_DOUBLE_EQ(retune.wear.hot_spot_fraction, 0.25);
+
+    EXPECT_THROW(FaultScenario::none().with_wear(-1.0), InvalidArgument);
+    EXPECT_THROW(FaultScenario::none().with_wear(100.0, 1.5), InvalidArgument);
+}
+
 TEST(FaultScenarioTest, PhaseRestriction) {
     FaultScenario w = FaultScenario::pre_deployment(0.05, 0.0);
     w.on_weights_only();
@@ -122,6 +168,58 @@ TEST(SweepBuilderTest, PinnedPostSa1SurvivesTheAxis) {
     EXPECT_DOUBLE_EQ(plan.cells[0].faults.sa1_fraction, 0.1);
     EXPECT_DOUBLE_EQ(plan.cells[0].faults.post_sa1_fraction, 0.5);  // pinned
     EXPECT_DOUBLE_EQ(plan.cells[1].faults.post_sa1_fraction, 0.5);
+}
+
+TEST(SweepBuilderTest, WearAxes) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    WearSpec wear;
+    wear.weibull_shape = 3.0;
+    wear.writes_per_step = 500;
+    FaultScenario scenario = FaultScenario::pre_deployment(0.01, 0.5);
+    scenario.with_wear(wear);
+    const ExperimentPlan plan =
+        SweepBuilder("wear_grid")
+            .workload(w)
+            .scenario(scenario)
+            .endurance_means({1e4, 2e4})
+            .hot_spot_fractions({0.0, 0.25})
+            .arrival_periods({0, 2})
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .build();
+    EXPECT_EQ(plan.size(), 2u * 2 * 2 * 2);
+
+    // Order: endurance-major, then hot-spot, then arrival, then scheme.
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.wear.endurance_mean_writes, 1e4);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.wear.hot_spot_fraction, 0.0);
+    EXPECT_EQ(plan.cells[0].faults.arrival_period_batches, 0u);
+    EXPECT_EQ(plan.cells[1].scheme, Scheme::kFARe);
+    EXPECT_EQ(plan.cells[2].faults.arrival_period_batches, 2u);
+    EXPECT_DOUBLE_EQ(plan.cells[4].faults.wear.hot_spot_fraction, 0.25);
+    EXPECT_DOUBLE_EQ(plan.cells[8].faults.wear.endurance_mean_writes, 2e4);
+
+    // Template fields ride along on every cell.
+    EXPECT_DOUBLE_EQ(plan.cells[5].faults.wear.weibull_shape, 3.0);
+    EXPECT_EQ(plan.cells[5].faults.wear.writes_per_step, 500u);
+
+    // Distinct coordinates produce distinct keys (different cached cells).
+    EXPECT_NE(plan.cells[0].key(), plan.cells[2].key());  // arrival differs
+    EXPECT_NE(plan.cells[0].key(), plan.cells[4].key());  // hot-spot differs
+    EXPECT_NE(plan.cells[0].key(), plan.cells[8].key());  // endurance differs
+
+    // Unset wear axes keep the template's values.
+    const ExperimentPlan defaults =
+        SweepBuilder("wear_defaults").workload(w).scenario(scenario).build();
+    ASSERT_EQ(defaults.size(), 1u);
+    EXPECT_DOUBLE_EQ(
+        defaults.cells[0].faults.wear.endurance_mean_writes,
+        scenario.wear.endurance_mean_writes);
+
+    // Axis validation fires at build time.
+    EXPECT_THROW(SweepBuilder("bad").workload(w).endurance_means({-1.0}).build(),
+                 InvalidArgument);
+    EXPECT_THROW(
+        SweepBuilder("bad").workload(w).hot_spot_fractions({1.5}).build(),
+        InvalidArgument);
 }
 
 TEST(SweepBuilderTest, NoiseAndClipAxes) {

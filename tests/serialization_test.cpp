@@ -20,6 +20,13 @@ CellResult sample_result() {
     r.spec.faults.cluster_shape = 2.5;
     r.spec.faults.post_epochs = 7;
     r.spec.faults.faults_on_adjacency = false;
+    WearSpec wear;
+    wear.endurance_mean_writes = 123456.789;
+    wear.weibull_shape = 1.75;
+    wear.hot_spot_fraction = 0.375;
+    wear.hot_spot_severity = 6.5;
+    wear.writes_per_step = 1000;
+    r.spec.faults.with_wear(wear).with_arrival_period(3);
     r.spec.hardware.num_tiles = 2;
     r.spec.hardware.clip_threshold = 0.7f;
     r.spec.hardware.match_weights = {1.25, 3.75};
@@ -33,6 +40,7 @@ CellResult sample_result() {
     r.run.scheme = Scheme::kFARe;
     r.run.total_mapping_cost = 1234.5678;
     r.run.bist_scans = 3;
+    r.run.wear_faults = 4242;
     r.run.train.test_accuracy = 0.923076923076923;
     r.run.train.test_macro_f1 = 1.0 / 3.0;
     r.run.train.preprocess_seconds = 0.001234;
@@ -64,6 +72,11 @@ TEST(SerializationTest, CellResultRoundTripsExactly) {
     EXPECT_EQ(r.spec.hardware_seed, original.spec.hardware_seed);
     EXPECT_DOUBLE_EQ(r.run.train.test_accuracy, original.run.train.test_accuracy);
     EXPECT_DOUBLE_EQ(r.run.total_mapping_cost, original.run.total_mapping_cost);
+    EXPECT_DOUBLE_EQ(r.spec.faults.wear.endurance_mean_writes, 123456.789);
+    EXPECT_DOUBLE_EQ(r.spec.faults.wear.hot_spot_fraction, 0.375);
+    EXPECT_EQ(r.spec.faults.wear.writes_per_step, 1000u);
+    EXPECT_EQ(r.spec.faults.arrival_period_batches, 3u);
+    EXPECT_EQ(r.run.wear_faults, 4242u);
     ASSERT_EQ(r.run.train.curve.size(), 2u);
     EXPECT_FLOAT_EQ(r.run.train.curve[0].train_loss, 0.9f);
     EXPECT_DOUBLE_EQ(r.run.train.curve[1].val_accuracy, 0.7);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fare/baselines.hpp"
 #include "graph/generators.hpp"
 
 namespace fare {
@@ -124,11 +125,21 @@ TEST(TrainerTest, AdjacencyHookControlsAggregation) {
     EXPECT_LT(result.test_accuracy, ideal.test_accuracy - 0.02);
 }
 
-/// Epoch-end hook fires exactly once per epoch.
+/// Epoch-end hook fires exactly once per epoch; the step hook fires once
+/// per optimizer step with in-epoch indices.
 class CountingHardware final : public HardwareModel {
 public:
+    void on_step_end(std::size_t, std::size_t step,
+                     std::size_t steps_per_epoch) override {
+        ++steps;
+        last_step = step;
+        last_steps_per_epoch = steps_per_epoch;
+    }
     void on_epoch_end(std::size_t) override { ++count; }
     int count = 0;
+    int steps = 0;
+    std::size_t last_step = 0;
+    std::size_t last_steps_per_epoch = 0;
 };
 
 TEST(TrainerTest, EpochHookFires) {
@@ -139,6 +150,57 @@ TEST(TrainerTest, EpochHookFires) {
     Trainer trainer(ds, tc, &hw);
     trainer.run();
     EXPECT_EQ(hw.count, 6);
+}
+
+TEST(TrainerTest, StepHookFiresOncePerOptimizerStep) {
+    const Dataset ds = small_dataset(15);
+    CountingHardware hw;
+    TrainConfig tc = fast_config(GnnKind::kGCN);
+    tc.epochs = 3;
+    Trainer trainer(ds, tc, &hw);
+    trainer.run();
+    // 8 partitions / 2 per batch = 4 steps per epoch (every batch holds
+    // training nodes in the SBM split).
+    EXPECT_EQ(hw.steps, 3 * 4);
+    EXPECT_EQ(hw.last_steps_per_epoch, 4u);
+    EXPECT_EQ(hw.last_step, 3u);  // 0-based index within the epoch
+}
+
+/// Mid-epoch arrival integration: live wear + a per-step arrival cadence
+/// must (a) wear cells out, (b) hurt accuracy vs an unworn chip, and (c)
+/// still train deterministically for a fixed seed.
+TEST(TrainerTest, LiveWearArrivesMidEpochAndDegradesTraining) {
+    const Dataset ds = small_dataset(19);
+    TrainConfig tc = fast_config(GnnKind::kGCN);
+    tc.epochs = 8;
+
+    FaultyHardwareConfig config;
+    config.accelerator.num_tiles = 1;
+    config.injection.density = 0.0;
+    config.injection.seed = 5;
+    config.wear.endurance_mean_writes = 2000.0;
+    config.wear.writes_per_step = 100;  // ~3200 writes over the run
+    config.wear.hot_spot_fraction = 0.25;
+    config.arrival_period_batches = 1;
+
+    FaultyHardware worn_hw(Scheme::kFaultUnaware, config);
+    Trainer worn(ds, tc, &worn_hw);
+    const TrainResult worn_result = worn.run();
+    EXPECT_GT(worn_hw.wear_faults(), 0u);
+
+    FaultyHardwareConfig pristine = config;
+    pristine.wear.endurance_mean_writes = 0.0;
+    FaultyHardware clean_hw(Scheme::kFaultUnaware, pristine);
+    Trainer clean(ds, tc, &clean_hw);
+    const TrainResult clean_result = clean.run();
+    EXPECT_EQ(clean_hw.wear_faults(), 0u);
+    EXPECT_LT(worn_result.test_accuracy, clean_result.test_accuracy - 0.02);
+
+    FaultyHardware replay_hw(Scheme::kFaultUnaware, config);
+    Trainer replay(ds, tc, &replay_hw);
+    const TrainResult replay_result = replay.run();
+    EXPECT_DOUBLE_EQ(replay_result.test_accuracy, worn_result.test_accuracy);
+    EXPECT_EQ(replay_hw.wear_faults(), worn_hw.wear_faults());
 }
 
 TEST(TrainerTest, InvalidConfigRejected) {
