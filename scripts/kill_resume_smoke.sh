@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke: the cache-lifecycle acceptance gate, runnable
+# locally and from CI.
+#
+#   1. produce a fresh single-process reference run of a plan;
+#   2. start the same plan against a shared --cache-dir and SIGKILL it
+#      mid-plan (whatever it completed is on disk, possibly with a torn
+#      tail — we append a simulated torn write to be sure);
+#   3. resume as N shard processes *sharing* that cache directory, merge,
+#      and require the output byte-identical to the reference;
+#   4. compact and require a single clean cells.jsonl with no segments.
+#
+# Usage: scripts/kill_resume_smoke.sh [plan] [num_shards]
+# Environment:
+#   FARE_RUN_BIN     path to fare-run (default: build/fare-run)
+#   FARE_KILL_AFTER  seconds before the SIGKILL (default: 2)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PLAN="${1:-smoke}"
+SHARDS="${2:-2}"
+BIN="${FARE_RUN_BIN:-build/fare-run}"
+
+if [ ! -x "$BIN" ]; then
+    echo "$0: fare-run binary not found at $BIN (set FARE_RUN_BIN)" >&2
+    exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+CACHE="$TMP/cache"
+
+echo "== reference: fresh single-process run"
+"$BIN" --plan "$PLAN" --threads 2 --json "$TMP/single.json" --canonical --quiet
+
+echo "== start a cached run and SIGKILL it mid-plan"
+"$BIN" --plan "$PLAN" --cache-dir "$CACHE" --threads 2 --quiet &
+pid=$!
+sleep "${FARE_KILL_AFTER:-2}"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Whatever the kill left (segments, partial lines), add a deterministic
+# torn trailing write on top so the recovery path is exercised even when
+# the timing was unlucky (killed before the first store, or after the last).
+seg=$(find "$CACHE" -name 'cells.*.jsonl' 2>/dev/null | head -1 || true)
+if [ -n "$seg" ]; then
+    printf '{"schema":2,"key":"torn' >>"$seg"
+else
+    mkdir -p "$CACHE"
+    printf '{"schema":2,"key":"torn' >"$CACHE/cells.0.0.jsonl"
+fi
+
+echo "== resume as $SHARDS shard processes sharing the cache dir"
+scripts/shard_run.sh "$PLAN" "$SHARDS" "$TMP/merged.json" \
+    --canonical --threads 2 --cache-dir "$CACHE" --stats
+
+echo "== merged output must be byte-identical to the fresh run"
+diff "$TMP/single.json" "$TMP/merged.json"
+
+echo "== compaction leaves one clean log and no segments"
+"$BIN" --cache-compact --cache-dir "$CACHE"
+[ -f "$CACHE/cells.jsonl" ]
+leftover=$(find "$CACHE" -name 'cells.*.jsonl' | wc -l)
+if [ "$leftover" -ne 0 ]; then
+    echo "$0: $leftover segment file(s) survived compaction" >&2
+    exit 1
+fi
+
+# A warm re-run over the compacted cache must serve every cell from disk
+# (fare-run reports "N cells, N cache hits" on stderr).
+warm=$("$BIN" --plan "$PLAN" --cache-dir "$CACHE" --quiet 2>&1)
+if echo "$warm" | grep -q ", 0 cache hits"; then
+    echo "$0: warm run executed cells that should have been cached" >&2
+    echo "$warm" >&2
+    exit 1
+fi
+
+echo "kill/resume smoke OK"

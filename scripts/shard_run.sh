@@ -8,9 +8,10 @@
 #
 # Usage: scripts/shard_run.sh <plan> <num_shards> <out.json> [fare-run args…]
 #   e.g. scripts/shard_run.sh smoke 2 merged.json --canonical --threads 2
-#   A --cache-dir DIR argument is split into one subdirectory per shard
-#   (DIR/shard_<i>_of_<N>) — concurrent processes must not share a single
-#   cache appender.
+#   A --cache-dir DIR argument is passed straight through to every shard:
+#   concurrent processes share one cache directory safely (each appends to
+#   its own cells.<pid>.<n>.jsonl segment under an advisory lock, and the
+#   last process out folds the segments into cells.jsonl).
 #
 # Environment:
 #   FARE_RUN_BIN   path to the fare-run binary (default: build/fare-run)
@@ -36,30 +37,12 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-# Extract --cache-dir from the pass-through args: concurrent shard
-# processes must not share one cache appender (interleaved writes tear the
-# JSONL log), so each shard gets its own subdirectory of the requested dir.
-CACHE_DIR=""
-EXTRA=()
-while [ "$#" -gt 0 ]; do
-    if [ "$1" = "--cache-dir" ]; then
-        CACHE_DIR=$2
-        shift 2
-    else
-        EXTRA+=("$1")
-        shift
-    fi
-done
-set -- ${EXTRA[@]+"${EXTRA[@]}"}
-
 # One process per shard, in parallel — each runs only its deterministic
 # slice of the plan's unique cells and records full-fidelity results.
 pids=()
 for ((i = 0; i < SHARDS; ++i)); do
-    CACHE_ARGS=()
-    [ -n "$CACHE_DIR" ] && CACHE_ARGS=(--cache-dir "$CACHE_DIR/shard_${i}_of_$SHARDS")
     "$BIN" --plan "$PLAN" --shard "$i/$SHARDS" --quiet \
-        --out "$TMP/shard_$i.jsonl" ${CACHE_ARGS[@]+"${CACHE_ARGS[@]}"} "$@" \
+        --out "$TMP/shard_$i.jsonl" "$@" \
         >"$TMP/shard_$i.log" 2>&1 &
     pids+=($!)
 done

@@ -1,12 +1,105 @@
 #include "sim/cell_cache.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <filesystem>
+#include <iterator>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define FARE_HAVE_FLOCK 1
+#endif
 
 #include "common/error.hpp"
 #include "sim/serialization.hpp"
 
 namespace fare {
+
+namespace {
+
+// Advisory directory lock, via flock(2) on <dir>/cells.lock. flock is per
+// open file description, so two DiskCellCache instances in one process hold
+// independent locks — exactly the multi-writer unit the segments protect.
+// On platforms without flock the lock degrades to a no-op (single-process
+// sharing still works: segments never interleave, compaction just loses its
+// "no other writers" guarantee).
+int open_lock_file(const std::string& path) {
+#ifdef FARE_HAVE_FLOCK
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    // A cache that cannot lock must not limp along lock-free: an unlocked
+    // instance's compaction would delete segments other processes are
+    // still appending to.
+    FARE_CHECK(fd >= 0, "cannot open cache lock file: " + path);
+    return fd;
+#else
+    (void)path;
+    return -1;
+#endif
+}
+
+bool lock_shared(int fd) {
+#ifdef FARE_HAVE_FLOCK
+    if (fd < 0) return true;
+    while (::flock(fd, LOCK_SH) != 0)
+        if (errno != EINTR) return false;
+#else
+    (void)fd;
+#endif
+    return true;
+}
+
+/// Non-blocking upgrade to exclusive. CAUTION: flock conversion is not
+/// atomic — the kernel removes the existing (shared) lock before trying the
+/// new one, so on failure the caller holds NOTHING and must re-acquire its
+/// shared lock before carrying on.
+bool try_lock_exclusive(int fd) {
+#ifdef FARE_HAVE_FLOCK
+    if (fd < 0) return true;
+    while (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        if (errno == EINTR) continue;
+        return false;
+    }
+#else
+    (void)fd;
+#endif
+    return true;
+}
+
+void close_lock(int fd) {
+#ifdef FARE_HAVE_FLOCK
+    if (fd >= 0) ::close(fd);
+#else
+    (void)fd;
+#endif
+}
+
+std::string record_line(const std::string& key, const CellResult& result) {
+    CellRecord record;
+    record.key = key;
+    record.plan_index = result.plan_index;
+    record.result = result;
+    return cell_record_to_json(record);
+}
+
+/// This instance's segment name: pid disambiguates concurrent processes,
+/// the per-process sequence number disambiguates concurrent instances
+/// within one process (each segment must have exactly one writer).
+std::string segment_name() {
+    static std::atomic<unsigned> sequence{0};
+#ifdef FARE_HAVE_FLOCK
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    return "cells." + std::to_string(pid) + '.' +
+           std::to_string(sequence.fetch_add(1)) + ".jsonl";
+}
+
+}  // namespace
 
 CellCache::~CellCache() = default;
 
@@ -27,48 +120,97 @@ std::size_t MemoryCellCache::size() const {
     return entries_.size();
 }
 
-DiskCellCache::DiskCellCache(std::string dir) {
-    FARE_CHECK(!dir.empty(), "DiskCellCache needs a directory");
+std::vector<std::string> DiskCellCache::data_files(const std::string& dir) {
+    std::vector<std::string> segments;
     std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    FARE_CHECK(!ec, "cannot create cache directory: " + dir);
-    file_ = (std::filesystem::path(dir) / kCacheFileName).string();
-
-    std::ifstream in(file_);
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        Expected<CellRecord> record = cell_record_from_json(line);
-        if (!record) {
-            ++skipped_;
-            continue;
-        }
-        CellRecord rec = std::move(record).value();
-        entries_.insert_or_assign(std::move(rec.key), std::move(rec.result));
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name == kCacheFileName) continue;
+        if (name.rfind("cells.", 0) == 0 && name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0)
+            segments.push_back(entry.path().string());
     }
+    std::sort(segments.begin(), segments.end());
+    std::vector<std::string> files;
+    const std::string base =
+        (std::filesystem::path(dir) / kCacheFileName).string();
+    if (std::filesystem::exists(base, ec)) files.push_back(base);
+    files.insert(files.end(), segments.begin(), segments.end());
+    return files;
+}
 
-    out_.open(file_, std::ios::app);
-    FARE_CHECK(out_.good(), "cannot open cache file for append: " + file_);
+DiskCellCache::DiskCellCache(std::string dir)
+    : DiskCellCache(DiskCacheConfig{std::move(dir), 0, 8ull << 20, true}) {}
+
+DiskCellCache::DiskCellCache(DiskCacheConfig config)
+    : config_(std::move(config)) {
+    FARE_CHECK(!config_.dir.empty(), "DiskCellCache needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    FARE_CHECK(!ec, "cannot create cache directory: " + config_.dir);
+    const std::filesystem::path dir(config_.dir);
+    file_ = (dir / kCacheFileName).string();
+    segment_ = (dir / segment_name()).string();
+
+    // Hold the directory shared for this instance's lifetime; taken before
+    // the load so a compaction in another process (exclusive) finishes its
+    // atomic rename + segment sweep before we enumerate files.
+    lock_fd_ = open_lock_file((dir / kLockFileName).string());
+    FARE_CHECK(lock_shared(lock_fd_),
+               "cannot lock cache directory: " + config_.dir);
+
+    for (const std::string& path : data_files(config_.dir))
+        load_file(path, /*final_pass=*/false);
+
+    // Reclaim the log when enough of it is dead, or the size policy is
+    // already violated, without waiting for an explicit --cache-compact.
+    if (dead_bytes_ >= config_.compact_dead_bytes || over_budget())
+        compact_locked();  // best effort: skipped while the dir is shared
+}
+
+DiskCellCache::~DiskCellCache() {
+    try {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Tidy on clean close: fold our segment (and any dead bytes) into
+        // the base log so a finished run leaves one compact file. Skipped
+        // when other instances still hold the directory — the last one out
+        // folds for everyone.
+        if (config_.compact_on_close &&
+            (wrote_ || dead_bytes_ > 0 || segments_merged_ > 0 ||
+             over_budget()))
+            compact_locked();
+    } catch (...) {
+        // A destructor must not throw; a failed tidy-up costs only bytes.
+    }
+    if (out_.is_open()) out_.close();
+    close_lock(lock_fd_);
 }
 
 std::optional<CellResult> DiskCellCache::lookup(const std::string& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) return std::nullopt;
-    return it->second;
+    it->second.stamp = ++stamp_counter_;  // refresh for the eviction policy
+    return it->second.result;
 }
 
 void DiskCellCache::store(const std::string& key, const CellResult& result) {
-    CellRecord record;
-    record.key = key;
-    record.plan_index = result.plan_index;
-    record.result = result;
-    const std::string line = cell_record_to_json(record);
+    const std::string line = record_line(key, result);
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.insert_or_assign(key, result);
+    upsert(key, result, line.size() + 1);
     // One line per completed cell, flushed immediately: an interrupted sweep
-    // keeps everything that finished before the kill.
+    // keeps everything that finished before the kill. The segment opens
+    // lazily so lookup-only instances leave no litter.
+    if (!out_.is_open()) {
+        out_.open(segment_, std::ios::app);
+        FARE_CHECK(out_.good(), "cannot open cache segment: " + segment_);
+    }
     out_ << line << '\n' << std::flush;
+    // A silent write failure (disk full, closed stream) would leave a sweep
+    // that believes it is resumable but is not — fail the run instead.
+    FARE_CHECK(out_.good(), "cell cache write failed: " + segment_);
+    consumed_[segment_] += line.size() + 1;
+    wrote_ = true;
 }
 
 std::size_t DiskCellCache::size() const {
@@ -76,9 +218,180 @@ std::size_t DiskCellCache::size() const {
     return entries_.size();
 }
 
-std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir) {
+std::size_t DiskCellCache::corrupt_lines_skipped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corrupt_lines_;
+}
+
+DiskCacheStats DiskCellCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DiskCacheStats s;
+    s.live_entries = entries_.size();
+    s.live_bytes = live_bytes_;
+    s.dead_bytes = dead_bytes_;
+    s.corrupt_lines = corrupt_lines_;
+    s.superseded_lines = superseded_lines_;
+    s.evicted_entries = evicted_entries_;
+    s.segments_merged = segments_merged_;
+    s.compactions = compactions_;
+    return s;
+}
+
+bool DiskCellCache::compact() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compact_locked();
+}
+
+bool DiskCellCache::over_budget() const {
+    return config_.max_bytes > 0 && live_bytes_ > config_.max_bytes;
+}
+
+void DiskCellCache::upsert(std::string key, CellResult result,
+                           std::uint64_t bytes) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        dead_bytes_ += it->second.bytes;
+        live_bytes_ -= it->second.bytes;
+        ++superseded_lines_;
+        it->second = Entry{std::move(result), ++stamp_counter_, bytes};
+    } else {
+        entries_.emplace(std::move(key),
+                         Entry{std::move(result), ++stamp_counter_, bytes});
+    }
+    live_bytes_ += bytes;
+}
+
+void DiskCellCache::load_file(const std::string& path, bool final_pass) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return;
+    std::uint64_t& consumed = consumed_[path];
+    in.seekg(static_cast<std::streamoff>(consumed));
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (path != file_ && !rest.empty()) ++segments_merged_;
+    std::size_t begin = 0;
+    while (begin < rest.size()) {
+        const std::size_t nl = rest.find('\n', begin);
+        if (nl == std::string::npos) {
+            // A trailing line without its newline. In a segment another
+            // process may still be mid-append, so leave it pending — unless
+            // this is the exclusive-lock pass, where no writer can exist and
+            // the line is a torn tail write.
+            if (final_pass || path == file_) {
+                ++corrupt_lines_;
+                dead_bytes_ += rest.size() - begin;
+                consumed += rest.size() - begin;
+            }
+            break;
+        }
+        const std::string line = rest.substr(begin, nl - begin);
+        consumed += line.size() + 1;
+        begin = nl + 1;
+        if (line.empty()) continue;
+        Expected<CellRecord> record = cell_record_from_json(line);
+        if (!record) {
+            ++corrupt_lines_;
+            dead_bytes_ += line.size() + 1;
+            continue;
+        }
+        CellRecord rec = std::move(record).value();
+        upsert(std::move(rec.key), std::move(rec.result), line.size() + 1);
+    }
+}
+
+bool DiskCellCache::compact_locked() {
+    if (!try_lock_exclusive(lock_fd_)) {
+        // The failed upgrade dropped our shared hold (flock conversion is
+        // remove-then-acquire); take it back before anything else. In the
+        // unlocked window another process may have compacted and deleted
+        // our segment — close the appender so the next store() recreates a
+        // visible file instead of appending to an unlinked inode (our
+        // flushed lines are safe either way: the compactor re-reads every
+        // segment under its exclusive lock before deleting).
+        FARE_CHECK(lock_shared(lock_fd_),
+                   "cannot re-acquire cache directory lock: " + config_.dir);
+        if (out_.is_open()) out_.close();
+        // Another process may also have compacted in that window, replacing
+        // the base with a different layout: our byte offsets are no longer
+        // trustworthy, so drop them and re-read from scratch next time
+        // (re-read duplicates just count as superseded).
+        consumed_.clear();
+        return false;
+    }
+
+    // Exclusive: every other instance is gone. Pick up anything appended to
+    // a segment (including new segments) after our load, so the rewrite
+    // below loses nothing when it deletes them.
+    const std::vector<std::string> files = data_files(config_.dir);
+    for (const std::string& path : files) load_file(path, /*final_pass=*/true);
+
+    // Size policy: drop least-recently-looked-up entries until we fit.
+    std::vector<std::pair<std::uint64_t, const std::string*>> by_stamp;
+    by_stamp.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_)
+        by_stamp.emplace_back(entry.stamp, &key);
+    std::sort(by_stamp.begin(), by_stamp.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t first_kept = 0;
+    while (over_budget() && first_kept < by_stamp.size()) {
+        const auto it = entries_.find(*by_stamp[first_kept].second);
+        live_bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        ++evicted_entries_;
+        ++first_kept;
+    }
+
+    // Atomic rewrite: stage, flush, rename — a crash mid-compaction leaves
+    // either the old log or the new one, never a torn file (the same
+    // publish pattern as JsonLinesSink). Survivors are written oldest-first
+    // so the rewritten log encodes recency order for the next process.
+    const std::string tmp = file_ + ".tmp";
+    std::uint64_t written = 0;
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        FARE_CHECK(out.good(), "cannot stage cache compaction: " + tmp);
+        for (std::size_t i = first_kept; i < by_stamp.size(); ++i) {
+            Entry& entry = entries_.at(*by_stamp[i].second);
+            const std::string line =
+                record_line(*by_stamp[i].second, entry.result);
+            out << line << '\n';
+            // Re-measure against the rewritten line: a loaded record's
+            // envelope may serialize a byte or two differently from ours.
+            entry.bytes = line.size() + 1;
+            written += entry.bytes;
+        }
+        out.flush();
+        FARE_CHECK(out.good(), "cache compaction write failed: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, file_, ec);
+    FARE_CHECK(!ec, "cannot publish compacted cache: " + file_);
+
+    // Segments are now folded into the base; delete them (ours included —
+    // the appender reopens a fresh segment on the next store).
+    if (out_.is_open()) out_.close();
+    for (const std::string& path : files)
+        if (path != file_) std::filesystem::remove(path, ec);
+    consumed_.clear();
+    // The rewritten log holds exactly the live entries, one line each.
+    live_bytes_ = written;
+    consumed_[file_] = written;
+    dead_bytes_ = 0;
+    wrote_ = false;
+    ++compactions_;
+
+    FARE_CHECK(lock_shared(lock_fd_),
+               "cannot downgrade cache directory lock: " + config_.dir);
+    return true;
+}
+
+std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir,
+                                           std::uint64_t cache_max_bytes) {
     if (cache_dir.empty()) return std::make_unique<MemoryCellCache>();
-    return std::make_unique<DiskCellCache>(cache_dir);
+    DiskCacheConfig config;
+    config.dir = cache_dir;
+    config.max_bytes = cache_max_bytes;
+    return std::make_unique<DiskCellCache>(config);
 }
 
 }  // namespace fare

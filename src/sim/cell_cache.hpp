@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/cell.hpp"
 
@@ -50,37 +52,132 @@ private:
     std::unordered_map<std::string, CellResult> entries_;
 };
 
-/// Persistent cache: one JSON-lines file `<dir>/cells.jsonl` of
-/// schema-versioned CellRecords keyed by CellSpec::key(). The whole file is
-/// loaded at construction; store() appends + flushes one line per cell, so a
-/// killed process keeps every completed cell. Lines that fail to parse —
-/// torn tail writes, manual edits, records from another schema version — are
-/// skipped and counted: the cell recomputes and the fresh record is appended
-/// (on load, the last valid record for a key wins).
+/// DiskCellCache construction knobs beyond the directory. Defaults give the
+/// pre-lifecycle behaviour plus tidy-on-close; tests shrink the thresholds.
+struct DiskCacheConfig {
+    std::string dir;
+    /// Size policy applied at compaction: when the live records exceed this
+    /// many serialized bytes, least-recently-looked-up entries are evicted
+    /// until the cache fits. 0 = unbounded.
+    std::uint64_t max_bytes = 0;
+    /// Auto-compaction trigger: when the bytes held by superseded or corrupt
+    /// lines reach this threshold at open, the log is rewritten in place.
+    std::uint64_t compact_dead_bytes = 8ull << 20;
+    /// Fold this process's segment file into the base log on clean close
+    /// (when no other process shares the directory). A killed process skips
+    /// this, of course — its segment is merged by whoever opens next.
+    bool compact_on_close = true;
+};
+
+/// Cumulative + current-state counters for one DiskCellCache instance.
+/// live_* describe the current in-memory view; the line/entry counters are
+/// cumulative over the instance's lifetime (they survive compaction so
+/// `fare-run --stats` can report what a run encountered and reclaimed).
+struct DiskCacheStats {
+    std::size_t live_entries = 0;     ///< distinct keys held
+    std::uint64_t live_bytes = 0;     ///< serialized bytes of live records
+    std::uint64_t dead_bytes = 0;     ///< bytes held by superseded/corrupt lines
+    std::size_t corrupt_lines = 0;    ///< unparseable / foreign-schema lines seen
+    std::size_t superseded_lines = 0; ///< records replaced by a later write
+    std::size_t evicted_entries = 0;  ///< dropped by the max_bytes policy
+    std::size_t segments_merged = 0;  ///< per-process segment files folded in
+    std::size_t compactions = 0;      ///< log rewrites performed
+};
+
+/// Persistent cache: a directory of JSON-lines logs of schema-versioned
+/// CellRecords keyed by CellSpec::key().
+///
+/// Layout and lifecycle:
+///   * `<dir>/cells.jsonl` — the compacted base log;
+///   * `<dir>/cells.<pid>.<n>.jsonl` — one append-only segment per live
+///     writer, so N concurrent shard processes can share one directory
+///     without interleaving writes. store() appends + flushes one line per
+///     cell, so a killed process keeps every completed cell.
+///   * open loads the base then every segment (sorted by name; the last
+///     valid record for a key wins). Lines that fail to parse — torn tail
+///     writes, manual edits, records from another schema version — are
+///     skipped and counted; the cell recomputes and a fresh record is
+///     appended.
+///   * compaction rewrites the base via tmp-file + atomic rename, dropping
+///     superseded/corrupt lines and folding (then deleting) segments, then
+///     applies the max_bytes eviction policy. It runs automatically when the
+///     dead-byte threshold is hit at open, on clean close, and on demand via
+///     compact() / `fare-run --cache-compact`.
+///   * an advisory lock (`<dir>/cells.lock`, held shared for the instance's
+///     lifetime) makes all of this safe to share: compaction upgrades to an
+///     exclusive lock and is skipped while any other instance holds the
+///     directory — so it never deletes a segment another process is still
+///     appending to.
 class DiskCellCache final : public CellCache {
 public:
-    /// Opens (creating the directory if needed) and loads the cache file.
+    /// Opens (creating the directory if needed) and loads the cache files.
     explicit DiskCellCache(std::string dir);
+    explicit DiskCellCache(DiskCacheConfig config);
+    ~DiskCellCache() override;
 
     std::optional<CellResult> lookup(const std::string& key) override;
     void store(const std::string& key, const CellResult& result) override;
     std::size_t size() const override;
 
+    /// Rewrite the log: drop superseded/corrupt lines, fold + delete segment
+    /// files, evict past max_bytes. Returns false (and changes nothing) when
+    /// another instance holds the directory — compaction needs exclusivity.
+    bool compact();
+
+    /// Lifecycle counters (see DiskCacheStats).
+    DiskCacheStats stats() const;
+
     /// Lines dropped during load (corrupt or wrong schema version).
-    std::size_t corrupt_lines_skipped() const { return skipped_; }
+    std::size_t corrupt_lines_skipped() const;
     const std::string& path() const { return file_; }
 
     static constexpr const char* kCacheFileName = "cells.jsonl";
+    static constexpr const char* kLockFileName = "cells.lock";
+
+    /// The base log plus every segment currently in `dir`, base first then
+    /// segments sorted by name — the deterministic load order.
+    static std::vector<std::string> data_files(const std::string& dir);
 
 private:
-    std::string file_;
+    struct Entry {
+        CellResult result;
+        std::uint64_t stamp = 0;  ///< LRU recency: bumped on load/store/lookup
+        std::uint64_t bytes = 0;  ///< serialized line size incl. newline
+    };
+
+    void upsert(std::string key, CellResult result, std::uint64_t bytes);
+    /// Consume the complete lines of `path` past what was already read. A
+    /// trailing line without a newline is left pending unless `final_pass`
+    /// (under the exclusive lock no writer can complete it: it is torn).
+    void load_file(const std::string& path, bool final_pass);
+    bool compact_locked();
+    bool over_budget() const;
+
+    DiskCacheConfig config_;
+    std::string file_;     ///< base log path
+    std::string segment_;  ///< this instance's append segment
+    int lock_fd_ = -1;
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, CellResult> entries_;
+    std::unordered_map<std::string, Entry> entries_;
     std::ofstream out_;
-    std::size_t skipped_ = 0;
+    bool wrote_ = false;
+    std::uint64_t stamp_counter_ = 0;
+    /// Bytes of each file consumed so far (complete lines only), so
+    /// compaction can pick up records appended after our load without
+    /// double-counting what we already hold.
+    std::unordered_map<std::string, std::uint64_t> consumed_;
+
+    std::uint64_t live_bytes_ = 0;
+    std::uint64_t dead_bytes_ = 0;
+    std::size_t corrupt_lines_ = 0;
+    std::size_t superseded_lines_ = 0;
+    std::size_t evicted_entries_ = 0;
+    std::size_t segments_merged_ = 0;
+    std::size_t compactions_ = 0;
 };
 
 /// Factory honouring SessionOptions: empty dir => MemoryCellCache.
-std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir);
+std::unique_ptr<CellCache> make_cell_cache(const std::string& cache_dir,
+                                           std::uint64_t cache_max_bytes = 0);
 
 }  // namespace fare

@@ -21,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "sim/builtin_plans.hpp"
+#include "sim/cell_cache.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/serialization.hpp"
@@ -36,19 +37,29 @@ int usage(std::ostream& os, int code) {
           "    --shard I/N      run slice I of N (default 0/1 = whole plan)\n"
           "    --threads N      worker threads (0 = auto / FARE_THREADS)\n"
           "    --cache-dir DIR  persistent cell cache: resume interrupted\n"
-          "                     sweeps, reuse unchanged cells across runs\n"
+          "                     sweeps, reuse unchanged cells across runs;\n"
+          "                     safe to share between concurrent shard\n"
+          "                     processes (per-process segments + dir lock)\n"
+          "    --cache-max-bytes N[K|M|G]\n"
+          "                     evict least-recently-used cache entries at\n"
+          "                     compaction until the cache fits N bytes\n"
           "    --epochs E       override every cell's epoch budget\n"
           "    --out PATH       write full-fidelity cell records (JSONL),\n"
           "                     mergeable with --merge\n"
           "    --json PATH      write display JSON lines (BENCH_* format)\n"
           "    --canonical      zero measured timings / from_cache in --json\n"
           "                     output so runs diff bit-identically\n"
-          "    --stats          print seed-replicate mean/sigma table\n"
+          "    --stats          print seed-replicate mean/sigma table and,\n"
+          "                     with --cache-dir, cache lifecycle counters\n"
+          "                     (live/dead/superseded/corrupt/evicted)\n"
           "    --stream         print the console table cells as they finish\n"
           "    --quiet          no console table\n"
           "    --progress       print one dot per executed cell\n\n"
           "Merge shard record files into plan-ordered display JSON:\n"
           "  fare-run --merge OUT IN1 IN2 ... [--canonical]\n\n"
+          "Compact a cell cache in place (drop dead lines, fold segments,\n"
+          "apply --cache-max-bytes eviction; fails if the dir is in use):\n"
+          "  fare-run --cache-compact --cache-dir DIR [--cache-max-bytes N]\n\n"
           "  fare-run --list-plans\n";
     return code;
 }
@@ -79,6 +90,62 @@ CellResult canonicalized(CellResult cell, bool canonical) {
         cell.run.train.train_seconds = 0.0;
     }
     return cell;
+}
+
+/// --cache-max-bytes: a byte count with an optional K/M/G suffix.
+std::uint64_t parse_bytes(const std::string& s) {
+    std::size_t suffix = 0;
+    std::uint64_t scale = 1;
+    if (!s.empty()) {
+        switch (s.back()) {
+            case 'K': case 'k': scale = 1ull << 10; suffix = 1; break;
+            case 'M': case 'm': scale = 1ull << 20; suffix = 1; break;
+            case 'G': case 'g': scale = 1ull << 30; suffix = 1; break;
+            default: break;
+        }
+    }
+    const std::string digits = s.substr(0, s.size() - suffix);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        throw InvalidArgument("bad byte count: '" + s + "'");
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(digits);
+    } catch (const std::out_of_range&) {
+        throw InvalidArgument("byte count out of range: '" + s + "'");
+    }
+    if (scale != 1 && value > UINT64_MAX / scale)
+        throw InvalidArgument("byte count out of range: '" + s + "'");
+    return value * scale;
+}
+
+void print_cache_stats(const DiskCacheStats& s, std::ostream& os) {
+    os << "cache: " << s.live_entries << " live entries (" << s.live_bytes
+       << " bytes), " << s.dead_bytes << " dead bytes, "
+       << s.superseded_lines << " superseded line(s), " << s.corrupt_lines
+       << " corrupt line(s) skipped, " << s.evicted_entries
+       << " evicted, " << s.segments_merged << " segment(s) merged, "
+       << s.compactions << " compaction(s)\n";
+}
+
+/// --cache-compact: open the cache, force one compaction, report, exit.
+int compact_cache(const std::string& cache_dir, std::uint64_t max_bytes) {
+    if (cache_dir.empty()) {
+        std::cerr << "fare-run: --cache-compact needs --cache-dir\n\n";
+        return usage(std::cerr, 2);
+    }
+    DiskCacheConfig config;
+    config.dir = cache_dir;
+    config.max_bytes = max_bytes;
+    config.compact_on_close = false;  // explicit verb, explicit compaction
+    DiskCellCache cache(config);
+    if (!cache.compact()) {
+        std::cerr << "fare-run: cache " << cache_dir
+                  << " is in use by another process; not compacted\n";
+        return 1;
+    }
+    print_cache_stats(cache.stats(), std::cout);
+    return 0;
 }
 
 int merge(const std::string& out_path, const std::vector<std::string>& inputs,
@@ -149,7 +216,8 @@ int run(int argc, char** argv) {
     SessionOptions options;
     std::optional<std::size_t> epochs;
     bool canonical = false, stats = false, stream = false, quiet = false;
-    bool list_plans = false, merging = false;
+    bool list_plans = false, merging = false, cache_compact = false;
+    std::uint64_t cache_max_bytes = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -170,6 +238,8 @@ int run(int argc, char** argv) {
             if (!n || n.value() < 0) throw InvalidArgument("bad --threads");
             options.threads = static_cast<std::size_t>(n.value());
         } else if (arg == "--cache-dir") cache_dir = value();
+        else if (arg == "--cache-max-bytes") cache_max_bytes = parse_bytes(value());
+        else if (arg == "--cache-compact") cache_compact = true;
         else if (arg == "--epochs") {
             const Expected<double> e = parse_double(value());
             if (!e || e.value() < 1) throw InvalidArgument("bad --epochs");
@@ -204,6 +274,7 @@ int run(int argc, char** argv) {
         }
         return merge(merge_out, merge_inputs, canonical);
     }
+    if (cache_compact) return compact_cache(cache_dir, cache_max_bytes);
     if (plan_name.empty()) return usage(std::cerr, 2);
 
     ExperimentPlan plan = find_builtin_plan(plan_name);
@@ -211,6 +282,7 @@ int run(int argc, char** argv) {
         for (CellSpec& cell : plan.cells) cell.epochs = epochs;
 
     options.cache_dir = cache_dir;
+    options.cache_max_bytes = cache_max_bytes;
     SimSession session(options);
     if (!quiet) session.add_sink(std::make_unique<ConsoleTableSink>(std::cout));
     if (stream) session.add_sink(std::make_unique<StreamingLineSink>(std::cout));
@@ -237,6 +309,12 @@ int run(int argc, char** argv) {
                                 canonicalized(cell, canonical))
                 << '\n';
     }
+    // Cache lifecycle report: what this run's disk cache held, reclaimed,
+    // and evicted (the constructor's corrupt-line count included, so a
+    // resumed sweep can see how much of the log it had to recompute).
+    if (stats)
+        if (const auto* disk = dynamic_cast<DiskCellCache*>(&session.cache()))
+            print_cache_stats(disk->stats(), std::cout);
     std::cerr << "fare-run: plan '" << plan.name << "' shard "
               << options.shard.label() << ": " << results.size()
               << " cells, " << session.cache_hits() << " cache hits\n";

@@ -1,6 +1,7 @@
 #include "sim/serialization.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -157,6 +158,38 @@ private:
         }
     }
 
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else fail("bad \\u escape digit");
+        }
+        return code;
+    }
+
+    static void append_utf8(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
     std::string parse_string() {
         expect('"');
         std::string out;
@@ -180,19 +213,25 @@ private:
                 case 'b': out += '\b'; break;
                 case 'f': out += '\f'; break;
                 case 'u': {
-                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = text_[pos_++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9') code |= h - '0';
-                        else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
-                        else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
-                        else fail("bad \\u escape digit");
+                    // External tools escape freely, so decode the full BMP
+                    // (and astral planes via surrogate pairs), emitting
+                    // UTF-8 — a non-Latin-1 escape must not classify the
+                    // whole record as corrupt.
+                    unsigned code = parse_hex4();
+                    if (code >= 0xDC00 && code <= 0xDFFF)
+                        fail("unpaired low surrogate in \\u escape");
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u')
+                            fail("unpaired high surrogate in \\u escape");
+                        pos_ += 2;
+                        const unsigned low = parse_hex4();
+                        if (low < 0xDC00 || low > 0xDFFF)
+                            fail("invalid low surrogate in \\u escape");
+                        code = 0x10000 + ((code - 0xD800) << 10) +
+                               (low - 0xDC00);
                     }
-                    // Our writer only emits \u00xx control escapes; decode
-                    // the low byte and keep anything else as '?'.
-                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    append_utf8(out, code);
                     break;
                 }
                 default: fail("unknown escape");
@@ -241,8 +280,18 @@ double dnum(const JsonValue& v, const char* key) {
     return member(v, key).as_double();
 }
 
+/// as_u64 with the field name folded into the error (a hand-edited "-1"
+/// should say which field it broke).
+std::uint64_t u64_value(const JsonValue& m, const char* key) {
+    try {
+        return m.as_u64();
+    } catch (const std::runtime_error& e) {
+        bad_field(std::string("field '") + key + "': " + e.what());
+    }
+}
+
 std::uint64_t u64(const JsonValue& v, const char* key) {
-    return member(v, key).as_u64();
+    return u64_value(member(v, key), key);
 }
 
 }  // namespace
@@ -260,8 +309,27 @@ double JsonValue::as_double() const {
 }
 
 std::uint64_t JsonValue::as_u64() const {
-    if (kind != Kind::kNumber) bad_field("expected a number");
-    return std::strtoull(text.c_str(), nullptr, 10);
+    // strtoull alone is a trap here: it wraps negative input ("-1" becomes
+    // 2^64-1) and saturates silently past ULLONG_MAX, so a hand-edited seed
+    // would round-trip as a different cell instead of failing loudly.
+    if (kind != Kind::kNumber)
+        throw std::runtime_error("expected an unsigned integer, got a " +
+                                 std::string(kind == Kind::kString
+                                                 ? "string"
+                                                 : "non-number value"));
+    if (!text.empty() && text[0] == '-')
+        throw std::runtime_error("expected an unsigned integer, got '" + text +
+                                 "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        throw std::runtime_error("expected an unsigned integer, got '" + text +
+                                 "'");
+    if (errno == ERANGE)
+        throw std::runtime_error("unsigned integer out of range: '" + text +
+                                 "'");
+    return v;
 }
 
 bool JsonValue::as_bool() const {
@@ -370,11 +438,12 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         r.spec.seed = u64(spec, "seed");
         const JsonValue& hw_seed = member(spec, "hardware_seed");
         if (hw_seed.kind != JsonValue::Kind::kNull)
-            r.spec.hardware_seed = hw_seed.as_u64();
+            r.spec.hardware_seed = u64_value(hw_seed, "hardware_seed");
         r.spec.record_curve = member(spec, "record_curve").as_bool();
         const JsonValue& epochs = member(spec, "epochs");
         if (epochs.kind != JsonValue::Kind::kNull)
-            r.spec.epochs = static_cast<std::size_t>(epochs.as_u64());
+            r.spec.epochs =
+                static_cast<std::size_t>(u64_value(epochs, "epochs"));
 
         const JsonValue& f = member(spec, "faults");
         FaultScenario& faults = r.spec.faults;

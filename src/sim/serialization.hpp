@@ -47,7 +47,10 @@ struct JsonValue {
     /// Object member lookup; nullptr when absent or not an object.
     const JsonValue* find(const std::string& key) const;
     double as_double() const;            ///< kNumber
-    std::uint64_t as_u64() const;        ///< kNumber, integral token
+    /// kNumber holding a non-negative integral token that fits 64 bits;
+    /// throws on a leading '-', a fractional/exponent form, or overflow
+    /// (strtoull would silently wrap all three).
+    std::uint64_t as_u64() const;
     bool as_bool() const;                ///< kBool
     const std::string& as_string() const;  ///< kString
 };

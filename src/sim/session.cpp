@@ -23,7 +23,9 @@ SimSession::SimSession(SessionOptions options,
     : options_(options),
       executor_(executor ? std::move(executor)
                          : make_cell_executor(options.threads)),
-      cache_(cache ? std::move(cache) : make_cell_cache(options.cache_dir)) {}
+      cache_(cache ? std::move(cache)
+                   : make_cell_cache(options.cache_dir,
+                                     options.cache_max_bytes)) {}
 
 SimSession::~SimSession() = default;
 

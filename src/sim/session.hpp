@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -55,8 +56,14 @@ struct SessionOptions {
     ShardSpec shard{};
     /// Non-empty: persist executed cells under this directory
     /// (DiskCellCache) so interrupted sweeps resume and later runs reuse
-    /// unchanged cells. Empty: in-memory memo only.
+    /// unchanged cells. Concurrent shard processes may share one directory
+    /// (per-process segment files + an advisory lock keep it consistent).
+    /// Empty: in-memory memo only.
     std::string cache_dir;
+    /// Size policy for the disk cache: at compaction, least-recently-used
+    /// entries are evicted until the live records fit in this many bytes.
+    /// 0 = unbounded. Ignored without cache_dir.
+    std::uint64_t cache_max_bytes = 0;
 };
 
 class SimSession {

@@ -1,6 +1,8 @@
 // CellCache implementations: in-memory memo semantics, on-disk persistence
 // across instances (the crash/resume substrate), corrupt-line tolerance and
-// schema-version skipping. Pure I/O tests — no training runs here.
+// schema-version skipping, plus the lifecycle layer — torn-tail recovery,
+// compaction, bounded eviction, and multi-writer sharing via per-process
+// segment files. Pure I/O tests — no training runs here.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -121,6 +123,145 @@ TEST(DiskCellCacheTest, CreatesDirectoryAndFactorySelects) {
     EXPECT_TRUE(std::filesystem::exists(dir));
     const auto memory = make_cell_cache("");
     ASSERT_NE(dynamic_cast<MemoryCellCache*>(memory.get()), nullptr);
+}
+
+/// All parseable cache lines currently on disk, across base + segments.
+std::size_t lines_on_disk(const std::string& dir) {
+    std::size_t n = 0;
+    for (const std::string& path : DiskCellCache::data_files(dir)) {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty()) ++n;
+    }
+    return n;
+}
+
+TEST(DiskCellCacheTest, TornTailWriteRecoversAndCompactionRemovesIt) {
+    const std::string dir = temp_dir("disk_cache_torn");
+    {
+        DiskCellCache cache(dir);
+        cache.store("k1", fake_result(0.5, 1));
+        cache.store("k2", fake_result(0.6, 2));
+        cache.store("k3", fake_result(0.7, 3));
+    }  // clean close folds everything into cells.jsonl
+
+    // Tear the trailing record mid-line, as a SIGKILL mid-write would.
+    const std::string file =
+        (std::filesystem::path(dir) / DiskCellCache::kCacheFileName).string();
+    ASSERT_TRUE(std::filesystem::exists(file));
+    const std::uintmax_t size = std::filesystem::file_size(file);
+    std::filesystem::resize_file(file, size - 40);
+
+    {
+        DiskCellCache reopened(dir);
+        EXPECT_EQ(reopened.size(), 2u);
+        EXPECT_EQ(reopened.corrupt_lines_skipped(), 1u);
+        EXPECT_TRUE(reopened.lookup("k1").has_value());
+        EXPECT_TRUE(reopened.lookup("k2").has_value());
+        EXPECT_FALSE(reopened.lookup("k3").has_value());  // recomputes
+        reopened.store("k3", fake_result(0.7, 3));
+        // Explicit compaction drops the torn bytes and folds the segment.
+        ASSERT_TRUE(reopened.compact());
+        const DiskCacheStats stats = reopened.stats();
+        EXPECT_EQ(stats.live_entries, 3u);
+        EXPECT_EQ(stats.dead_bytes, 0u);
+        EXPECT_EQ(stats.corrupt_lines, 1u);  // cumulative: what load saw
+        EXPECT_GE(stats.compactions, 1u);
+    }
+
+    DiskCellCache third(dir);
+    EXPECT_EQ(third.size(), 3u);
+    EXPECT_EQ(third.corrupt_lines_skipped(), 0u);  // the log is clean now
+    EXPECT_EQ(lines_on_disk(dir), 3u);
+    EXPECT_EQ(DiskCellCache::data_files(dir).size(), 1u);  // base only
+}
+
+TEST(DiskCellCacheTest, ConcurrentInstancesShareOneDirectory) {
+    const std::string dir = temp_dir("disk_cache_shared");
+    {
+        // Two live writers (the in-process stand-in for two shard
+        // processes): each appends to its own segment, so interleaved
+        // stores can never tear each other's lines.
+        DiskCellCache a(dir);
+        DiskCellCache b(dir);
+        a.store("k1", fake_result(0.5, 1));
+        b.store("k2", fake_result(0.6, 2));
+        a.store("k3", fake_result(0.7, 3));
+        b.store("k4", fake_result(0.8, 4));
+        EXPECT_EQ(a.size(), 2u);  // each sees what it loaded + stored
+        EXPECT_EQ(b.size(), 2u);
+        // Compaction needs the directory exclusively; with another live
+        // instance holding it, it must refuse rather than delete a segment
+        // someone is still appending to.
+        EXPECT_FALSE(a.compact());
+        EXPECT_GE(DiskCellCache::data_files(dir).size(), 2u);
+    }  // b's close skips compaction (a still holds the dir); a, last out,
+       // folds both segments — including b's records it never loaded.
+
+    DiskCellCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 4u);  // the union of both writers
+    EXPECT_EQ(reopened.corrupt_lines_skipped(), 0u);
+    for (const char* key : {"k1", "k2", "k3", "k4"})
+        EXPECT_TRUE(reopened.lookup(key).has_value()) << key;
+    EXPECT_EQ(DiskCellCache::data_files(dir).size(), 1u);  // compacted
+}
+
+TEST(DiskCellCacheTest, EvictionBoundsLiveBytesDroppingLeastRecent) {
+    DiskCacheConfig config;
+    config.dir = temp_dir("disk_cache_evict");
+    // Size of one record line (all four test records serialize to the same
+    // length): budget exactly two of them.
+    CellRecord probe;
+    probe.key = "k1";
+    probe.result = fake_result(0.5, 1);
+    const std::uint64_t line = cell_record_to_json(probe).size() + 1;
+    config.max_bytes = 2 * line + line / 2;
+    {
+        DiskCellCache cache(config);
+        cache.store("k1", fake_result(0.5, 1));
+        cache.store("k2", fake_result(0.6, 2));
+        cache.store("k3", fake_result(0.7, 3));
+        cache.store("k4", fake_result(0.8, 4));
+        cache.lookup("k1");  // refresh k1: k2 and k3 are now least recent
+        ASSERT_TRUE(cache.compact());
+        EXPECT_EQ(cache.size(), 2u);
+        EXPECT_TRUE(cache.lookup("k1").has_value());   // freshened survives
+        EXPECT_TRUE(cache.lookup("k4").has_value());   // newest survives
+        EXPECT_FALSE(cache.lookup("k2").has_value());  // LRU evicted
+        EXPECT_FALSE(cache.lookup("k3").has_value());
+        const DiskCacheStats stats = cache.stats();
+        EXPECT_EQ(stats.evicted_entries, 2u);
+        EXPECT_LE(stats.live_bytes, config.max_bytes);
+    }
+    DiskCellCache reopened(config);
+    EXPECT_EQ(reopened.size(), 2u);  // the bound persists on disk
+}
+
+TEST(DiskCellCacheTest, AutoCompactionTriggersOnDeadBytesAtOpen) {
+    DiskCacheConfig config;
+    config.dir = temp_dir("disk_cache_auto");
+    config.compact_dead_bytes = 1;    // any superseded line triggers
+    config.compact_on_close = false;  // isolate the open-time trigger
+    {
+        DiskCellCache cache(config);
+        cache.store("k1", fake_result(0.5, 1));
+        cache.store("k1", fake_result(0.6, 1));  // supersedes: dead bytes
+        EXPECT_GT(cache.stats().dead_bytes, 0u);
+        EXPECT_EQ(cache.stats().compactions, 0u);
+    }  // no tidy-up on close: the segment (2 lines) stays as-is
+    EXPECT_EQ(lines_on_disk(config.dir), 2u);
+
+    DiskCellCache reopened(config);
+    const DiskCacheStats stats = reopened.stats();
+    EXPECT_EQ(stats.compactions, 1u);  // fired during open
+    EXPECT_EQ(stats.dead_bytes, 0u);
+    EXPECT_EQ(reopened.size(), 1u);
+    const std::optional<CellResult> hit = reopened.lookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->run.train.test_accuracy, 0.6);  // last write won
+    EXPECT_EQ(lines_on_disk(config.dir), 1u);
+    EXPECT_EQ(DiskCellCache::data_files(config.dir).size(), 1u);
 }
 
 }  // namespace

@@ -141,6 +141,81 @@ TEST(SerializationTest, WrongSchemaVersionIsSkippable) {
     EXPECT_NE(back.error().find("schema version"), std::string::npos);
 }
 
+TEST(SerializationTest, U64RejectsNegativeWrapAndOverflow) {
+    const auto number = [](const std::string& token) {
+        const Expected<JsonValue> doc = parse_json("{\"x\":" + token + "}");
+        EXPECT_TRUE(doc.ok()) << doc.error();
+        return *doc.value().find("x");
+    };
+    // strtoull would wrap "-1" to 2^64-1 and saturate past ULLONG_MAX; both
+    // must fail loudly instead of round-tripping as a different cell.
+    EXPECT_THROW(number("-1").as_u64(), std::runtime_error);
+    EXPECT_THROW(number("18446744073709551616").as_u64(),  // 2^64
+                 std::runtime_error);
+    EXPECT_THROW(number("1.5").as_u64(), std::runtime_error);
+    EXPECT_THROW(number("1e3").as_u64(), std::runtime_error);
+    EXPECT_EQ(number("18446744073709551615").as_u64(),  // 2^64 - 1 is fine
+              18446744073709551615ull);
+    EXPECT_EQ(number("0").as_u64(), 0u);
+
+    // End to end: a hand-edited seed of -1 is a corrupt record whose error
+    // names the field — not a silently wrapped 2^64-1 seed.
+    CellRecord record;
+    record.key = "k";
+    record.result = sample_result();
+    std::string line = cell_record_to_json(record);
+    const std::string needle =
+        "\"seed\":" + std::to_string(record.result.spec.seed);
+    const std::size_t at = line.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    line.replace(at, needle.size(), "\"seed\":-1");
+    const Expected<CellRecord> back = cell_record_from_json(line);
+    ASSERT_FALSE(back.ok());
+    EXPECT_NE(back.error().find("seed"), std::string::npos) << back.error();
+
+    // Nullable u64 fields name themselves too.
+    std::string hw = cell_record_to_json(record);
+    const std::string hw_needle = "\"hardware_seed\":18446744073709551615";
+    const std::size_t hw_at = hw.find(hw_needle);
+    ASSERT_NE(hw_at, std::string::npos);
+    hw.replace(hw_at, hw_needle.size(), "\"hardware_seed\":-1");
+    const Expected<CellRecord> hw_back = cell_record_from_json(hw);
+    ASSERT_FALSE(hw_back.ok());
+    EXPECT_NE(hw_back.error().find("hardware_seed"), std::string::npos)
+        << hw_back.error();
+}
+
+TEST(SerializationTest, UnicodeEscapesDecodeTheFullBmpToUtf8) {
+    const auto decoded = [](const std::string& doc) {
+        const Expected<JsonValue> v = parse_json(doc);
+        EXPECT_TRUE(v.ok()) << v.error();
+        return v.ok() ? v.value().as_string() : std::string();
+    };
+    EXPECT_EQ(decoded("\"\\u0041\""), "A");
+    EXPECT_EQ(decoded("\"\\u000a\""), "\n");
+    EXPECT_EQ(decoded("\"\\u00e9\""), "\xc3\xa9");          // é, 2-byte UTF-8
+    EXPECT_EQ(decoded("\"\\u20ac\""), "\xe2\x82\xac");      // €, 3-byte
+    EXPECT_EQ(decoded("\"\\u4e2d\""), "\xe4\xb8\xad");      // 中
+    EXPECT_EQ(decoded("\"\\uD83D\\uDE00\""),                // 😀 via pair
+              "\xf0\x9f\x98\x80");
+    EXPECT_FALSE(parse_json("\"\\uD83D\"").ok());   // lone high surrogate
+    EXPECT_FALSE(parse_json("\"\\uDE00\"").ok());   // lone low surrogate
+    EXPECT_FALSE(parse_json("\"\\uD83Dx\"").ok());  // pair cut short
+    EXPECT_FALSE(parse_json("\"\\uZZZZ\"").ok());
+    EXPECT_FALSE(parse_json("\"\\u00\"").ok());     // truncated
+
+    // A record line written by an external tool with escaped non-Latin-1
+    // text must load, and raw UTF-8 from our own writer round-trips.
+    CellRecord record;
+    record.plan = "naïve-€-计划";
+    record.key = "k";
+    record.result = sample_result();
+    const Expected<CellRecord> back =
+        cell_record_from_json(cell_record_to_json(record));
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().plan, record.plan);
+}
+
 TEST(SerializationTest, ParserRejectsTrailingGarbage) {
     EXPECT_TRUE(parse_json("{\"a\":1}").ok());
     EXPECT_FALSE(parse_json("{\"a\":1} extra").ok());
