@@ -44,32 +44,22 @@ int main() {
     // completed plan prefix grows (tail it to watch a long grid), published
     // to BENCH_*.json by an atomic rename when the plan ends.
     session.add_sink(std::make_unique<JsonLinesSink>()).streaming();
+    // The figure tables themselves come from the pivot sink — one panel per
+    // SA1 ratio, one accuracy column per scheme, FARe drop appended — so the
+    // bench no longer hand-assembles rows from ResultSet lookups.
+    auto& pivot = static_cast<PivotSink&>(
+        session.add_sink(std::make_unique<PivotSink>()));
     std::cout << "Fig. 5 grid: " << plan.size() << " cells on "
               << session.threads() << " threads\n";
     const ResultSet results = session.run(plan);
     std::cout << "(" << session.cache_hits()
               << " cells served from the fault-free memo)\n\n";
 
-    for (const double sa1 : sa1_fractions) {
-        const char* panel = sa1 < 0.25 ? "(a) 9:1" : "(b) 1:1";
-        std::cout << "=== Fig. 5" << panel << " SA0:SA1 — test accuracy ===\n\n";
-
-        Table t({"Workload", "Density", "fault-free", "fault-unaware", "NR",
-                 "Weight Clipping", "FARe", "FARe drop"});
-        for (const WorkloadSpec& w : fig5_workloads()) {
-            const double ff = results.accuracy(w, Scheme::kFaultFree);
-            for (const double density : densities) {
-                const double fare =
-                    results.accuracy(w, Scheme::kFARe, density, sa1);
-                t.add_row(
-                    {w.label(), fmt_pct(density, 0), fmt(ff, 3),
-                     fmt(results.accuracy(w, Scheme::kFaultUnaware, density, sa1), 3),
-                     fmt(results.accuracy(w, Scheme::kNeuronReorder, density, sa1), 3),
-                     fmt(results.accuracy(w, Scheme::kClippingOnly, density, sa1), 3),
-                     fmt(fare, 3), fmt_pct(ff - fare, 1)});
-            }
-        }
-        std::cout << t.to_ascii() << '\n';
+    for (const PivotSink::Panel& panel : pivot.panels()) {
+        const char* caption = panel.sa1_fraction < 0.25 ? "(a) 9:1" : "(b) 1:1";
+        std::cout << "=== Fig. 5" << caption
+                  << " SA0:SA1 — test accuracy ===\n\n"
+                  << panel.table.to_ascii() << '\n';
     }
 
     std::cout << "Accuracy restoration example (paper: 47.6% on Reddit at 1:1):\n";

@@ -33,3 +33,18 @@ for bench in bench_micro_corruption bench_micro_mvm bench_micro_graph; do
 done
 
 echo "Results in ${OUT_DIR}/BENCH_micro_*.json"
+
+# Regression gate: every committed *_postpr.json baseline is enforced against
+# the fresh run of the same bench (generous factor — the gate catches
+# order-of-magnitude regressions, not machine-to-machine noise). Set
+# FARE_BENCH_FACTOR to tune, or FARE_BENCH_NO_CHECK=1 to record only.
+if [ -z "${FARE_BENCH_NO_CHECK:-}" ]; then
+    for baseline in "${OUT_DIR}"/BENCH_micro_*_postpr.json; do
+        [ -e "$baseline" ] || continue
+        fresh="${baseline%_postpr.json}.json"
+        [ -e "$fresh" ] || continue
+        echo "=== threshold check: ${fresh} vs ${baseline} ==="
+        python3 scripts/check_bench.py "$baseline" "$fresh" \
+            "${FARE_BENCH_FACTOR:-3.0}"
+    done
+fi

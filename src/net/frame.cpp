@@ -1,0 +1,95 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace fare::net {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;
+constexpr const char* kIdleTimeout = "idle timeout";
+
+/// Read exactly `len` bytes. `first` marks the very start of a frame, where
+/// a clean EOF (nullopt) or an idle timeout is expected rather than an
+/// error; anywhere else both mean a truncated frame / stalled peer.
+Expected<std::optional<bool>> read_exact(Socket& socket, char* buf,
+                                         std::size_t len, int timeout_ms,
+                                         bool first) {
+    std::size_t got = 0;
+    while (got < len) {
+        const Expected<ReadResult> r =
+            socket.recv_some(buf + got, len - got, timeout_ms);
+        if (!r) return Expected<std::optional<bool>>::failure(r.error());
+        switch (r.value().event) {
+            case ReadEvent::kData:
+                got += r.value().bytes;
+                break;
+            case ReadEvent::kClosed:
+                if (first && got == 0) return std::optional<bool>{};
+                return Expected<std::optional<bool>>::failure(
+                    "connection closed mid-frame");
+            case ReadEvent::kTimeout:
+                if (first && got == 0)
+                    return Expected<std::optional<bool>>::failure(kIdleTimeout);
+                return Expected<std::optional<bool>>::failure(
+                    "peer stalled mid-frame");
+        }
+    }
+    return std::optional<bool>{true};
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& payload) {
+    FARE_CHECK(payload.size() <= kMaxFrameBytes, "frame payload too large");
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    out.push_back(static_cast<char>((len >> 24) & 0xFF));
+    out.push_back(static_cast<char>((len >> 16) & 0xFF));
+    out.push_back(static_cast<char>((len >> 8) & 0xFF));
+    out.push_back(static_cast<char>(len & 0xFF));
+    out += payload;
+    return out;
+}
+
+FrameRead read_frame(Socket& socket, int stall_timeout_ms,
+                     std::size_t max_bytes) {
+    char header[kHeaderBytes];
+    const Expected<std::optional<bool>> head =
+        read_exact(socket, header, kHeaderBytes, stall_timeout_ms, true);
+    if (!head) return FrameRead::failure(head.error());
+    if (!head.value().has_value()) return std::optional<std::string>{};  // EOF
+
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0)
+        return FrameRead::failure("bad frame magic (not a FARe peer?)");
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[4])) << 24) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(header[7]));
+    if (len > max_bytes)
+        return FrameRead::failure("frame of " + std::to_string(len) +
+                                  " bytes exceeds the " +
+                                  std::to_string(max_bytes) + "-byte limit");
+
+    std::string payload(len, '\0');
+    if (len > 0) {
+        const Expected<std::optional<bool>> body =
+            read_exact(socket, payload.data(), len, stall_timeout_ms, false);
+        if (!body) return FrameRead::failure(body.error());
+    }
+    return std::optional<std::string>{std::move(payload)};
+}
+
+Expected<bool> write_frame(Socket& socket, const std::string& payload) {
+    const std::string framed = encode_frame(payload);
+    return socket.send_all(framed.data(), framed.size());
+}
+
+bool is_idle_timeout(const std::string& error) {
+    return error == kIdleTimeout;
+}
+
+}  // namespace fare::net

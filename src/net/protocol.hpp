@@ -1,0 +1,89 @@
+// The sweep-fabric message vocabulary, carried as one JSON object per frame
+// (net/frame.hpp). Nine message types cover the whole protocol:
+//
+//   handshake   hello (worker|submitter) -> welcome
+//   dealing     assign (full CellSpec; keys are not invertible) -> result
+//               | cell_error (the cell threw on the worker)
+//   liveness    heartbeat (worker -> coordinator, periodic, also while busy)
+//   service     submit (plan name + overrides) -> cell* -> done
+//
+// Decoding untrusted peers goes through parse_json with tightened
+// JsonLimits (shallow depth, frame-sized byte cap) and returns Expected —
+// a malformed message costs the connection, never the process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/frame.hpp"
+#include "sim/cell.hpp"
+
+namespace fare::net {
+
+/// Bumped when the vocabulary changes incompatibly; both sides refuse a
+/// mismatch at handshake instead of failing mid-plan.
+inline constexpr int kProtocolVersion = 1;
+
+/// Peer roles announced in hello.
+inline constexpr const char* kRoleWorker = "worker";
+inline constexpr const char* kRoleSubmitter = "submitter";
+
+struct WireMessage {
+    enum class Type {
+        kHello,      ///< role, protocol
+        kWelcome,    ///< protocol
+        kAssign,     ///< job, spec
+        kResult,     ///< job, result
+        kCellError,  ///< job, error — the cell raised on the worker
+        kHeartbeat,  ///< (no payload)
+        kSubmit,     ///< plan, epochs?
+        kCell,       ///< plan, index, result — streamed to the submitter
+        kDone,       ///< cells, error ("" = success) — submission finished
+    };
+
+    Type type = Type::kHeartbeat;
+    int protocol = kProtocolVersion;       ///< hello / welcome
+    std::string role;                      ///< hello
+    std::uint64_t job = 0;                 ///< assign / result / cell_error
+    CellSpec spec;                         ///< assign
+    CellResult result;                     ///< result / cell
+    std::string plan;                      ///< submit / cell
+    std::optional<std::uint64_t> epochs;   ///< submit: per-cell epoch override
+    std::uint64_t index = 0;               ///< cell: plan index
+    std::uint64_t cells = 0;               ///< done: cells streamed
+    std::string error;                     ///< cell_error / done
+};
+
+const char* wire_type_name(WireMessage::Type type);
+
+/// Encode into one frame payload (a single-line JSON object).
+std::string encode_message(const WireMessage& message);
+
+/// Strict decode with untrusted-peer limits. Unknown types, missing fields
+/// and over-deep documents are Expected errors.
+Expected<WireMessage> decode_message(const std::string& payload);
+
+// Convenience composers for the fixed-shape messages.
+WireMessage make_hello(const std::string& role);
+WireMessage make_welcome();
+WireMessage make_assign(std::uint64_t job, const CellSpec& spec);
+WireMessage make_result(std::uint64_t job, const CellResult& result);
+WireMessage make_cell_error(std::uint64_t job, const std::string& error);
+WireMessage make_heartbeat();
+WireMessage make_submit(const std::string& plan,
+                        std::optional<std::uint64_t> epochs);
+WireMessage make_cell(const std::string& plan, std::uint64_t index,
+                      const CellResult& result);
+WireMessage make_done(std::uint64_t cells, const std::string& error);
+
+/// Send one message as a frame.
+Expected<bool> send_message(Socket& socket, const WireMessage& message);
+
+/// Receive + decode one message. nullopt on clean EOF; idle timeouts and
+/// protocol violations surface as Expected errors (see net/frame.hpp).
+Expected<std::optional<WireMessage>> recv_message(Socket& socket,
+                                                  int stall_timeout_ms);
+
+}  // namespace fare::net

@@ -1,0 +1,276 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fare::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Wait for `events` on `fd`; true when ready, false on timeout. EINTR
+/// retries with the remaining budget ignored (callers' timeouts are
+/// liveness bounds, not precise clocks).
+Expected<bool> poll_fd(int fd, short events, int timeout_ms) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    while (true) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0) return true;
+        if (rc == 0) return false;
+        if (errno == EINTR) continue;
+        return Expected<bool>::failure(errno_text("poll"));
+    }
+}
+
+void set_nodelay(int fd) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close_fd(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close_fd();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void Socket::close_fd() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Expected<bool> Socket::send_all(const void* data, std::size_t len) {
+    if (fd_ < 0) return Expected<bool>::failure("send on closed socket");
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return Expected<bool>::failure(errno_text("send"));
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Expected<ReadResult> Socket::recv_some(void* buf, std::size_t len,
+                                       int timeout_ms) {
+    if (fd_ < 0) return Expected<ReadResult>::failure("recv on closed socket");
+    const Expected<bool> ready = poll_fd(fd_, POLLIN, timeout_ms);
+    if (!ready) return Expected<ReadResult>::failure(ready.error());
+    if (!ready.value()) return ReadResult{ReadEvent::kTimeout, 0};
+    while (true) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n > 0) return ReadResult{ReadEvent::kData, static_cast<std::size_t>(n)};
+        if (n == 0) return ReadResult{ReadEvent::kClosed, 0};
+        if (errno == EINTR) continue;
+        return Expected<ReadResult>::failure(errno_text("recv"));
+    }
+}
+
+void Socket::shutdown_both() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::string Socket::peer_label() const {
+    if (fd_ < 0) return "?";
+    sockaddr_storage addr;
+    socklen_t len = sizeof(addr);
+    if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        return "?";
+    char host[INET6_ADDRSTRLEN] = {0};
+    std::uint16_t port = 0;
+    if (addr.ss_family == AF_INET) {
+        const auto* in = reinterpret_cast<const sockaddr_in*>(&addr);
+        ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+        port = ntohs(in->sin_port);
+    } else if (addr.ss_family == AF_INET6) {
+        const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+        ::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host));
+        port = ntohs(in6->sin6_port);
+    } else {
+        return "?";
+    }
+    return std::string(host) + ":" + std::to_string(port);
+}
+
+Expected<Socket> tcp_connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms) {
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const int rc =
+        ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+    if (rc != 0)
+        return Expected<Socket>::failure("resolve " + host + ": " +
+                                         ::gai_strerror(rc));
+    std::string last_error = "no addresses for " + host;
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = errno_text("socket");
+            continue;
+        }
+        // Non-blocking connect so the timeout is honoured, then back to
+        // blocking mode for the stream's lifetime.
+        Socket sock(fd);
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0 ||
+            errno == EINPROGRESS || errno == EINTR) {
+            const Expected<bool> ready = poll_fd(fd, POLLOUT, timeout_ms);
+            if (ready && ready.value()) {
+                int err = 0;
+                socklen_t len = sizeof(err);
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                if (err == 0) {
+                    ::fcntl(fd, F_SETFL, flags);
+                    set_nodelay(fd);
+                    ::freeaddrinfo(res);
+                    return sock;
+                }
+                last_error = std::string("connect: ") + std::strerror(err);
+            } else {
+                last_error = ready ? "connect timeout" : ready.error();
+            }
+        } else {
+            last_error = errno_text("connect");
+        }
+    }
+    ::freeaddrinfo(res);
+    return Expected<Socket>::failure("connect " + host + ":" +
+                                     std::to_string(port) + ": " + last_error);
+}
+
+Expected<Endpoint> parse_endpoint(const std::string& text) {
+    const auto bad = [&] {
+        return Expected<Endpoint>::failure("bad endpoint '" + text +
+                                           "' (want HOST:PORT)");
+    };
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size())
+        return bad();
+    const std::string digits = text.substr(colon + 1);
+    if (digits.size() > 5 ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return bad();
+    const unsigned long value = std::stoul(digits);
+    if (value > 65535) return bad();
+    Endpoint endpoint;
+    endpoint.host = text.substr(0, colon);
+    endpoint.port = static_cast<std::uint16_t>(value);
+    return endpoint;
+}
+
+Listener::~Listener() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+    }
+    return *this;
+}
+
+Expected<Listener> Listener::bind(const std::string& host, std::uint16_t port) {
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 std::to_string(port).c_str(), &hints, &res);
+    if (rc != 0)
+        return Expected<Listener>::failure("resolve " + host + ": " +
+                                           ::gai_strerror(rc));
+    std::string last_error = "no addresses for " + host;
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = errno_text("socket");
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 64) != 0) {
+            last_error = errno_text("bind/listen");
+            ::close(fd);
+            continue;
+        }
+        sockaddr_storage addr;
+        socklen_t len = sizeof(addr);
+        std::uint16_t bound = port;
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+            if (addr.ss_family == AF_INET)
+                bound = ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+            else if (addr.ss_family == AF_INET6)
+                bound = ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+        }
+        ::freeaddrinfo(res);
+        Listener listener;
+        listener.fd_ = fd;
+        listener.port_ = bound;
+        return listener;
+    }
+    ::freeaddrinfo(res);
+    return Expected<Listener>::failure("bind " + host + ":" +
+                                       std::to_string(port) + ": " + last_error);
+}
+
+Expected<Socket> Listener::accept(int timeout_ms) {
+    if (fd_ < 0) return Expected<Socket>::failure("accept on closed listener");
+    const Expected<bool> ready = poll_fd(fd_, POLLIN, timeout_ms);
+    if (!ready) return Expected<Socket>::failure(ready.error());
+    if (!ready.value()) return Expected<Socket>::failure("timeout");
+    while (true) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            set_nodelay(fd);
+            return Socket(fd);
+        }
+        if (errno == EINTR) continue;
+        return Expected<Socket>::failure(errno_text("accept"));
+    }
+}
+
+void Listener::shutdown() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace fare::net

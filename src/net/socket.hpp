@@ -1,0 +1,113 @@
+// Thin RAII layer over blocking POSIX TCP sockets — everything the sweep
+// fabric needs and nothing more: connect, listen/accept, send-all,
+// poll-with-timeout reads, and a thread-safe shutdown that unblocks a reader
+// parked in poll(). No external dependencies, no event loop.
+//
+// Error contract: every operation that can fail from network state returns
+// Expected<T> (common/error.hpp) — a dead peer, a refused connection or a
+// timeout is a value the caller routes (retry, re-deal, drop the worker),
+// never an abort. Exceptions remain reserved for programming errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace fare::net {
+
+/// Outcome of a read: how many bytes landed, or why none did.
+enum class ReadEvent {
+    kData,     ///< >= 1 byte read
+    kClosed,   ///< orderly EOF from the peer
+    kTimeout,  ///< poll timeout expired with nothing readable
+};
+
+struct ReadResult {
+    ReadEvent event = ReadEvent::kClosed;
+    std::size_t bytes = 0;
+};
+
+/// One connected TCP stream. Move-only; the descriptor closes with the
+/// owner. shutdown_both() may be called from another thread to force a
+/// blocked reader/writer off the socket (the fd itself stays valid until
+/// the destructor runs).
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+
+    /// Write the whole buffer (retrying short writes / EINTR). A peer that
+    /// vanished mid-write is an error, not a SIGPIPE.
+    Expected<bool> send_all(const void* data, std::size_t len);
+
+    /// Read up to `len` bytes, waiting at most `timeout_ms` for the first
+    /// byte (negative = wait forever). Distinguishes data / EOF / timeout.
+    Expected<ReadResult> recv_some(void* buf, std::size_t len, int timeout_ms);
+
+    /// Half-close both directions — wakes any thread blocked in poll() on
+    /// this socket. Safe to call concurrently with reads/writes and twice.
+    void shutdown_both();
+
+    /// Peer address as "ip:port" for log lines ("?" when unavailable).
+    std::string peer_label() const;
+
+private:
+    void close_fd();
+    int fd_ = -1;
+};
+
+/// Connect to host:port (numeric IP or resolvable name). `timeout_ms`
+/// bounds the whole attempt.
+Expected<Socket> tcp_connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms = 10000);
+
+/// A "HOST:PORT" pair as the CLIs accept it (numeric port; bracketed IPv6
+/// is not supported). Port 0 is allowed — listeners use it for "pick an
+/// ephemeral port".
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+Expected<Endpoint> parse_endpoint(const std::string& text);
+
+/// A listening TCP socket. Port 0 binds an ephemeral port; bound_port()
+/// reports the kernel's choice (how tests and scripts rendezvous).
+class Listener {
+public:
+    static Expected<Listener> bind(const std::string& host, std::uint16_t port);
+
+    Listener() = default;
+    ~Listener();
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    std::uint16_t bound_port() const { return port_; }
+
+    /// Accept one connection, waiting at most `timeout_ms` (negative =
+    /// forever). Timeout is reported as an Expected error whose message
+    /// starts with "timeout"; shutdown() makes subsequent accepts fail fast.
+    Expected<Socket> accept(int timeout_ms);
+
+    /// Unblock a thread parked in accept() and refuse further connections.
+    void shutdown();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace fare::net

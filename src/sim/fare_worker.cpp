@@ -1,0 +1,93 @@
+// fare-worker: one fabric worker process. Connects to a fare-run
+// coordinator (--listen or --serve), receives CellSpecs, runs them, streams
+// CellResults back, and heartbeats throughout — including while a cell
+// trains, which is what lets the coordinator tell a slow worker from a dead
+// one. Stateless: the cell cache lives with the coordinator's session.
+//
+//   fare-worker --connect HOST:PORT [--heartbeat-ms N] [--quiet]
+//
+// The two fault hooks exist for tests and scripts/fleet_smoke.sh:
+//   --hang-after N   complete N cells, then accept assigns but never answer
+//                    (a straggler: heartbeats keep flowing)
+//   --quit-after N   complete N cells, then drop the connection on the next
+//                    assign (a crash with a cell in flight)
+//
+// Exit codes: 0 clean end-of-stream from the coordinator, 1 connection or
+// protocol failure, 2 usage error.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "sim/remote_executor.hpp"
+
+namespace fare {
+namespace {
+
+int usage(std::ostream& os, int code) {
+    os << "fare-worker — fabric worker for fare-run --listen / --serve\n\n"
+          "  fare-worker --connect HOST:PORT [options]\n"
+          "    --heartbeat-ms N  heartbeat cadence (default 1000)\n"
+          "    --hang-after N    fault hook: go silent after N cells\n"
+          "    --quit-after N    fault hook: drop the link after N cells\n"
+          "    --quiet           no log lines on stderr\n";
+    return code;
+}
+
+int run(int argc, char** argv) {
+    std::string endpoint;
+    WorkerOptions options;
+    options.log = &std::cerr;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) throw InvalidArgument(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--connect") endpoint = value();
+        else if (arg == "--heartbeat-ms") {
+            const Expected<double> n = parse_double(value());
+            if (!n || n.value() < 1) throw InvalidArgument("bad --heartbeat-ms");
+            options.heartbeat_interval_ms = static_cast<int>(n.value());
+        } else if (arg == "--hang-after") {
+            const Expected<double> n = parse_double(value());
+            if (!n || n.value() < 1) throw InvalidArgument("bad --hang-after");
+            options.hang_after = static_cast<std::size_t>(n.value());
+        } else if (arg == "--quit-after") {
+            const Expected<double> n = parse_double(value());
+            if (!n || n.value() < 1) throw InvalidArgument("bad --quit-after");
+            options.quit_after = static_cast<std::size_t>(n.value());
+        } else if (arg == "--quiet") {
+            options.log = nullptr;
+        } else {
+            std::cerr << "fare-worker: unknown argument " << arg << "\n\n";
+            return usage(std::cerr, 2);
+        }
+    }
+    if (endpoint.empty()) return usage(std::cerr, 2);
+
+    const Expected<net::Endpoint> parsed = net::parse_endpoint(endpoint);
+    if (!parsed || parsed.value().port == 0) {
+        std::cerr << "fare-worker: bad --connect endpoint '" << endpoint
+                  << "' (want HOST:PORT)\n";
+        return 2;
+    }
+    return run_worker(parsed.value().host, parsed.value().port, options);
+}
+
+}  // namespace
+}  // namespace fare
+
+int main(int argc, char** argv) {
+    try {
+        return fare::run(argc, argv);
+    } catch (const fare::InvalidArgument& e) {
+        std::cerr << "fare-worker: " << e.what() << '\n';
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "fare-worker: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -101,6 +101,28 @@ SweepBuilder& SweepBuilder::sa1_fractions(const std::vector<double>& f) {
     sa1_fractions_ = f;
     return *this;
 }
+SweepBuilder& SweepBuilder::cluster_shape(double shape) {
+    return cluster_shapes({shape});
+}
+SweepBuilder& SweepBuilder::cluster_shapes(const std::vector<double>& shapes) {
+    cluster_shapes_ = shapes;
+    return *this;
+}
+SweepBuilder& SweepBuilder::post_density(double d) {
+    return post_densities({d});
+}
+SweepBuilder& SweepBuilder::post_densities(const std::vector<double>& d) {
+    post_densities_ = d;
+    return *this;
+}
+SweepBuilder& SweepBuilder::post_epoch_span(std::size_t epochs) {
+    return post_epoch_spans({epochs});
+}
+SweepBuilder& SweepBuilder::post_epoch_spans(
+    const std::vector<std::size_t>& epochs) {
+    post_epoch_spans_ = epochs;
+    return *this;
+}
 SweepBuilder& SweepBuilder::noise_sigma(double sigma) {
     return noise_sigmas({sigma});
 }
@@ -171,13 +193,17 @@ SweepBuilder& SweepBuilder::seed_policy(SeedPolicy p) {
 std::size_t SweepBuilder::size() const {
     const std::size_t densities = densities_ ? densities_->size() : 1;
     const std::size_t sa1s = sa1_fractions_ ? sa1_fractions_->size() : 1;
+    const std::size_t clusters = cluster_shapes_ ? cluster_shapes_->size() : 1;
+    const std::size_t posts = post_densities_ ? post_densities_->size() : 1;
+    const std::size_t spans = post_epoch_spans_ ? post_epoch_spans_->size() : 1;
     const std::size_t noises = noise_sigmas_ ? noise_sigmas_->size() : 1;
     const std::size_t clips = clip_thresholds_ ? clip_thresholds_->size() : 1;
     const std::size_t wears = endurance_means_ ? endurance_means_->size() : 1;
     const std::size_t hots = hot_spot_fractions_ ? hot_spot_fractions_->size() : 1;
     const std::size_t arrivals = arrival_periods_ ? arrival_periods_->size() : 1;
-    return workloads_.size() * densities * sa1s * noises * clips * wears *
-           hots * arrivals * schemes_.size() * seeds_.size();
+    return workloads_.size() * densities * sa1s * clusters * posts * spans *
+           noises * clips * wears * hots * arrivals * schemes_.size() *
+           seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -189,6 +215,15 @@ ExperimentPlan SweepBuilder::build() const {
         densities_ ? *densities_ : std::vector<double>{scenario_.density};
     const std::vector<double> sa1s =
         sa1_fractions_ ? *sa1_fractions_ : std::vector<double>{scenario_.sa1_fraction};
+    const std::vector<double> clusters =
+        cluster_shapes_ ? *cluster_shapes_
+                        : std::vector<double>{scenario_.cluster_shape};
+    const std::vector<double> posts =
+        post_densities_ ? *post_densities_
+                        : std::vector<double>{scenario_.post_total_density};
+    const std::vector<std::size_t> spans =
+        post_epoch_spans_ ? *post_epoch_spans_
+                          : std::vector<std::size_t>{scenario_.post_epochs};
     const std::vector<double> noises =
         noise_sigmas_ ? *noise_sigmas_
                       : std::vector<double>{scenario_.read_noise_sigma};
@@ -211,6 +246,9 @@ ExperimentPlan SweepBuilder::build() const {
     for (const double f : sa1s)
         FARE_CHECK(f >= 0.0 && f <= 1.0,
                    "sweep '" + name_ + "': SA1 fraction outside [0,1]");
+    for (const double post : posts)
+        FARE_CHECK(post >= 0.0 && post <= 1.0,
+                   "sweep '" + name_ + "': post-deployment density outside [0,1]");
     for (const double sigma : noises)
         FARE_CHECK(sigma >= 0.0,
                    "sweep '" + name_ + "': read-noise sigma must be >= 0");
@@ -227,51 +265,47 @@ ExperimentPlan SweepBuilder::build() const {
     ExperimentPlan plan;
     plan.name = name_;
     plan.cells.reserve(size());
-    for (const WorkloadSpec& w : workloads_) {
-        for (const double density : densities) {
-            for (const double sa1 : sa1s) {
-                for (const double noise : noises) {
-                    for (const float clip : clips) {
-                        for (const double endurance : endurances) {
-                            for (const double hot : hots) {
-                                for (const std::size_t arrival : arrivals) {
-                                    for (const Scheme scheme : schemes_) {
-                                        for (const std::uint64_t base_seed : seeds_) {
-                                            CellSpec cell;
-                                            cell.workload = w;
-                                            cell.scheme = scheme;
-                                            cell.faults = scenario_;
-                                            cell.faults.density = density;
-                                            cell.faults.sa1_fraction = sa1;
-                                            cell.faults.read_noise_sigma = noise;
-                                            cell.faults.wear.endurance_mean_writes =
-                                                endurance;
-                                            cell.faults.wear.hot_spot_fraction = hot;
-                                            cell.faults.arrival_period_batches =
-                                                arrival;
-                                            if (scenario_.post_sa1_follows_pre)
-                                                cell.faults.post_sa1_fraction = sa1;
-                                            cell.hardware = hardware_;
-                                            cell.hardware.clip_threshold = clip;
-                                            cell.mode = mode_;
-                                            cell.record_curve = record_curve_;
-                                            cell.epochs = epochs_;
-                                            cell.seed = base_seed;
-                                            if (seed_policy_ == SeedPolicy::kDerived) {
-                                                CellSpec coords = cell;  // key() sans seed
-                                                coords.seed = 0;
-                                                cell.seed = splitmix64(
-                                                    base_seed ^ fnv1a(coords.key()));
-                                            }
-                                            plan.cells.push_back(std::move(cell));
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+    // The full cross-product is 13 axes deep; index-odometer enumeration
+    // replaces the nested-loop pyramid while keeping the documented
+    // workload-major order (rightmost axis spins fastest).
+    const std::size_t extents[] = {
+        workloads_.size(), densities.size(), sa1s.size(),     clusters.size(),
+        posts.size(),      spans.size(),     noises.size(),   clips.size(),
+        endurances.size(), hots.size(),      arrivals.size(), schemes_.size(),
+        seeds_.size()};
+    constexpr std::size_t kAxes = sizeof(extents) / sizeof(extents[0]);
+    std::size_t index[kAxes] = {};
+    for (std::size_t produced = 0; produced < size(); ++produced) {
+        CellSpec cell;
+        cell.workload = workloads_[index[0]];
+        cell.scheme = schemes_[index[11]];
+        cell.faults = scenario_;
+        cell.faults.density = densities[index[1]];
+        cell.faults.sa1_fraction = sa1s[index[2]];
+        cell.faults.cluster_shape = clusters[index[3]];
+        cell.faults.post_total_density = posts[index[4]];
+        cell.faults.post_epochs = spans[index[5]];
+        cell.faults.read_noise_sigma = noises[index[6]];
+        cell.faults.wear.endurance_mean_writes = endurances[index[8]];
+        cell.faults.wear.hot_spot_fraction = hots[index[9]];
+        cell.faults.arrival_period_batches = arrivals[index[10]];
+        if (scenario_.post_sa1_follows_pre)
+            cell.faults.post_sa1_fraction = sa1s[index[2]];
+        cell.hardware = hardware_;
+        cell.hardware.clip_threshold = clips[index[7]];
+        cell.mode = mode_;
+        cell.record_curve = record_curve_;
+        cell.epochs = epochs_;
+        cell.seed = seeds_[index[12]];
+        if (seed_policy_ == SeedPolicy::kDerived) {
+            CellSpec coords = cell;  // key() sans seed
+            coords.seed = 0;
+            cell.seed = splitmix64(seeds_[index[12]] ^ fnv1a(coords.key()));
+        }
+        plan.cells.push_back(std::move(cell));
+        for (std::size_t axis = kAxes; axis-- > 0;) {
+            if (++index[axis] < extents[axis]) break;
+            index[axis] = 0;
         }
     }
     return plan;

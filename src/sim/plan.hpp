@@ -81,9 +81,10 @@ struct ExperimentPlan {
 /// with only a workload and a scheme yields exactly one cell.
 ///
 /// Enumeration order is deterministic: workload-major, then density, then
-/// SA1 fraction, then read-noise sigma, then clip threshold, then
-/// write-endurance mean, then hot-spot fraction, then arrival period, then
-/// scheme, then seed — the row/column order the paper's tables use.
+/// SA1 fraction, then cluster shape, then post-deployment density, then
+/// post-deployment epoch span, then read-noise sigma, then clip threshold,
+/// then write-endurance mean, then hot-spot fraction, then arrival period,
+/// then scheme, then seed — the row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
@@ -96,6 +97,18 @@ public:
     SweepBuilder& densities(const std::vector<double>& d);
     SweepBuilder& sa1_fraction(double f);
     SweepBuilder& sa1_fractions(const std::vector<double>& f);
+    /// Gamma–Poisson clustering shape of the fault centres (<= 0 = no
+    /// clustering). Unset: the scenario template's cluster_shape.
+    SweepBuilder& cluster_shape(double shape);
+    SweepBuilder& cluster_shapes(const std::vector<double>& shapes);
+    /// Post-deployment total added density axis (Fig. 6; 0 = no wear
+    /// stream for that row). Unset: the template's post_total_density.
+    SweepBuilder& post_density(double d);
+    SweepBuilder& post_densities(const std::vector<double>& d);
+    /// Epoch boundaries the post-deployment arrival spreads over (0 = the
+    /// full training run). Unset: the template's post_epochs.
+    SweepBuilder& post_epoch_span(std::size_t epochs);
+    SweepBuilder& post_epoch_spans(const std::vector<std::size_t>& epochs);
     /// Multiplicative read-noise sigma axis (extension E3). Unset: the
     /// scenario template's read_noise_sigma.
     SweepBuilder& noise_sigma(double sigma);
@@ -143,6 +156,9 @@ private:
     std::vector<Scheme> schemes_{Scheme::kFaultFree};
     std::optional<std::vector<double>> densities_;
     std::optional<std::vector<double>> sa1_fractions_;
+    std::optional<std::vector<double>> cluster_shapes_;
+    std::optional<std::vector<double>> post_densities_;
+    std::optional<std::vector<std::size_t>> post_epoch_spans_;
     std::optional<std::vector<double>> noise_sigmas_;
     std::optional<std::vector<float>> clip_thresholds_;
     std::optional<std::vector<double>> endurance_means_;

@@ -1,5 +1,6 @@
 #include "sim/result_sink.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
@@ -190,6 +191,123 @@ void SeedStatsSink::end(const ExperimentPlan& plan) {
     os_ << "--- " << plan.name << " seed stats (" << rows_.size()
         << " coordinates) ---\n"
         << table.to_ascii() << std::flush;
+}
+
+bool PivotSink::Coord::operator<(const Coord& other) const {
+    if (workload != other.workload) return workload < other.workload;
+    if (scheme != other.scheme) return scheme < other.scheme;
+    if (density != other.density) return density < other.density;
+    return sa1 < other.sa1;
+}
+
+PivotSink::PivotSink(std::ostream* os) : os_(os) {}
+
+void PivotSink::begin(const ExperimentPlan&) {
+    panels_.clear();
+    values_.clear();
+    reference_.clear();
+    sa1_order_.clear();
+    row_order_.clear();
+    scheme_order_.clear();
+    workload_order_.clear();
+}
+
+void PivotSink::cell(const CellResult& result) {
+    const CellSpec& s = result.spec;
+    const std::string workload = s.workload.label();
+    if (std::find(workload_order_.begin(), workload_order_.end(), workload) ==
+        workload_order_.end())
+        workload_order_.push_back(workload);
+    if (s.scheme == Scheme::kFaultFree) {
+        // The reference is density/SA1-independent (ideal hardware); a plan
+        // listing it per density row averages identical values.
+        reference_[workload].add(result.accuracy());
+        return;
+    }
+    const double sa1 = s.faults.sa1_fraction;
+    const double density = s.faults.density;
+    if (std::find(sa1_order_.begin(), sa1_order_.end(), sa1) ==
+        sa1_order_.end())
+        sa1_order_.push_back(sa1);
+    const std::pair<std::string, double> row{workload, density};
+    if (std::find(row_order_.begin(), row_order_.end(), row) ==
+        row_order_.end())
+        row_order_.push_back(row);
+    if (std::find(scheme_order_.begin(), scheme_order_.end(), s.scheme) ==
+        scheme_order_.end())
+        scheme_order_.push_back(s.scheme);
+    values_[Coord{workload, s.scheme, density, sa1}].add(result.accuracy());
+}
+
+void PivotSink::end(const ExperimentPlan& plan) {
+    panels_.clear();
+    const bool with_reference = !reference_.empty();
+    const bool with_drop =
+        with_reference &&
+        std::find(scheme_order_.begin(), scheme_order_.end(), Scheme::kFARe) !=
+            scheme_order_.end();
+
+    std::vector<std::string> header{"Workload", "Density"};
+    if (with_reference) header.push_back(scheme_name(Scheme::kFaultFree));
+    for (const Scheme scheme : scheme_order_)
+        header.push_back(scheme_name(scheme));
+    if (with_drop) header.push_back("FARe drop");
+
+    for (const double sa1 : sa1_order_) {
+        Panel panel{sa1, Table(header)};
+        for (const auto& [workload, density] : row_order_) {
+            // A row appears in a panel only if some scheme reported there.
+            bool any = false;
+            for (const Scheme scheme : scheme_order_)
+                any = any ||
+                      values_.count(Coord{workload, scheme, density, sa1}) > 0;
+            if (!any) continue;
+            std::vector<std::string> row{workload, fmt_pct(density, 0)};
+            const auto ref = reference_.find(workload);
+            if (with_reference)
+                row.push_back(ref != reference_.end() ? fmt(ref->second.mean(), 3)
+                                                      : "-");
+            for (const Scheme scheme : scheme_order_) {
+                const auto it =
+                    values_.find(Coord{workload, scheme, density, sa1});
+                row.push_back(it != values_.end() ? fmt(it->second.mean(), 3)
+                                                  : "-");
+            }
+            if (with_drop) {
+                const auto fare =
+                    values_.find(Coord{workload, Scheme::kFARe, density, sa1});
+                row.push_back(fare != values_.end() && ref != reference_.end()
+                                  ? fmt_pct(ref->second.mean() -
+                                                fare->second.mean(), 1)
+                                  : "-");
+            }
+            panel.table.add_row(std::move(row));
+        }
+        panels_.push_back(std::move(panel));
+    }
+    if (os_) {
+        for (const Panel& panel : panels_)
+            *os_ << "--- " << plan.name << " @ sa1="
+                 << fmt_pct(panel.sa1_fraction, 0) << " ---\n"
+                 << panel.table.to_ascii() << '\n';
+        *os_ << std::flush;
+    }
+}
+
+double PivotSink::accuracy(const std::string& workload_label, Scheme scheme,
+                           double density, double sa1_fraction) const {
+    if (scheme == Scheme::kFaultFree) {
+        const auto it = reference_.find(workload_label);
+        FARE_CHECK(it != reference_.end(),
+                   "no fault-free reference for " + workload_label);
+        return it->second.mean();
+    }
+    const auto it =
+        values_.find(Coord{workload_label, scheme, density, sa1_fraction});
+    FARE_CHECK(it != values_.end(),
+               "no pivot cell for " + workload_label + " / " +
+                   scheme_name(scheme));
+    return it->second.mean();
 }
 
 std::string default_bench_out_path(const std::string& name) {

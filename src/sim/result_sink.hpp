@@ -13,9 +13,11 @@
 
 #include <fstream>
 #include <iosfwd>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
@@ -140,6 +142,64 @@ private:
     std::vector<Row> rows_;
     std::unordered_map<std::string, std::size_t> row_of_coord_;
     std::set<std::string> seen_cells_;  ///< full keys: dedup in-plan repeats
+};
+
+/// Paper-style pivot tables: the figure layout Fig. 5/6 use, assembled from
+/// raw cells instead of hand-rolled ResultSet lookups. One panel per SA1
+/// ratio (first-appearance order), one row per (workload, pre-deployment
+/// density) pair, one accuracy column per scheme — fault-free first as the
+/// reference — plus a "FARe drop" column (reference minus FARe) when both
+/// are present. Duplicate coordinates (seed replicates, repeated reference
+/// cells) average into the cell.
+class PivotSink final : public ResultSink {
+public:
+    struct Panel {
+        double sa1_fraction = 0.0;
+        Table table;
+    };
+
+    /// With a stream, every panel is printed at plan end; without one the
+    /// caller renders panels() itself (custom figure captions).
+    explicit PivotSink(std::ostream* os = nullptr);
+    void begin(const ExperimentPlan& plan) override;
+    void cell(const CellResult& result) override;
+    void end(const ExperimentPlan& plan) override;
+
+    /// Assembled panels of the last finished plan (valid after end()).
+    const std::vector<Panel>& panels() const { return panels_; }
+
+    /// Mean accuracy of one assembled coordinate; negative density matches
+    /// the fault-free reference column. Throws InvalidArgument when the
+    /// coordinate never appeared.
+    double accuracy(const std::string& workload_label, Scheme scheme,
+                    double density = -1.0, double sa1_fraction = -1.0) const;
+
+private:
+    struct Acc {
+        double sum = 0.0;
+        std::size_t n = 0;
+        void add(double x) {
+            sum += x;
+            ++n;
+        }
+        double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    };
+    struct Coord {
+        std::string workload;
+        Scheme scheme = Scheme::kFaultFree;
+        double density = 0.0;
+        double sa1 = 0.0;
+        bool operator<(const Coord& other) const;
+    };
+
+    std::ostream* os_;
+    std::vector<Panel> panels_;
+    std::map<Coord, Acc> values_;          ///< faulty cells
+    std::map<std::string, Acc> reference_;  ///< fault-free, per workload
+    std::vector<double> sa1_order_;
+    std::vector<std::pair<std::string, double>> row_order_;
+    std::vector<Scheme> scheme_order_;  ///< excluding kFaultFree
+    std::vector<std::string> workload_order_;
 };
 
 /// Canonical output path for a bench's machine-readable results:

@@ -48,9 +48,13 @@ namespace {
 
 class JsonParser {
 public:
-    explicit JsonParser(const std::string& text) : text_(text) {}
+    JsonParser(const std::string& text, const JsonLimits& limits)
+        : text_(text), limits_(limits) {}
 
     JsonValue parse_document() {
+        if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes)
+            fail("document exceeds " + std::to_string(limits_.max_bytes) +
+                 " bytes");
         JsonValue v = parse_value();
         skip_ws();
         if (pos_ != text_.size()) fail("trailing characters after document");
@@ -112,7 +116,22 @@ private:
         return parse_number();
     }
 
+    /// RAII nesting guard: every object/array level checks the depth cap, so
+    /// an adversarial peer's deeply nested document fails with an Expected
+    /// error instead of overflowing the parser's call stack.
+    struct DepthGuard {
+        explicit DepthGuard(JsonParser& p) : parser(p) {
+            if (++parser.depth_ > parser.limits_.max_depth)
+                parser.fail("nesting deeper than " +
+                            std::to_string(parser.limits_.max_depth) +
+                            " levels");
+        }
+        ~DepthGuard() { --parser.depth_; }
+        JsonParser& parser;
+    };
+
     JsonValue parse_object() {
+        const DepthGuard guard(*this);
         expect('{');
         JsonValue v;
         v.kind = JsonValue::Kind::kObject;
@@ -138,6 +157,7 @@ private:
     }
 
     JsonValue parse_array() {
+        const DepthGuard guard(*this);
         expect('[');
         JsonValue v;
         v.kind = JsonValue::Kind::kArray;
@@ -263,7 +283,9 @@ private:
     }
 
     const std::string& text_;
+    JsonLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 [[noreturn]] void bad_field(const std::string& what) {
@@ -342,9 +364,9 @@ const std::string& JsonValue::as_string() const {
     return text;
 }
 
-Expected<JsonValue> parse_json(const std::string& text) {
+Expected<JsonValue> parse_json(const std::string& text, JsonLimits limits) {
     try {
-        return JsonParser(text).parse_document();
+        return JsonParser(text, limits).parse_document();
     } catch (const std::runtime_error& e) {
         return Expected<JsonValue>::failure(e.what());
     }
@@ -354,12 +376,11 @@ Expected<JsonValue> parse_json(const std::string& text) {
 // Full-fidelity CellResult round trip.
 // ---------------------------------------------------------------------------
 
-std::string cell_result_to_json(const CellResult& r) {
-    const CellSpec& s = r.spec;
+std::string cell_spec_to_json(const CellSpec& s) {
     const FaultScenario& f = s.faults;
     const HardwareOverrides& h = s.hardware;
     std::ostringstream os;
-    os << "{\"spec\":{"
+    os << "{"
        << "\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
        << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
        << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
@@ -392,7 +413,13 @@ std::string cell_result_to_json(const CellResult& r) {
        << ",\"match_sa0\":" << json_num(h.match_weights.sa0)
        << ",\"match_sa1\":" << json_num(h.match_weights.sa1)
        << ",\"spare_column_fraction\":" << json_num(h.spare_column_fraction)
-       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool << "}}"
+       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool << "}}";
+    return os.str();
+}
+
+std::string cell_result_to_json(const CellResult& r) {
+    std::ostringstream os;
+    os << "{\"spec\":" << cell_spec_to_json(r.spec)
        << ",\"run\":{\"scheme\":\"" << scheme_name(r.run.scheme) << "\""
        << ",\"total_mapping_cost\":" << json_num(r.run.total_mapping_cost)
        << ",\"bist_scans\":" << r.run.bist_scans
@@ -419,62 +446,81 @@ std::string cell_result_to_json(const CellResult& r) {
     return os.str();
 }
 
+namespace {
+
+/// Shared spec decoder; throws through bad_field / InvalidArgument (the
+/// public entry points fold every throw into an Expected).
+CellSpec spec_from_json_impl(const JsonValue& spec) {
+    CellSpec s;
+    const Expected<GnnKind> kind =
+        parse_gnn_kind(member(spec, "model").as_string());
+    if (!kind) bad_field(kind.error());
+    s.workload = find_workload(member(spec, "dataset").as_string(), kind.value());
+    const Expected<Scheme> scheme =
+        parse_scheme(member(spec, "scheme").as_string());
+    if (!scheme) bad_field(scheme.error());
+    s.scheme = scheme.value();
+    const std::string& mode = member(spec, "mode").as_string();
+    if (mode != "train" && mode != "deploy") bad_field("bad mode: " + mode);
+    s.mode = mode == "deploy" ? CellMode::kDeploy : CellMode::kTrain;
+    s.seed = u64(spec, "seed");
+    const JsonValue& hw_seed = member(spec, "hardware_seed");
+    if (hw_seed.kind != JsonValue::Kind::kNull)
+        s.hardware_seed = u64_value(hw_seed, "hardware_seed");
+    s.record_curve = member(spec, "record_curve").as_bool();
+    const JsonValue& epochs = member(spec, "epochs");
+    if (epochs.kind != JsonValue::Kind::kNull)
+        s.epochs = static_cast<std::size_t>(u64_value(epochs, "epochs"));
+
+    const JsonValue& f = member(spec, "faults");
+    FaultScenario& faults = s.faults;
+    faults.density = dnum(f, "density");
+    faults.sa1_fraction = dnum(f, "sa1_fraction");
+    faults.cluster_shape = dnum(f, "cluster_shape");
+    faults.post_total_density = dnum(f, "post_total_density");
+    faults.post_epochs = static_cast<std::size_t>(u64(f, "post_epochs"));
+    faults.post_sa1_fraction = dnum(f, "post_sa1_fraction");
+    faults.post_sa1_follows_pre = member(f, "post_sa1_follows_pre").as_bool();
+    faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
+    faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
+    faults.read_noise_sigma = dnum(f, "read_noise_sigma");
+    const JsonValue& wear = member(f, "wear");
+    faults.wear.endurance_mean_writes = dnum(wear, "endurance_mean_writes");
+    faults.wear.weibull_shape = dnum(wear, "weibull_shape");
+    faults.wear.hot_spot_fraction = dnum(wear, "hot_spot_fraction");
+    faults.wear.hot_spot_severity = dnum(wear, "hot_spot_severity");
+    faults.wear.writes_per_step = u64(wear, "writes_per_step");
+    faults.arrival_period_batches =
+        static_cast<std::size_t>(u64(f, "arrival_period_batches"));
+
+    const JsonValue& h = member(spec, "hardware");
+    HardwareOverrides& hw = s.hardware;
+    hw.num_tiles = static_cast<int>(u64(h, "num_tiles"));
+    hw.clip_threshold = static_cast<float>(dnum(h, "clip_threshold"));
+    hw.match_weights.sa0 = dnum(h, "match_sa0");
+    hw.match_weights.sa1 = dnum(h, "match_sa1");
+    hw.spare_column_fraction = dnum(h, "spare_column_fraction");
+    hw.max_adjacency_pool =
+        static_cast<std::size_t>(u64(h, "max_adjacency_pool"));
+    return s;
+}
+
+}  // namespace
+
+Expected<CellSpec> cell_spec_from_json(const JsonValue& value) {
+    try {
+        return spec_from_json_impl(value);
+    } catch (const std::exception& e) {
+        // find_workload throws InvalidArgument on unknown workloads; fold it
+        // into the same corrupt-record channel as structural errors.
+        return Expected<CellSpec>::failure(e.what());
+    }
+}
+
 Expected<CellResult> cell_result_from_json(const JsonValue& v) {
     try {
         CellResult r;
-        const JsonValue& spec = member(v, "spec");
-        const Expected<GnnKind> kind =
-            parse_gnn_kind(member(spec, "model").as_string());
-        if (!kind) bad_field(kind.error());
-        r.spec.workload =
-            find_workload(member(spec, "dataset").as_string(), kind.value());
-        const Expected<Scheme> scheme =
-            parse_scheme(member(spec, "scheme").as_string());
-        if (!scheme) bad_field(scheme.error());
-        r.spec.scheme = scheme.value();
-        const std::string& mode = member(spec, "mode").as_string();
-        if (mode != "train" && mode != "deploy") bad_field("bad mode: " + mode);
-        r.spec.mode = mode == "deploy" ? CellMode::kDeploy : CellMode::kTrain;
-        r.spec.seed = u64(spec, "seed");
-        const JsonValue& hw_seed = member(spec, "hardware_seed");
-        if (hw_seed.kind != JsonValue::Kind::kNull)
-            r.spec.hardware_seed = u64_value(hw_seed, "hardware_seed");
-        r.spec.record_curve = member(spec, "record_curve").as_bool();
-        const JsonValue& epochs = member(spec, "epochs");
-        if (epochs.kind != JsonValue::Kind::kNull)
-            r.spec.epochs =
-                static_cast<std::size_t>(u64_value(epochs, "epochs"));
-
-        const JsonValue& f = member(spec, "faults");
-        FaultScenario& faults = r.spec.faults;
-        faults.density = dnum(f, "density");
-        faults.sa1_fraction = dnum(f, "sa1_fraction");
-        faults.cluster_shape = dnum(f, "cluster_shape");
-        faults.post_total_density = dnum(f, "post_total_density");
-        faults.post_epochs = static_cast<std::size_t>(u64(f, "post_epochs"));
-        faults.post_sa1_fraction = dnum(f, "post_sa1_fraction");
-        faults.post_sa1_follows_pre = member(f, "post_sa1_follows_pre").as_bool();
-        faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
-        faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
-        faults.read_noise_sigma = dnum(f, "read_noise_sigma");
-        const JsonValue& wear = member(f, "wear");
-        faults.wear.endurance_mean_writes = dnum(wear, "endurance_mean_writes");
-        faults.wear.weibull_shape = dnum(wear, "weibull_shape");
-        faults.wear.hot_spot_fraction = dnum(wear, "hot_spot_fraction");
-        faults.wear.hot_spot_severity = dnum(wear, "hot_spot_severity");
-        faults.wear.writes_per_step = u64(wear, "writes_per_step");
-        faults.arrival_period_batches =
-            static_cast<std::size_t>(u64(f, "arrival_period_batches"));
-
-        const JsonValue& h = member(spec, "hardware");
-        HardwareOverrides& hw = r.spec.hardware;
-        hw.num_tiles = static_cast<int>(u64(h, "num_tiles"));
-        hw.clip_threshold = static_cast<float>(dnum(h, "clip_threshold"));
-        hw.match_weights.sa0 = dnum(h, "match_sa0");
-        hw.match_weights.sa1 = dnum(h, "match_sa1");
-        hw.spare_column_fraction = dnum(h, "spare_column_fraction");
-        hw.max_adjacency_pool =
-            static_cast<std::size_t>(u64(h, "max_adjacency_pool"));
+        r.spec = spec_from_json_impl(member(v, "spec"));
 
         const JsonValue& run = member(v, "run");
         const Expected<Scheme> run_scheme =

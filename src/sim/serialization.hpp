@@ -55,8 +55,28 @@ struct JsonValue {
     const std::string& as_string() const;  ///< kString
 };
 
+/// Explicit resource bounds for parsing untrusted documents. The defaults
+/// are generous enough for every record we write ourselves; the network
+/// path (net/protocol.hpp) tightens both, since a socket peer can send
+/// pathological nesting that would otherwise overflow the recursive-descent
+/// parser's stack.
+struct JsonLimits {
+    /// Maximum object/array nesting depth. Always enforced.
+    std::size_t max_depth = 128;
+    /// Maximum document size in bytes; 0 = unlimited.
+    std::size_t max_bytes = 0;
+};
+
 /// Strict parse of one JSON document (trailing garbage is an error).
-Expected<JsonValue> parse_json(const std::string& text);
+/// Documents exceeding `limits` fail with an Expected error, never a crash.
+Expected<JsonValue> parse_json(const std::string& text, JsonLimits limits = {});
+
+/// Full-fidelity CellSpec serialization (the "spec" member of a CellResult
+/// record). The remote-execution protocol ships whole specs to workers —
+/// canonical keys alone are not invertible — so the spec object is exposed
+/// on its own here. Byte-identical to what cell_result_to_json embeds.
+std::string cell_spec_to_json(const CellSpec& spec);
+Expected<CellSpec> cell_spec_from_json(const JsonValue& value);
 
 /// Full-fidelity CellResult serialization: every spec field, both metric
 /// payloads, the training curve, and the cache/timing metadata.

@@ -273,6 +273,68 @@ TEST(SweepBuilderTest, NoiseAndClipAxes) {
         InvalidArgument);
 }
 
+TEST(SweepBuilderTest, ClusterAndPostDeploymentAxes) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const ExperimentPlan plan =
+        SweepBuilder("wear_shapes")
+            .workload(w)
+            .density(0.03)
+            .sa1_fraction(0.5)
+            .cluster_shapes({0.0, 1.5})
+            .post_densities({0.0, 0.01})
+            .post_epoch_spans({0, 10})
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .build();
+    EXPECT_EQ(plan.size(), 2u * 2 * 2 * 2);
+
+    // Order: cluster-major, then post density, then span, then scheme.
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.cluster_shape, 0.0);
+    EXPECT_DOUBLE_EQ(plan.cells[0].faults.post_total_density, 0.0);
+    EXPECT_EQ(plan.cells[0].faults.post_epochs, 0u);
+    EXPECT_EQ(plan.cells[1].scheme, Scheme::kFARe);
+    EXPECT_EQ(plan.cells[2].faults.post_epochs, 10u);
+    EXPECT_DOUBLE_EQ(plan.cells[4].faults.post_total_density, 0.01);
+    EXPECT_DOUBLE_EQ(plan.cells[8].faults.cluster_shape, 1.5);
+
+    // Behaviour-relevant coordinates get distinct keys; the epoch span of a
+    // disabled wear stream (post density 0) is inert and normalises away.
+    EXPECT_NE(plan.cells[0].key(), plan.cells[8].key());   // cluster differs
+    EXPECT_NE(plan.cells[4].key(), plan.cells[6].key());   // span differs
+    EXPECT_NE(plan.cells[0].key(), plan.cells[4].key());   // post differs
+    EXPECT_EQ(plan.cells[0].key(), plan.cells[2].key());   // inert span
+
+    // The SA1 axis still mirrors into the wear stream alongside the new
+    // axes (post_sa1_follows_pre default).
+    const ExperimentPlan mirrored = SweepBuilder("mirror")
+                                        .workload(w)
+                                        .sa1_fractions({0.1, 0.9})
+                                        .post_density(0.01)
+                                        .scheme(Scheme::kFARe)
+                                        .build();
+    ASSERT_EQ(mirrored.size(), 2u);
+    EXPECT_DOUBLE_EQ(mirrored.cells[1].faults.post_sa1_fraction, 0.9);
+
+    // Unset axes keep the template's values (fig6's old scenario-template
+    // spelling and the new axis spelling are cell-identical).
+    FaultScenario wear;
+    wear.with_post_deployment(0.01);
+    const ExperimentPlan via_template =
+        SweepBuilder("fig6ish").workload(w).scenario(wear).scheme(
+            Scheme::kFARe).build();
+    const ExperimentPlan via_axis = SweepBuilder("fig6ish")
+                                        .workload(w)
+                                        .post_density(0.01)
+                                        .post_epoch_span(0)
+                                        .scheme(Scheme::kFARe)
+                                        .build();
+    ASSERT_EQ(via_template.size(), via_axis.size());
+    EXPECT_EQ(via_template.cells[0].key(), via_axis.cells[0].key());
+
+    EXPECT_THROW(
+        SweepBuilder("bad").workload(w).post_densities({1.5}).build(),
+        InvalidArgument);
+}
+
 TEST(SweepBuilderTest, RejectsOutOfRangeAxisValues) {
     const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
     EXPECT_THROW(

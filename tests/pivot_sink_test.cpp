@@ -1,0 +1,137 @@
+// PivotSink tests: assembly of the paper-style figure tables (one panel per
+// SA1 ratio, fault-free reference column, per-scheme accuracy columns, FARe
+// drop) from raw cells, duplicate averaging, and the accessor contract the
+// benches rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/result_sink.hpp"
+
+namespace fare {
+namespace {
+
+CellResult cell(const std::string& dataset, GnnKind kind, Scheme scheme,
+                double density, double sa1, double accuracy) {
+    CellResult r;
+    r.spec.workload = find_workload(dataset, kind);
+    r.spec.scheme = scheme;
+    if (scheme != Scheme::kFaultFree)
+        r.spec.faults = FaultScenario::pre_deployment(density, sa1);
+    r.run.train.test_accuracy = accuracy;
+    return r;
+}
+
+ExperimentPlan dummy_plan() {
+    ExperimentPlan plan;
+    plan.name = "pivot_unit";
+    return plan;
+}
+
+TEST(PivotSinkTest, AssemblesPanelsRowsAndColumns) {
+    PivotSink sink;
+    sink.begin(dummy_plan());
+    // Two workloads x two densities x two SA1 ratios x three schemes, fed
+    // deliberately out of figure order — the sink orders by first
+    // appearance, not input order within a coordinate.
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFaultFree, 0, 0, 0.95));
+    for (const double sa1 : {0.1, 0.5})
+        for (const double d : {0.01, 0.05}) {
+            sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFaultUnaware, d, sa1,
+                           0.30));
+            sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, d, sa1, 0.93));
+            sink.cell(
+                cell("Reddit", GnnKind::kGCN, Scheme::kFaultUnaware, d, sa1,
+                     0.40));
+            sink.cell(
+                cell("Reddit", GnnKind::kGCN, Scheme::kFARe, d, sa1, 0.91));
+        }
+    sink.cell(cell("Reddit", GnnKind::kGCN, Scheme::kFaultFree, 0, 0, 0.96));
+    sink.end(dummy_plan());
+
+    ASSERT_EQ(sink.panels().size(), 2u);  // one per SA1 ratio, in seen order
+    EXPECT_DOUBLE_EQ(sink.panels()[0].sa1_fraction, 0.1);
+    EXPECT_DOUBLE_EQ(sink.panels()[1].sa1_fraction, 0.5);
+
+    const Table& t = sink.panels()[0].table;
+    ASSERT_EQ(t.num_rows(), 4u);  // 2 workloads x 2 densities
+    const std::string ascii = t.to_ascii();
+    EXPECT_NE(ascii.find("Workload"), std::string::npos);
+    EXPECT_NE(ascii.find("fault-free"), std::string::npos);
+    EXPECT_NE(ascii.find("fault-unaware"), std::string::npos);
+    EXPECT_NE(ascii.find("FARe drop"), std::string::npos);
+    EXPECT_NE(ascii.find("PPI (GCN)"), std::string::npos);
+    // The reference column repeats per density row; drop = ref - FARe.
+    EXPECT_NE(ascii.find("0.950"), std::string::npos);
+    EXPECT_NE(ascii.find("2.0%"), std::string::npos);  // 0.95 - 0.93
+
+    // Accessors: panel cells and the fault-free reference.
+    EXPECT_DOUBLE_EQ(
+        sink.accuracy("PPI (GCN)", Scheme::kFARe, 0.01, 0.1), 0.93);
+    EXPECT_DOUBLE_EQ(
+        sink.accuracy("Reddit (GCN)", Scheme::kFaultUnaware, 0.05, 0.5), 0.40);
+    EXPECT_DOUBLE_EQ(sink.accuracy("PPI (GCN)", Scheme::kFaultFree), 0.95);
+    EXPECT_THROW(sink.accuracy("PPI (GCN)", Scheme::kFARe, 0.99, 0.1),
+                 InvalidArgument);
+    EXPECT_THROW(sink.accuracy("Nowhere (GCN)", Scheme::kFaultFree),
+                 InvalidArgument);
+}
+
+TEST(PivotSinkTest, DuplicateCoordinatesAverage) {
+    PivotSink sink;
+    sink.begin(dummy_plan());
+    // Seed replicates of one coordinate and a repeated fault-free reference
+    // (as a plan that lists kFaultFree per density row produces).
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFaultFree, 0, 0, 0.90));
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFaultFree, 0, 0, 0.94));
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, 0.01, 0.1, 0.80));
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, 0.01, 0.1, 0.90));
+    sink.end(dummy_plan());
+
+    EXPECT_DOUBLE_EQ(sink.accuracy("PPI (GCN)", Scheme::kFaultFree), 0.92);
+    EXPECT_DOUBLE_EQ(sink.accuracy("PPI (GCN)", Scheme::kFARe, 0.01, 0.1),
+                     0.85);
+    ASSERT_EQ(sink.panels().size(), 1u);
+    EXPECT_EQ(sink.panels()[0].table.num_rows(), 1u);
+}
+
+TEST(PivotSinkTest, MissingCellsRenderAsDashAndDropNeedsBoth) {
+    PivotSink sink;
+    sink.begin(dummy_plan());
+    // NR reported only at 1%: the 5% row renders "-" for it. No fault-free
+    // reference at all: no reference column, no FARe drop column.
+    sink.cell(
+        cell("PPI", GnnKind::kGCN, Scheme::kNeuronReorder, 0.01, 0.1, 0.70));
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, 0.01, 0.1, 0.92));
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, 0.05, 0.1, 0.88));
+    sink.end(dummy_plan());
+
+    ASSERT_EQ(sink.panels().size(), 1u);
+    const std::string ascii = sink.panels()[0].table.to_ascii();
+    EXPECT_EQ(ascii.find("fault-free"), std::string::npos);
+    EXPECT_EQ(ascii.find("FARe drop"), std::string::npos);
+    EXPECT_NE(ascii.find("-"), std::string::npos);  // the missing NR cell
+}
+
+TEST(PivotSinkTest, ResetsBetweenPlansAndPrintsWhenGivenAStream) {
+    std::ostringstream os;
+    PivotSink sink(&os);
+    sink.begin(dummy_plan());
+    sink.cell(cell("PPI", GnnKind::kGCN, Scheme::kFARe, 0.01, 0.1, 0.9));
+    sink.end(dummy_plan());
+    EXPECT_EQ(sink.panels().size(), 1u);
+    EXPECT_NE(os.str().find("PPI (GCN)"), std::string::npos);
+
+    // A second plan through the same sink starts from scratch.
+    sink.begin(dummy_plan());
+    sink.cell(cell("Reddit", GnnKind::kGCN, Scheme::kFARe, 0.03, 0.5, 0.8));
+    sink.end(dummy_plan());
+    ASSERT_EQ(sink.panels().size(), 1u);
+    EXPECT_DOUBLE_EQ(sink.panels()[0].sa1_fraction, 0.5);
+    EXPECT_THROW(sink.accuracy("PPI (GCN)", Scheme::kFARe, 0.01, 0.1),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fare

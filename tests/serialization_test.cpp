@@ -216,6 +216,60 @@ TEST(SerializationTest, UnicodeEscapesDecodeTheFullBmpToUtf8) {
     EXPECT_EQ(back.value().plan, record.plan);
 }
 
+TEST(SerializationTest, ExplicitLimitsBoundDepthAndBytes) {
+    // Depth: a document nested past max_depth is an Expected error — the
+    // recursive-descent parser must refuse before it recurses that far
+    // (a hostile network peer could otherwise overflow the stack).
+    const auto nested = [](std::size_t depth) {
+        std::string doc;
+        for (std::size_t i = 0; i < depth; ++i) doc += '[';
+        doc += '1';
+        for (std::size_t i = 0; i < depth; ++i) doc += ']';
+        return doc;
+    };
+    JsonLimits shallow;
+    shallow.max_depth = 8;
+    EXPECT_TRUE(parse_json(nested(8), shallow).ok());
+    const Expected<JsonValue> deep = parse_json(nested(9), shallow);
+    ASSERT_FALSE(deep.ok());
+    EXPECT_NE(deep.error().find("nesting"), std::string::npos) << deep.error();
+    // The default depth holds for our own records but is still finite.
+    EXPECT_TRUE(parse_json(nested(128)).ok());
+    EXPECT_FALSE(parse_json(nested(129)).ok());
+
+    // Bytes: a document above max_bytes is refused up front (0 = unlimited).
+    JsonLimits tight;
+    tight.max_bytes = 16;
+    EXPECT_TRUE(parse_json("{\"a\":1}", tight).ok());
+    const Expected<JsonValue> fat =
+        parse_json("{\"a\":\"0123456789abcdef\"}", tight);
+    ASSERT_FALSE(fat.ok());
+    EXPECT_NE(fat.error().find("byte"), std::string::npos) << fat.error();
+    EXPECT_TRUE(parse_json("{\"a\":\"0123456789abcdef\"}").ok());
+}
+
+TEST(SerializationTest, CellSpecRoundTripsStandalone) {
+    // The wire protocol ships bare specs (assign frames); the standalone
+    // spec codec must agree byte-for-byte with the spec object embedded in
+    // a full CellResult record.
+    const CellSpec original = sample_result().spec;
+    const std::string json = cell_spec_to_json(original);
+    EXPECT_NE(cell_result_to_json(sample_result()).find(json),
+              std::string::npos);
+
+    const Expected<JsonValue> doc = parse_json(json);
+    ASSERT_TRUE(doc.ok()) << doc.error();
+    const Expected<CellSpec> back = cell_spec_from_json(doc.value());
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(cell_spec_to_json(back.value()), json);
+    EXPECT_EQ(back.value().key(), original.key());
+    EXPECT_EQ(back.value().seed, original.seed);
+    EXPECT_EQ(back.value().hardware_seed, original.hardware_seed);
+    EXPECT_EQ(back.value().epochs, original.epochs);
+
+    EXPECT_FALSE(cell_spec_from_json(parse_json("{}").value()).ok());
+}
+
 TEST(SerializationTest, ParserRejectsTrailingGarbage) {
     EXPECT_TRUE(parse_json("{\"a\":1}").ok());
     EXPECT_FALSE(parse_json("{\"a\":1} extra").ok());
