@@ -23,7 +23,8 @@ cmake -B "${BUILD_DIR}" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
-    --target bench_micro_corruption bench_micro_mvm bench_micro_graph
+    --target bench_micro_corruption bench_micro_mvm bench_micro_graph \
+             bench_online_tolerance
 
 for bench in bench_micro_corruption bench_micro_mvm bench_micro_graph; do
     echo "=== ${bench} ==="
@@ -32,14 +33,23 @@ for bench in bench_micro_corruption bench_micro_mvm bench_micro_graph; do
         --benchmark_out="${OUT_DIR}/BENCH_${bench#bench_}.json"
 done
 
-echo "Results in ${OUT_DIR}/BENCH_micro_*.json"
+# End-to-end online-tolerance frontier: not a Google-Benchmark binary — it
+# runs the built-in online_tolerance plan, asserts the acceptance criteria
+# (an online scheme beats FARe-only retraining; nonzero detection/repair
+# costs) and writes deterministic *modeled* detect/repair times in the same
+# GBench JSON shape, so check_bench.py gates it machine-independently.
+echo "=== bench_online_tolerance ==="
+FARE_BENCH_OUT="${OUT_DIR}" "${BUILD_DIR}/bench_online_tolerance"
+
+echo "Results in ${OUT_DIR}/BENCH_micro_*.json and ${OUT_DIR}/BENCH_online_tolerance.json"
 
 # Regression gate: every committed *_postpr.json baseline is enforced against
 # the fresh run of the same bench (generous factor — the gate catches
 # order-of-magnitude regressions, not machine-to-machine noise). Set
 # FARE_BENCH_FACTOR to tune, or FARE_BENCH_NO_CHECK=1 to record only.
 if [ -z "${FARE_BENCH_NO_CHECK:-}" ]; then
-    for baseline in "${OUT_DIR}"/BENCH_micro_*_postpr.json; do
+    for baseline in "${OUT_DIR}"/BENCH_micro_*_postpr.json \
+                    "${OUT_DIR}"/BENCH_online_tolerance_postpr.json; do
         [ -e "$baseline" ] || continue
         fresh="${baseline%_postpr.json}.json"
         [ -e "$fresh" ] || continue

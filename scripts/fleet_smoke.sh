@@ -30,6 +30,11 @@ for bin in "$RUN" "$WORKER"; do
     fi
 done
 
+# The whole fleet (coordinator, workers, serve daemon, submitters) runs
+# behind the shared-secret handshake: both binaries read this variable, so
+# the smoke also gates the challenge/response auth path end to end.
+export FARE_FABRIC_SECRET="fleet-smoke-secret"
+
 TMP=$(mktemp -d)
 WORKER_PIDS=()
 DAEMON_PID=""

@@ -45,10 +45,10 @@ wait "$pid" 2>/dev/null || true
 # the timing was unlucky (killed before the first store, or after the last).
 seg=$(find "$CACHE" -name 'cells.*.jsonl' 2>/dev/null | head -1 || true)
 if [ -n "$seg" ]; then
-    printf '{"schema":2,"key":"torn' >>"$seg"
+    printf '{"schema":3,"key":"torn' >>"$seg"
 else
     mkdir -p "$CACHE"
-    printf '{"schema":2,"key":"torn' >"$CACHE/cells.0.0.jsonl"
+    printf '{"schema":3,"key":"torn' >"$CACHE/cells.0.0.jsonl"
 fi
 
 echo "== resume as $SHARDS shard processes sharing the cache dir"

@@ -12,6 +12,16 @@ Matrix IdealQuantizedHardware::effective_weights(std::size_t, const Matrix& w) {
     return quantize_dequantize(w);
 }
 
+namespace {
+
+TimingConfig timing_config_for(const FaultyHardwareConfig& config) {
+    TimingConfig tc;
+    tc.tile = config.accelerator.tile;
+    return tc;
+}
+
+}  // namespace
+
 FaultyHardware::FaultyHardware(Scheme scheme, const FaultyHardwareConfig& config)
     : scheme_(scheme),
       config_(config),
@@ -22,10 +32,15 @@ FaultyHardware::FaultyHardware(Scheme scheme, const FaultyHardwareConfig& config
                            /*exact_row_matching=*/false,
                            /*enable_crossbar_removal=*/true,
                            /*enable_block_removal=*/true}),
+      online_engine_(config.online),
+      timing_(timing_config_for(config)),
       wear_rng_(config.injection.seed ^ 0xD15EA5EULL),
       noise_rng_(config.injection.seed ^ 0x4015EULL) {
     FARE_CHECK(scheme != Scheme::kFaultFree,
                "use IdealQuantizedHardware for the fault-free scheme");
+    FARE_CHECK(!online() || config.online.enabled(),
+               "online scheme needs an enabled policy "
+               "(OnlinePolicySpec.detect_period_batches > 0)");
     accelerator_.inject_pre_deployment_faults(config.injection);
     if (config.wear.enabled())
         wear_model_ = WearModel(accelerator_.num_crossbars(),
@@ -95,6 +110,11 @@ std::vector<FaultMap> FaultyHardware::build_adjacency_pool_maps() const {
                 maps.back(),
                 static_cast<std::size_t>(config_.spare_column_fraction *
                                          config_.accelerator.tile.crossbar_cols));
+        // Online repair view: faults on substituted columns are routed to
+        // spare columns and disappear from the pool image.
+        if (online())
+            maps.back() =
+                online_engine_.repaired_map(adj_range_.first + i, maps.back());
     }
     return maps;
 }
@@ -126,6 +146,7 @@ void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
     for (const auto& adj : batch_adjacency) {
         switch (scheme_) {
             case Scheme::kFARe:
+            case Scheme::kOnlineFARe:
                 mappings_.push_back(mapper_.map_batch(adj, adj_maps_));
                 break;
             case Scheme::kNeuronReorder:
@@ -141,8 +162,9 @@ void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
 
 Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
     FARE_CHECK(idx < params_.size(), "unbound parameter index");
-    const bool clip =
-        scheme_ == Scheme::kFARe || scheme_ == Scheme::kClippingOnly;
+    const bool clip = scheme_ == Scheme::kFARe ||
+                      scheme_ == Scheme::kClippingOnly ||
+                      scheme_ == Scheme::kOnlineFARe;
     Matrix out;
     if (!config_.faults_on_weights) {
         out = quantize_dequantize(w);
@@ -267,13 +289,88 @@ void FaultyHardware::refresh_after_arrival() {
     ++adjacency_version_;
 }
 
+void FaultyHardware::rebuild_weight_overlays_from_truth() {
+    // Online corruption refresh: the overlays mirror the crossbars' *true*
+    // fault state (filtered through the engine's repair view) without a BIST
+    // march — no scan cost, no march wear. Behaviourally BIST is exact here,
+    // so this equals a rescan minus its charges.
+    const auto xb_rows = config_.accelerator.tile.crossbar_rows;
+    const auto xb_cols = config_.accelerator.tile.crossbar_cols;
+    for (auto& region : params_) {
+        std::vector<FaultMap> maps;
+        maps.reserve(region.range.count);
+        for (std::size_t i = 0; i < region.range.count; ++i) {
+            const std::size_t xb = region.range.first + i;
+            maps.push_back(online_engine_.repaired_map(
+                xb, accelerator_.crossbar(xb).fault_map()));
+        }
+        const std::size_t grid_r = (region.rows + xb_rows - 1) / xb_rows;
+        region.grid = WeightFaultGrid(grid_r * xb_rows, region.cols, maps,
+                                      xb_rows, xb_cols);
+        region.overlay =
+            CompiledFaultOverlay(region.grid, region.rows, region.cols);
+    }
+    ++weights_version_;
+}
+
+void FaultyHardware::refresh_corruption_only() {
+    rebuild_weight_overlays_from_truth();
+    adj_maps_ = build_adjacency_pool_maps();
+    // No re-permutation and no mapping update: the new damage stays
+    // un-mitigated until a detection round discovers it.
+    ++adjacency_version_;
+}
+
+void FaultyHardware::run_detection_round() {
+    const OnlineRoundOutcome outcome = online_engine_.detection_round(
+        global_step_, accelerator_, in_use_crossbars());
+    online_engine_.charge_seconds(
+        timing_.march_latency_s(outcome.march_cell_ops) +
+            timing_.readback_latency_s(outcome.readback_checks),
+        timing_.reprogram_latency_s(outcome.repair_pulses));
+    if (!outcome.state_changed) return;
+    // Knowledge refresh: the march already paid the scan cost, so the
+    // mitigation state rebuilds from the repaired truth.
+    rebuild_weight_overlays_from_truth();
+    adj_maps_ = build_adjacency_pool_maps();
+    if (scheme_ == Scheme::kOnlineFARe)
+        for (std::size_t b = 0; b < mappings_.size(); ++b)
+            mapper_.repermute(mappings_[b], batch_bits_[b], adj_maps_);
+    ++adjacency_version_;
+}
+
+std::vector<std::size_t> FaultyHardware::in_use_crossbars() const {
+    std::vector<std::size_t> out;
+    for (const auto& region : params_)
+        for (std::size_t i = 0; i < region.range.count; ++i)
+            out.push_back(region.range.first + i);
+    for (std::size_t i = 0; i < adj_range_.count; ++i)
+        out.push_back(adj_range_.first + i);
+    return out;
+}
+
 std::size_t FaultyHardware::arrival_checkpoint(double uniform_quantum,
                                                bool force_refresh) {
     std::size_t arrived = 0;
+    std::vector<std::size_t> touched;
+    std::vector<std::size_t>* touched_out = online() ? &touched : nullptr;
     if (uniform_quantum > 0.0)
         arrived += accelerator_.inject_post_deployment_faults(
-            uniform_quantum, config_.post_sa1_fraction, wear_rng_);
-    arrived += wear_model_.advance(accelerator_).size();
+            uniform_quantum, config_.post_sa1_fraction, wear_rng_, touched_out);
+    if (config_.soft_error_rate > 0.0)
+        arrived += accelerator_.inject_soft_faults(
+            config_.soft_error_rate, config_.post_sa1_fraction, wear_rng_,
+            touched_out);
+    const std::vector<WornCell> worn = wear_model_.advance(accelerator_);
+    arrived += worn.size();
+    if (online()) {
+        for (const WornCell& cell : worn) touched.push_back(cell.crossbar);
+        online_engine_.note_arrivals(global_step_, touched);
+        // Online schemes: corruption becomes visible immediately, but the
+        // mitigation state stays stale until the next detection round.
+        if (arrived > 0 || force_refresh) refresh_corruption_only();
+        return arrived;
+    }
     // Tentpole contract: overlays / stamps invalidate exactly when fault
     // state actually changed (force_refresh keeps the legacy schedule's
     // unconditional per-epoch BIST refresh).
@@ -306,17 +403,29 @@ void FaultyHardware::on_step_end(std::size_t epoch, std::size_t step,
     for (std::size_t i = 0; i < adj_range_.count; ++i)
         accelerator_.crossbar(adj_range_.first + i).add_uniform_writes(writes);
 
+    ++global_step_;
+
     const std::size_t period = config_.arrival_period_batches;
-    if (period == 0 || (step + 1) % period != 0) return;
-    if (config_.post_total_density <= 0.0 && !wear_model_.enabled()) return;
-    arrival_checkpoint(uniform_checkpoint_quantum(), /*force_refresh=*/false);
+    const bool sources = config_.post_total_density > 0.0 ||
+                         config_.soft_error_rate > 0.0 || wear_model_.enabled();
+    if (period > 0 && (step + 1) % period == 0 && sources)
+        arrival_checkpoint(uniform_checkpoint_quantum(),
+                           /*force_refresh=*/false);
+
+    // Detection cadence is independent of the arrival cadence: a round fires
+    // every detect_period_batches global steps, whether or not anything
+    // arrived (the march/readback cost is paid regardless — that is the
+    // point of the frontier).
+    if (online() && global_step_ % config_.online.detect_period_batches == 0)
+        run_detection_round();
 }
 
 void FaultyHardware::on_epoch_end(std::size_t epoch) {
     (void)epoch;
     const bool post_on = config_.post_total_density > 0.0;
     const bool wear_on = wear_model_.enabled();
-    if (!post_on && !wear_on) return;
+    const bool soft_on = config_.soft_error_rate > 0.0;
+    if (!post_on && !wear_on && !soft_on) return;
     // Legacy schedule (uniform stream only, epoch-boundary arrivals): keep
     // the unconditional per-epoch BIST refresh — bit-compatible with the
     // pre-wear implementation. Every other combination refreshes only when

@@ -10,7 +10,13 @@
 //   FARe            — Algorithm 1 adjacency mapping (SA1-weighted b-Suitor
 //                     row matching + Hungarian block assignment + removal
 //                     rules) plus weight clipping; per-epoch BIST rescan and
-//                     row re-permutation for post-deployment faults.
+//                     row re-permutation for post-deployment faults;
+//   online FARe     — FARe mapping/clipping plus the in-training
+//                     detection/correction engine (reram/online_tolerance.hpp):
+//                     rotating partial BIST + readback checks, targeted
+//                     re-programming and spare-column substitution, graceful
+//                     degradation to remap on spare exhaustion;
+//   online naive    — the online engine alone over naive (identity) mapping.
 //
 // All faulty schemes share one simulated accelerator: faults are injected
 // into its crossbars, weight regions are allocated per model parameter, and
@@ -27,6 +33,7 @@
 #include "reram/accelerator.hpp"
 #include "reram/compiled_overlay.hpp"
 #include "reram/corruption.hpp"
+#include "reram/online_tolerance.hpp"
 #include "reram/timing_model.hpp"
 #include "reram/wear_model.hpp"
 
@@ -64,6 +71,15 @@ struct FaultyHardwareConfig {
     /// variation-induced resistance deviations): multiplicative Gaussian
     /// read noise on every effective weight, sigma relative to the value.
     double read_noise_sigma = 0.0;
+
+    /// Soft-error arrival: added density of *re-formable* stuck-ats per
+    /// arrival checkpoint (0 disables). Online schemes clear them with
+    /// re-forming pulses; every other scheme sees permanent stuck-ats.
+    double soft_error_rate = 0.0;
+
+    /// Online detection/correction policy (reram/online_tolerance.hpp) —
+    /// consulted only by the online schemes.
+    OnlinePolicySpec online;
 
     /// Redundant-columns baseline [8]: spare columns per crossbar as a
     /// fraction of its width (repairs the worst-faulted columns).
@@ -114,6 +130,10 @@ public:
     /// Cells worn out by the endurance model so far.
     std::size_t wear_faults() const { return wear_model_.total_worn(); }
     double total_mapping_cost() const;
+    /// Online detection/correction engine (meaningful for the online
+    /// schemes; default-constructed otherwise).
+    const OnlineToleranceEngine& online_engine() const { return online_engine_; }
+    OnlineToleranceStats online_stats() const { return online_engine_.stats(); }
 
 private:
     /// Rescan the weight regions (BIST), rebuild their fault grids and
@@ -138,6 +158,25 @@ private:
     /// arrival: BIST rescan + overlay recompile of the weight regions, the
     /// adjacency-pool image, and the schemes' re-permutations.
     void refresh_after_arrival();
+    /// True for the schemes driving the online tolerance engine.
+    bool online() const { return scheme_is_online(scheme_); }
+    /// Online schemes: refresh *corruption truth only* after an arrival —
+    /// overlays and the adjacency-pool image are rebuilt from the crossbars'
+    /// true maps (filtered through the engine's repair view), with no BIST
+    /// march and no mapping/permutation update. New damage lands un-mitigated
+    /// until the next detection round discovers it: that gap is the
+    /// detection-latency cost the online schemes pay.
+    void refresh_corruption_only();
+    /// Weight-region overlays from the repaired true maps (no march cost).
+    void rebuild_weight_overlays_from_truth();
+    /// One detection round of the online engine: partial march + readback
+    /// escalation + targeted repair, costs charged through the timing model;
+    /// mitigation state (overlays, pool image, FARe re-permutation) refreshes
+    /// iff the round changed the effective fault view.
+    void run_detection_round();
+    /// Flat indices of every crossbar the run actually uses (weight regions
+    /// + adjacency pool), ascending.
+    std::vector<std::size_t> in_use_crossbars() const;
     /// NR: bit-level row mismatch matching at neuron granularity.
     /// The permutation is refreshed once per epoch (after the BIST rescan),
     /// not per batch: recomputing on every batch's drifted weights makes the
@@ -155,9 +194,12 @@ private:
     WeightClipper clipper_;
     FaultAwareMapper mapper_;
     WearModel wear_model_;
+    OnlineToleranceEngine online_engine_;
+    TimingModel timing_;
     Rng wear_rng_;
     Rng noise_rng_;
     std::size_t steps_per_epoch_ = 0;  // last seen; sizes the checkpoint split
+    std::uint64_t global_step_ = 0;    // monotonic across epochs
 
     struct ParamRegion {
         CrossbarRange range;

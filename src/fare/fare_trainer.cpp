@@ -14,6 +14,7 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
         result.total_mapping_cost = faulty->total_mapping_cost();
         result.bist_scans = faulty->bist_scans();
         result.wear_faults = faulty->wear_faults();
+        result.online = faulty->online_stats();
     }
     return result;
 }

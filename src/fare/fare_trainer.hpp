@@ -19,6 +19,9 @@ struct SchemeRunResult {
     /// Cells worn out by the endurance model during the run (0 unless the
     /// scenario enables wear — see FaultScenario::wear).
     std::size_t wear_faults = 0;
+    /// Online detection/correction log (all-zero unless the scheme is one of
+    /// the online family — see reram/online_tolerance.hpp).
+    OnlineToleranceStats online;
 };
 
 /// Build the hardware model for `scheme`, run the full training loop and

@@ -73,6 +73,13 @@ FaultScenario& FaultScenario::with_arrival_period(std::size_t batches) {
     return *this;
 }
 
+FaultScenario& FaultScenario::with_soft_errors(double rate) {
+    FARE_CHECK(rate >= 0.0 && rate <= 1.0,
+               "soft-error rate outside [0,1]");
+    soft_error_rate = rate;
+    return *this;
+}
+
 FaultScenario& FaultScenario::on_weights_only() {
     faults_on_weights = true;
     faults_on_adjacency = false;
@@ -87,7 +94,7 @@ FaultScenario& FaultScenario::on_adjacency_only() {
 
 bool FaultScenario::fault_free() const {
     return density == 0.0 && post_total_density == 0.0 &&
-           read_noise_sigma == 0.0 && !wear.enabled();
+           read_noise_sigma == 0.0 && soft_error_rate == 0.0 && !wear.enabled();
 }
 
 std::string FaultScenario::key() const {
@@ -118,8 +125,11 @@ std::string FaultScenario::key() const {
            << ",sev=" << num(wear.hot_spot_severity)
            << ",wps=" << wear.writes_per_step;
     }
+    // Soft errors are appended only when live — legacy keys stay byte-stable.
+    if (soft_error_rate > 0.0) os << ";soft=" << num(soft_error_rate);
     // The cadence only matters while some arrival source is active.
-    if (arrival_period_batches > 0 && (wear.enabled() || post_total_density > 0.0))
+    if (arrival_period_batches > 0 &&
+        (wear.enabled() || post_total_density > 0.0 || soft_error_rate > 0.0))
         os << ";arr=" << arrival_period_batches;
     return os.str();
 }
@@ -130,6 +140,15 @@ std::string HardwareOverrides::key() const {
        << ";w0=" << num(match_weights.sa0) << ";w1=" << num(match_weights.sa1)
        << ";spare=" << num(spare_column_fraction)
        << ";pool=" << max_adjacency_pool;
+    // The online policy block is appended only when enabled so every legacy
+    // overrides key stays byte-stable.
+    if (online.enabled()) {
+        os << ";online=" << online.detect_period_batches
+           << ",mw=" << online.march_window
+           << ",tol=" << num(online.readback_tolerance)
+           << ",sc=" << online.spare_columns
+           << ",rp=" << online.reprogram_pulses;
+    }
     return os.str();
 }
 
@@ -152,10 +171,12 @@ FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
         scenario.post_epochs > 0 ? scenario.post_epochs : train_epochs;
     config.post_sa1_fraction = scenario.post_sa1_fraction;
     config.read_noise_sigma = scenario.read_noise_sigma;
+    config.soft_error_rate = scenario.soft_error_rate;
     config.wear = scenario.wear;
     config.arrival_period_batches = scenario.arrival_period_batches;
     config.spare_column_fraction = hw.spare_column_fraction;
     config.max_adjacency_pool = hw.max_adjacency_pool;
+    config.online = hw.online;
     return config;
 }
 

@@ -43,6 +43,13 @@ struct FaultScenario {
     /// Multiplicative Gaussian read noise sigma (extension E3; 0 disables).
     double read_noise_sigma = 0.0;
 
+    /// Soft-error arrival (arXiv:2412.03089): added density of *re-formable*
+    /// stuck-ats landing at each arrival checkpoint (0 disables). Online
+    /// schemes can clear them with re-forming pulses; every other scheme
+    /// sees them as ordinary permanent stuck-ats. Polarity follows
+    /// post_sa1_fraction.
+    double soft_error_rate = 0.0;
+
     /// Endurance-driven wear (Hamun, arXiv:2502.01502): per-cell Weibull
     /// write lifetimes with per-crossbar hot spots, disabled while
     /// wear.endurance_mean_writes == 0. Orthogonal to the uniform
@@ -76,6 +83,9 @@ struct FaultScenario {
     /// Land arrivals every `batches` training steps instead of only at
     /// epoch boundaries (0 restores the epoch-boundary schedule).
     FaultScenario& with_arrival_period(std::size_t batches);
+    /// Land `rate` added density of soft (re-formable) stuck-ats at every
+    /// arrival checkpoint (0 disables).
+    FaultScenario& with_soft_errors(double rate);
     FaultScenario& on_weights_only();
     FaultScenario& on_adjacency_only();
 
@@ -100,6 +110,10 @@ struct HardwareOverrides {
     double spare_column_fraction = 0.15;
     /// Adjacency pool cap.
     std::size_t max_adjacency_pool = 48;
+    /// Online detection/correction policy (reram/online_tolerance.hpp).
+    /// Consulted only by the online schemes; appended to key() only when
+    /// enabled so legacy keys stay byte-stable.
+    OnlinePolicySpec online;
 
     std::string key() const;
 };

@@ -1,5 +1,7 @@
 #include "net/protocol.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 
 #include "sim/serialization.hpp"
@@ -22,6 +24,7 @@ struct TypeName {
 constexpr TypeName kTypeNames[] = {
     {WireMessage::Type::kHello, "hello"},
     {WireMessage::Type::kWelcome, "welcome"},
+    {WireMessage::Type::kAuth, "auth"},
     {WireMessage::Type::kAssign, "assign"},
     {WireMessage::Type::kResult, "result"},
     {WireMessage::Type::kCellError, "cell_error"},
@@ -66,6 +69,14 @@ std::string encode_message(const WireMessage& m) {
             break;
         case WireMessage::Type::kWelcome:
             os << ",\"protocol\":" << m.protocol;
+            // Extra members are ignored by decoders that don't know them, so
+            // a challenge-bearing welcome stays wire-compatible with
+            // secretless peers of the same protocol version.
+            if (!m.challenge.empty())
+                os << ",\"challenge\":\"" << json_escape(m.challenge) << '"';
+            break;
+        case WireMessage::Type::kAuth:
+            os << ",\"proof\":\"" << json_escape(m.proof) << '"';
             break;
         case WireMessage::Type::kAssign:
             os << ",\"job\":" << m.job
@@ -119,6 +130,11 @@ Expected<WireMessage> decode_message(const std::string& payload) {
                 break;
             case WireMessage::Type::kWelcome:
                 m.protocol = static_cast<int>(required(v, "protocol").as_u64());
+                if (const JsonValue* challenge = v.find("challenge"))
+                    m.challenge = challenge->as_string();
+                break;
+            case WireMessage::Type::kAuth:
+                m.proof = required(v, "proof").as_string();
                 break;
             case WireMessage::Type::kAssign: {
                 m.job = required(v, "job").as_u64();
@@ -182,10 +198,78 @@ WireMessage make_hello(const std::string& role) {
     return m;
 }
 
-WireMessage make_welcome() {
+WireMessage make_welcome(const std::string& challenge) {
     WireMessage m;
     m.type = WireMessage::Type::kWelcome;
+    m.challenge = challenge;
     return m;
+}
+
+WireMessage make_auth(const std::string& proof) {
+    WireMessage m;
+    m.type = WireMessage::Type::kAuth;
+    m.proof = proof;
+    return m;
+}
+
+std::string auth_proof(const std::string& secret, const std::string& challenge,
+                       const std::string& role) {
+    // FNV-1a over secret:challenge:role, then a splitmix-style finalizer —
+    // deterministic across platforms, never leaks the secret itself. See the
+    // header: a handshake gate, not cryptography.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto fold = [&h](const std::string& s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= static_cast<unsigned char>(':');
+        h *= 1099511628211ull;
+    };
+    fold(secret);
+    fold(challenge);
+    fold(role);
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+Expected<bool> client_handshake(Socket& socket, const std::string& role,
+                                const std::string& secret, int timeout_ms) {
+    if (!send_message(socket, make_hello(role)).ok())
+        return Expected<bool>::failure("hello send failed");
+    Expected<std::optional<WireMessage>> welcome =
+        recv_message(socket, timeout_ms);
+    if (!welcome.ok())
+        return Expected<bool>::failure("handshake failed: " + welcome.error());
+    if (!welcome.value().has_value())
+        return Expected<bool>::failure(
+            "coordinator closed the connection during the handshake");
+    const WireMessage& w = *welcome.value();
+    if (w.type != WireMessage::Type::kWelcome)
+        return Expected<bool>::failure(std::string("expected welcome, got ") +
+                                       wire_type_name(w.type));
+    if (w.protocol != kProtocolVersion)
+        return Expected<bool>::failure(
+            "protocol mismatch: coordinator speaks " +
+            std::to_string(w.protocol) + ", this build speaks " +
+            std::to_string(kProtocolVersion));
+    if (!w.challenge.empty()) {
+        if (secret.empty())
+            return Expected<bool>::failure(
+                "coordinator requires a shared secret (--secret or "
+                "FARE_FABRIC_SECRET)");
+        if (!send_message(socket,
+                          make_auth(auth_proof(secret, w.challenge, role)))
+                 .ok())
+            return Expected<bool>::failure("auth send failed");
+    }
+    return true;
 }
 
 WireMessage make_assign(std::uint64_t job, const CellSpec& spec) {

@@ -1,7 +1,9 @@
 // The sweep-fabric message vocabulary, carried as one JSON object per frame
 // (net/frame.hpp). Nine message types cover the whole protocol:
 //
-//   handshake   hello (worker|submitter) -> welcome
+//   handshake   hello (worker|submitter) -> welcome [challenge] -> auth
+//               (the auth leg only when the coordinator holds a shared
+//               secret; see auth_proof below)
 //   dealing     assign (full CellSpec; keys are not invertible) -> result
 //               | cell_error (the cell threw on the worker)
 //   liveness    heartbeat (worker -> coordinator, periodic, also while busy)
@@ -33,7 +35,8 @@ inline constexpr const char* kRoleSubmitter = "submitter";
 struct WireMessage {
     enum class Type {
         kHello,      ///< role, protocol
-        kWelcome,    ///< protocol
+        kWelcome,    ///< protocol, challenge? (present iff auth is required)
+        kAuth,       ///< proof — answer to the welcome challenge
         kAssign,     ///< job, spec
         kResult,     ///< job, result
         kCellError,  ///< job, error — the cell raised on the worker
@@ -54,6 +57,8 @@ struct WireMessage {
     std::uint64_t index = 0;               ///< cell: plan index
     std::uint64_t cells = 0;               ///< done: cells streamed
     std::string error;                     ///< cell_error / done
+    std::string challenge;                 ///< welcome: "" = no auth required
+    std::string proof;                     ///< auth
 };
 
 const char* wire_type_name(WireMessage::Type type);
@@ -65,9 +70,25 @@ std::string encode_message(const WireMessage& message);
 /// and over-deep documents are Expected errors.
 Expected<WireMessage> decode_message(const std::string& payload);
 
+/// Challenge/response proof for the shared-secret handshake: a stable hash
+/// of secret:challenge:role, so the secret itself never crosses the wire.
+/// This authenticates peers on a trusted LAN (a typo'd --secret, a stray
+/// process); it is NOT cryptography — run the fabric inside a trust
+/// boundary, exactly as before.
+std::string auth_proof(const std::string& secret, const std::string& challenge,
+                       const std::string& role);
+
+/// Client side of the handshake shared by workers and submitters: send
+/// hello, await welcome, answer its challenge (if any) with auth_proof.
+/// Failure reasons include a protocol mismatch and "coordinator requires a
+/// shared secret" when a challenge arrives with no secret configured.
+Expected<bool> client_handshake(Socket& socket, const std::string& role,
+                                const std::string& secret, int timeout_ms);
+
 // Convenience composers for the fixed-shape messages.
 WireMessage make_hello(const std::string& role);
-WireMessage make_welcome();
+WireMessage make_welcome(const std::string& challenge = "");
+WireMessage make_auth(const std::string& proof);
 WireMessage make_assign(std::uint64_t job, const CellSpec& spec);
 WireMessage make_result(std::uint64_t job, const CellResult& result);
 WireMessage make_cell_error(std::uint64_t job, const std::string& error);

@@ -55,9 +55,20 @@ public:
 
     /// Wear: add faults on top of the existing maps (post-deployment).
     /// Returns the number of faults actually added (the Poisson draws may
-    /// yield zero — callers skip their BIST refresh then).
-    std::size_t inject_post_deployment_faults(double added_density,
-                                              double sa1_fraction, Rng& rng);
+    /// yield zero — callers skip their BIST refresh then). When `touched`
+    /// is non-null the flat indices of crossbars that received at least one
+    /// fault are appended to it (online detection-latency bookkeeping).
+    std::size_t inject_post_deployment_faults(
+        double added_density, double sa1_fraction, Rng& rng,
+        std::vector<std::size_t>* touched = nullptr);
+
+    /// Soft-error arrival: like inject_post_deployment_faults but the placed
+    /// stuck-ats are *soft* — re-formable by the online correction path
+    /// (Crossbar::reform). Schemes without online correction see them as
+    /// ordinary permanent stuck-ats.
+    std::size_t inject_soft_faults(double added_density, double sa1_fraction,
+                                   Rng& rng,
+                                   std::vector<std::size_t>* touched = nullptr);
 
     /// Run BIST across all crossbars; returns one detected map per crossbar.
     std::vector<FaultMap> bist_scan_all();

@@ -46,4 +46,15 @@ std::uint8_t Crossbar::stored(std::uint16_t row, std::uint16_t col) const {
     return cells_[index(row, col)];
 }
 
+bool Crossbar::reform(std::uint16_t row, std::uint16_t col, std::uint32_t pulses) {
+    FARE_CHECK(row < rows_ && col < cols_, "reform position out of range");
+    FARE_CHECK(pulses > 0, "reform needs at least one pulse");
+    writes_ += pulses;
+    const std::uint32_t cell_count = (cell_writes_[index(row, col)] += pulses);
+    if (cell_count > max_cell_extra_) max_cell_extra_ = cell_count;
+    if (faults_.is_faulty(row, col) && faults_.is_soft(row, col))
+        faults_.clear(row, col);
+    return !faults_.is_faulty(row, col);
+}
+
 }  // namespace fare

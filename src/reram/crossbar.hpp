@@ -47,6 +47,12 @@ public:
     /// cannot observe this).
     std::uint8_t stored(std::uint16_t row, std::uint16_t col) const;
 
+    /// Apply `pulses` re-forming program pulses to a cell: each pulse counts
+    /// as one write (repair itself causes wear). A *soft* stuck-at clears;
+    /// a hard fault survives the pulse train. Returns true iff the cell is
+    /// healthy afterwards.
+    bool reform(std::uint16_t row, std::uint16_t col, std::uint32_t pulses);
+
     /// Charge `count` array-level writes: every cell's endurance counter
     /// advances by `count` without changing stored levels. O(1) — this is
     /// the per-training-step accounting hook (the functional simulator does

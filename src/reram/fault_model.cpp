@@ -8,18 +8,37 @@
 namespace fare {
 
 FaultMap::FaultMap(std::uint16_t rows, std::uint16_t cols)
-    : rows_(rows), cols_(cols), grid_(static_cast<std::size_t>(rows) * cols, 0) {}
+    : rows_(rows),
+      cols_(cols),
+      grid_(static_cast<std::size_t>(rows) * cols, 0),
+      soft_(static_cast<std::size_t>(rows) * cols, 0) {}
 
-void FaultMap::add(std::uint16_t row, std::uint16_t col, FaultType type) {
+void FaultMap::add(std::uint16_t row, std::uint16_t col, FaultType type,
+                   bool soft) {
     FARE_CHECK(row < rows_ && col < cols_, "fault position out of range");
-    auto& cell = grid_[index(row, col)];
+    const std::size_t i = index(row, col);
+    auto& cell = grid_[i];
     if (cell == static_cast<std::uint8_t>(FaultType::kSA0)) --num_sa0_;
     if (cell == static_cast<std::uint8_t>(FaultType::kSA1)) --num_sa1_;
+    if (soft_[i] != 0) --num_soft_;
     cell = static_cast<std::uint8_t>(type);
+    soft_[i] = soft ? 1 : 0;
+    if (soft) ++num_soft_;
     if (type == FaultType::kSA0)
         ++num_sa0_;
     else
         ++num_sa1_;
+}
+
+void FaultMap::clear(std::uint16_t row, std::uint16_t col) {
+    FARE_CHECK(row < rows_ && col < cols_, "fault position out of range");
+    const std::size_t i = index(row, col);
+    auto& cell = grid_[i];
+    if (cell == static_cast<std::uint8_t>(FaultType::kSA0)) --num_sa0_;
+    if (cell == static_cast<std::uint8_t>(FaultType::kSA1)) --num_sa1_;
+    if (soft_[i] != 0) --num_soft_;
+    cell = 0;
+    soft_[i] = 0;
 }
 
 std::optional<FaultType> FaultMap::at(std::uint16_t row, std::uint16_t col) const {
@@ -96,11 +115,13 @@ std::vector<FaultMap> inject_faults(std::size_t num_crossbars, std::uint16_t row
 
 std::size_t inject_additional_faults(std::vector<FaultMap>& maps,
                                      double added_density, double sa1_fraction,
-                                     Rng& rng) {
+                                     Rng& rng, bool soft,
+                                     std::vector<std::size_t>* touched) {
     FARE_CHECK(added_density >= 0.0 && added_density <= 1.0,
                "added density must lie in [0,1]");
     std::size_t total_placed = 0;
-    for (auto& map : maps) {
+    for (std::size_t m = 0; m < maps.size(); ++m) {
+        auto& map = maps[m];
         const std::size_t cells =
             static_cast<std::size_t>(map.rows()) * map.cols();
         const double mean = added_density * static_cast<double>(cells);
@@ -115,9 +136,10 @@ std::size_t inject_additional_faults(std::vector<FaultMap>& maps,
             if (map.is_faulty(r, c)) continue;
             const FaultType t =
                 rng.next_bool(sa1_fraction) ? FaultType::kSA1 : FaultType::kSA0;
-            map.add(r, c, t);
+            map.add(r, c, t, soft);
             ++placed;
         }
+        if (placed > 0 && touched != nullptr) touched->push_back(m);
         total_placed += placed;
     }
     return total_placed;

@@ -34,14 +34,27 @@ public:
     std::uint16_t rows() const { return rows_; }
     std::uint16_t cols() const { return cols_; }
 
-    /// Add (or overwrite) a fault at a cell.
-    void add(std::uint16_t row, std::uint16_t col, FaultType type);
+    /// Add (or overwrite) a fault at a cell. `soft` marks a transient
+    /// (re-formable) stuck-at: it corrupts reads and is BIST-detected exactly
+    /// like a hard fault, but a re-forming pulse train (Crossbar::reform)
+    /// can clear it. Hard faults are permanent.
+    void add(std::uint16_t row, std::uint16_t col, FaultType type,
+             bool soft = false);
+
+    /// Remove the fault at a cell (no-op when healthy). Used by the online
+    /// correction path after a successful re-form.
+    void clear(std::uint16_t row, std::uint16_t col);
 
     /// Fault at a cell, if any.
     std::optional<FaultType> at(std::uint16_t row, std::uint16_t col) const;
 
     bool is_faulty(std::uint16_t row, std::uint16_t col) const {
         return grid_[index(row, col)] != 0;
+    }
+
+    /// True iff the cell holds a *soft* (re-formable) fault.
+    bool is_soft(std::uint16_t row, std::uint16_t col) const {
+        return soft_[index(row, col)] != 0;
     }
 
     /// All faults, sorted by (row, col).
@@ -53,6 +66,7 @@ public:
     std::size_t num_faults() const { return num_sa0_ + num_sa1_; }
     std::size_t num_sa0() const { return num_sa0_; }
     std::size_t num_sa1() const { return num_sa1_; }
+    std::size_t num_soft() const { return num_soft_; }
 
     /// Fraction of faulty cells.
     double fault_density() const;
@@ -65,8 +79,10 @@ private:
     std::uint16_t rows_ = 0;
     std::uint16_t cols_ = 0;
     std::vector<std::uint8_t> grid_;  // 0 = healthy, else FaultType
+    std::vector<std::uint8_t> soft_;  // 1 = re-formable (soft) fault
     std::size_t num_sa0_ = 0;
     std::size_t num_sa1_ = 0;
+    std::size_t num_soft_ = 0;
 };
 
 /// Injection parameters (paper §V-A).
@@ -92,10 +108,13 @@ std::vector<FaultMap> inject_faults(std::size_t num_crossbars, std::uint16_t row
 
 /// Add post-deployment faults on top of existing maps: `added_density` more
 /// of each crossbar's cells become faulty (skipping already-faulty cells).
-/// Returns the number of faults placed.
+/// Returns the number of faults placed. `soft` marks the placed faults as
+/// re-formable; when `touched` is non-null, the indices of maps that gained
+/// at least one fault are appended to it.
 std::size_t inject_additional_faults(std::vector<FaultMap>& maps,
                                      double added_density, double sa1_fraction,
-                                     Rng& rng);
+                                     Rng& rng, bool soft = false,
+                                     std::vector<std::size_t>* touched = nullptr);
 
 /// Aggregate density over a set of crossbars.
 double mean_fault_density(const std::vector<FaultMap>& maps);

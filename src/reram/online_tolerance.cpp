@@ -1,0 +1,172 @@
+#include "reram/online_tolerance.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "reram/bist.hpp"
+
+namespace fare {
+
+void OnlineToleranceEngine::note_arrivals(
+    std::uint64_t step, const std::vector<std::size_t>& touched) {
+    for (std::size_t xb : touched) {
+        auto it = pending_arrivals_.find(xb);
+        // Keep the *earliest* pending arrival: latency is measured from the
+        // first damage the next march of this crossbar will discover.
+        if (it == pending_arrivals_.end())
+            pending_arrivals_.emplace(xb, step);
+    }
+}
+
+double OnlineToleranceEngine::signature_error(
+    const Crossbar& xbar, const CrossbarRepair* repair,
+    const std::set<std::uint32_t>* known) const {
+    std::uint64_t abs_err = 0;
+    for (std::uint16_t r = 0; r < xbar.rows(); ++r)
+        for (std::uint16_t c = 0; c < xbar.cols(); ++c) {
+            if (repair != nullptr && repair->substituted.count(c) > 0)
+                continue;  // reads routed to the fault-free spare
+            if (known != nullptr &&
+                known->count((static_cast<std::uint32_t>(r) << 16) | c) > 0)
+                continue;  // folded into the fault-adjusted golden value
+            const int delta = static_cast<int>(xbar.read(r, c)) -
+                              static_cast<int>(xbar.stored(r, c));
+            abs_err += static_cast<std::uint64_t>(std::abs(delta));
+        }
+    const double cells = static_cast<double>(xbar.rows()) *
+                         static_cast<double>(xbar.cols());
+    return static_cast<double>(abs_err) /
+           (static_cast<double>(Crossbar::max_level()) * cells);
+}
+
+void OnlineToleranceEngine::repair_crossbar(std::uint64_t step,
+                                            Accelerator& accel, std::size_t xb,
+                                            OnlineRoundOutcome& outcome) {
+    Crossbar& xbar = accel.crossbar(xb);
+    // Targeted march: exact detection, but the march writes wear the cells.
+    const BistResult scan = bist_scan(xbar);
+    outcome.march_cell_ops += scan.cell_ops;
+
+    CrossbarRepair& repair = repairs_[xb];
+    std::set<std::uint32_t>& known = known_[xb];
+    std::map<std::uint16_t, std::size_t> hard_cols;  // col -> hard fault count
+    for (const CellFault& f : scan.detected.all_faults()) {
+        if (repair.substituted.count(f.col) > 0) continue;  // already on spare
+        const std::uint32_t cell_key =
+            (static_cast<std::uint32_t>(f.row) << 16) | f.col;
+        if (known.insert(cell_key).second) {
+            ++stats_.faults_detected;
+            outcome.state_changed = true;
+        }
+        if (xbar.fault_map().is_soft(f.row, f.col)) {
+            // Targeted re-programming: forming pulses clear the soft
+            // stuck-at; the pulses are charged as writes (repair wears).
+            xbar.reform(f.row, f.col, spec_.reprogram_pulses);
+            outcome.repair_pulses += spec_.reprogram_pulses;
+            stats_.repair_writes += spec_.reprogram_pulses;
+            ++stats_.soft_repaired;
+            known.erase(cell_key);  // healthy again; a re-fail counts anew
+            outcome.state_changed = true;
+        } else {
+            ++hard_cols[f.col];
+        }
+    }
+
+    // Redundant-column substitution: worst hard columns first (count desc,
+    // column asc — fully deterministic) while spares remain.
+    std::vector<std::pair<std::uint16_t, std::size_t>> order(hard_cols.begin(),
+                                                             hard_cols.end());
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                         if (a.second != b.second) return a.second > b.second;
+                         return a.first < b.first;
+                     });
+    std::size_t uncovered = 0;
+    for (const auto& [col, count] : order) {
+        (void)count;
+        if (repair.substituted.size() < spec_.spare_columns) {
+            repair.substituted.insert(col);
+            ++stats_.columns_substituted;
+            outcome.state_changed = true;
+        } else {
+            ++uncovered;
+        }
+    }
+    // Exhaustion = spares used up with hard faults left uncovered: the
+    // crossbar degrades to fault-aware remap (residual faults stay in the
+    // mitigation view; nothing crashes).
+    repair.exhausted = uncovered > 0;
+
+    // Detection-latency sample: this march discovers everything that arrived
+    // on this crossbar since its last march.
+    auto pending = pending_arrivals_.find(xb);
+    if (pending != pending_arrivals_.end()) {
+        stats_.latency_steps_sum += step - pending->second;
+        ++stats_.latency_samples;
+        pending_arrivals_.erase(pending);
+    }
+}
+
+OnlineRoundOutcome OnlineToleranceEngine::detection_round(
+    std::uint64_t step, Accelerator& accel,
+    const std::vector<std::size_t>& in_use) {
+    OnlineRoundOutcome outcome;
+    ++stats_.detection_rounds;
+    if (in_use.empty()) return outcome;
+
+    // Rotating partial march window.
+    std::set<std::size_t> to_march;
+    const std::size_t window = std::min(spec_.march_window, in_use.size());
+    for (std::size_t k = 0; k < window; ++k)
+        to_march.insert(in_use[(cursor_ + k) % in_use.size()]);
+    cursor_ = (cursor_ + window) % in_use.size();
+
+    // Error-bounded readback everywhere else; escalate noisy crossbars.
+    for (std::size_t xb : in_use) {
+        if (to_march.count(xb) > 0) continue;
+        ++outcome.readback_checks;
+        ++stats_.readback_checks;
+        auto rep = repairs_.find(xb);
+        const CrossbarRepair* repair =
+            rep == repairs_.end() ? nullptr : &rep->second;
+        auto kn = known_.find(xb);
+        const std::set<std::uint32_t>* known =
+            kn == known_.end() ? nullptr : &kn->second;
+        if (signature_error(accel.crossbar(xb), repair, known) >
+            spec_.readback_tolerance)
+            to_march.insert(xb);
+    }
+
+    // March + repair in sorted crossbar order (std::set) — deterministic.
+    for (std::size_t xb : to_march) repair_crossbar(step, accel, xb, outcome);
+    stats_.march_cell_ops += outcome.march_cell_ops;
+
+    std::uint64_t exhausted = 0;
+    for (const auto& [xb, repair] : repairs_)
+        if (repair.exhausted) ++exhausted;
+    stats_.crossbars_exhausted = exhausted;
+    return outcome;
+}
+
+FaultMap OnlineToleranceEngine::repaired_map(std::size_t crossbar_index,
+                                             const FaultMap& truth) const {
+    auto it = repairs_.find(crossbar_index);
+    if (it == repairs_.end() || it->second.substituted.empty()) return truth;
+    FaultMap out(truth.rows(), truth.cols());
+    for (const CellFault& f : truth.all_faults())
+        if (it->second.substituted.count(f.col) == 0)
+            out.add(f.row, f.col, f.type, truth.is_soft(f.row, f.col));
+    return out;
+}
+
+bool OnlineToleranceEngine::exhausted(std::size_t crossbar_index) const {
+    auto it = repairs_.find(crossbar_index);
+    return it != repairs_.end() && it->second.exhausted;
+}
+
+std::size_t OnlineToleranceEngine::spares_used(std::size_t crossbar_index) const {
+    auto it = repairs_.find(crossbar_index);
+    return it == repairs_.end() ? 0 : it->second.substituted.size();
+}
+
+}  // namespace fare

@@ -16,6 +16,8 @@ const char* scheme_name(Scheme s) {
         case Scheme::kClippingOnly: return "Weight Clipping";
         case Scheme::kFARe: return "FARe";
         case Scheme::kRedundantCols: return "Redundant Columns";
+        case Scheme::kOnlineFARe: return "Online FARe";
+        case Scheme::kOnlineNaive: return "Online Naive";
     }
     return "?";
 }
@@ -37,10 +39,13 @@ Expected<Scheme> parse_scheme(const std::string& name) {
     if (lower == "fare") return Scheme::kFARe;
     if (lower == "redundant-columns" || lower == "redundant" || lower == "spare")
         return Scheme::kRedundantCols;
+    if (lower == "online-fare") return Scheme::kOnlineFARe;
+    if (lower == "online-naive" || lower == "online")
+        return Scheme::kOnlineNaive;
     return Expected<Scheme>::failure(
         "unknown scheme: '" + name +
         "' (expected fault-free | fault-unaware | NR | clipping | FARe | "
-        "redundant-columns)");
+        "redundant-columns | online-FARe | online-naive)");
 }
 
 TimingModel::TimingModel(const TimingConfig& config) : config_(config) {
@@ -66,6 +71,26 @@ double TimingModel::host_matching_latency_s(std::size_t n, double f_per_row) con
     const double ops = 8.0 * edges + 4.0 * static_cast<double>(n) *
                                          std::log2(static_cast<double>(n) + 2.0);
     return ops / config_.host_ops_per_sec;
+}
+
+double TimingModel::march_latency_s(std::uint64_t cell_ops) const {
+    // A march pass programs/reads whole rows at a time: cell_ops spread over
+    // the column width, one array cycle per row operation.
+    const double row_ops = static_cast<double>(cell_ops) /
+                           static_cast<double>(config_.tile.crossbar_cols);
+    return row_ops / config_.tile.array_clock_hz;
+}
+
+double TimingModel::readback_latency_s(std::size_t crossbars) const {
+    // One signature MVM wave per crossbar plus a host compare of the
+    // column-sum vector against the stored golden value.
+    const double host_ops = static_cast<double>(config_.tile.crossbar_cols);
+    return static_cast<double>(crossbars) *
+           (crossbar_mvm_latency_s() + host_ops / config_.host_ops_per_sec);
+}
+
+double TimingModel::reprogram_latency_s(std::uint64_t pulses) const {
+    return static_cast<double>(pulses) / config_.tile.array_clock_hz;
 }
 
 double TimingModel::stage_delay_s(const WorkloadTiming& w) const {
@@ -105,8 +130,9 @@ ExecutionBreakdown TimingModel::training_time(Scheme scheme,
                                               const WorkloadTiming& w) const {
     ExecutionBreakdown out;
     const double stage = stage_delay_s(w);
-    const bool clipping =
-        scheme == Scheme::kClippingOnly || scheme == Scheme::kFARe;
+    const bool clipping = scheme == Scheme::kClippingOnly ||
+                          scheme == Scheme::kFARe ||
+                          scheme == Scheme::kOnlineFARe;
     const std::size_t stages = num_stages(w, clipping);
     const std::size_t total_batches = w.batches_per_epoch * w.epochs;
 
@@ -131,7 +157,15 @@ ExecutionBreakdown TimingModel::training_time(Scheme scheme,
         out.stalls = static_cast<double>(total_batches) * (t_match + t_rewrite);
     }
 
-    if (scheme == Scheme::kFARe) {
+    if (scheme == Scheme::kOnlineNaive) {
+        // The rotating partial march replaces the per-epoch full scan; its
+        // steady-state duty cycle is the same order as FARe's BIST refresh.
+        // The *measured* march/readback/reprogram time of a concrete run is
+        // charged separately through SchemeRunResult::online.
+        out.bist = config_.bist_epoch_overhead * out.pipeline;
+    }
+
+    if (scheme == Scheme::kFARe || scheme == Scheme::kOnlineFARe) {
         // Preprocessing on the critical path: only the FIRST batch's mapping
         // — subsequent batches are mapped on the host while the pipeline
         // executes the current one (paper §IV-A: "generates the mapping for
@@ -194,7 +228,7 @@ EnergyBreakdown TimingModel::training_energy(Scheme scheme,
     // batch is mapped somewhere) or per-batch reorder (NR).
     const double per_pair_ops =
         host_matching_latency_s(xb_rows, 8.0) * config_.host_ops_per_sec;
-    if (scheme == Scheme::kFARe) {
+    if (scheme == Scheme::kFARe || scheme == Scheme::kOnlineFARe) {
         const double pairs =
             static_cast<double>(w.batches_per_epoch) *
             static_cast<double>(grid * grid) * 4.0;  // pruned candidates

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/error.hpp"
@@ -32,9 +33,17 @@ enum class Scheme {
     kClippingOnly,   ///< weight clipping [12] alone
     kFARe,           ///< Algorithm 1 mapping + clipping (the paper)
     kRedundantCols,  ///< hardware redundancy [8]: spare columns repair faults
+    kOnlineFARe,     ///< FARe mapping + online detection/correction engine
+    kOnlineNaive,    ///< online detection/correction only (naive mapping)
 };
 
 const char* scheme_name(Scheme s);
+
+/// Schemes that run the in-training detection/correction engine
+/// (reram/online_tolerance.hpp).
+inline bool scheme_is_online(Scheme s) {
+    return s == Scheme::kOnlineFARe || s == Scheme::kOnlineNaive;
+}
 
 /// Parse a scheme by its scheme_name() spelling or a CLI-friendly alias
 /// ("fare", "nr", "clipping", "unaware", "redundant", "fault-free"),
@@ -108,6 +117,19 @@ public:
     /// Host bipartite-matching cost for an n x n cost instance with ~f
     /// relevant fault entries per row (b-Suitor is near-linear in edges).
     double host_matching_latency_s(std::size_t n, double f_per_row) const;
+
+    // --- Online-tolerance cost hooks (reram/online_tolerance.hpp) ---
+
+    /// March over crossbar cells: `cell_ops` BIST cell operations, executed
+    /// row-parallel across the array columns (one array cycle per row pass).
+    double march_latency_s(std::uint64_t cell_ops) const;
+
+    /// Error-bounded readback check of `crossbars` arrays: one MVM signature
+    /// wave each plus the host-side compare against the digital golden value.
+    double readback_latency_s(std::size_t crossbars) const;
+
+    /// Targeted re-programming: `pulses` single-cell program pulses.
+    double reprogram_latency_s(std::uint64_t pulses) const;
 
     /// Delay of one pipeline stage for a workload: max over the aggregation
     /// MVM wavefront, the combination MVM wavefront and the weight update

@@ -31,6 +31,42 @@ ExperimentPlan wear_arrival_plan() {
         .build();
 }
 
+ExperimentPlan online_tolerance_plan() {
+    // Online tolerance study: the wear_arrival damage model (endurance 40k
+    // mean so wear bites mid-run, hot spots concentrating it 8x into a
+    // quarter of the crossbars) plus a soft-error stream — re-formable
+    // stuck-ats arriving at every mid-epoch checkpoint. The offline schemes
+    // see all of it as permanent damage they can only remap around or clip;
+    // the online schemes march a rotating window every detect_period steps,
+    // re-form the soft faults, and substitute spare columns under the hard
+    // ones — paying march/readback time and re-programming wear for the
+    // privilege. The detect-period axis {2, 8} spans eager vs lazy
+    // detection; the non-online schemes' cell keys normalise the online
+    // policy away, so they run once per scheme, not once per axis value.
+    WearSpec wear;
+    wear.weibull_shape = 2.0;
+    wear.hot_spot_severity = 8.0;
+    wear.writes_per_step = 1000;
+    FaultScenario scenario = FaultScenario::pre_deployment(0.01, 0.5);
+    scenario.with_wear(wear).with_arrival_period(2).with_soft_errors(0.004);
+    HardwareOverrides hw;
+    hw.online.detect_period_batches = 2;  // overwritten by the axis
+    hw.online.march_window = 8;
+    hw.online.spare_columns = 4;
+    hw.online.readback_tolerance = 0.05;
+    return SweepBuilder("online_tolerance")
+        .workload(find_workload("PPI", GnnKind::kGCN))
+        .scenario(scenario)
+        .hardware(hw)
+        .endurance_mean(40e3)
+        .hot_spot_fraction(0.25)
+        .detect_periods({2, 8})
+        .schemes({Scheme::kFaultUnaware, Scheme::kFARe, Scheme::kOnlineFARe,
+                  Scheme::kOnlineNaive})
+        .epochs(3)
+        .build();
+}
+
 const std::vector<NamedPlan>& builtin_plans() {
     static const std::vector<NamedPlan> kPlans = {
         {"smoke",
@@ -76,6 +112,11 @@ const std::vector<NamedPlan>& builtin_plans() {
          "hot-spot fraction {0,25%} x {fault-unaware, FARe}, arrivals every "
          "2 steps — the bench_wear_arrival sweep",
          [] { return wear_arrival_plan(); }},
+        {"online_tolerance",
+         "PPI (GCN), live wear + soft-error arrivals, detect period {2,8} x "
+         "{fault-unaware, FARe, online FARe, online naive} — the "
+         "bench_online_tolerance frontier",
+         [] { return online_tolerance_plan(); }},
         {"fig5",
          "the full Fig. 5 accuracy grid (180 cells) — the sweep worth "
          "sharding across machines",

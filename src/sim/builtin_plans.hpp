@@ -30,4 +30,11 @@ ExperimentPlan find_builtin_plan(const std::string& name);
 /// Every knob is documented in docs/fault_models.md.
 ExperimentPlan wear_arrival_plan();
 
+/// The online_tolerance sweep (also registered as the built-in
+/// "online_tolerance"): live wear + soft-error arrivals mid-epoch, swept over
+/// the online detection cadence for {fault-unaware, FARe, online FARe,
+/// online naive} — the bench_online_tolerance frontier. Knobs documented in
+/// docs/fault_models.md ("Online detection & correction").
+ExperimentPlan online_tolerance_plan();
+
 }  // namespace fare

@@ -22,6 +22,7 @@
 // Exit codes: 0 success, 1 execution/merge failure, 2 usage error.
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -88,13 +89,17 @@ int usage(std::ostream& os, int code) {
           "                     fails (default 4)\n"
           "    --retry-backoff-ms N\n"
           "                     base re-deal delay, doubling per attempt\n"
-          "                     (default 200)\n\n"
+          "                     (default 200)\n"
+          "    --secret S       shared fabric secret (defaults to the\n"
+          "                     FARE_FABRIC_SECRET environment variable);\n"
+          "                     peers without the matching secret are\n"
+          "                     dropped at handshake\n\n"
           "Run as a long-lived daemon accepting workers and plan\n"
           "submissions over the wire:\n"
           "  fare-run --serve HOST:PORT [--cache-dir DIR] [fleet options]\n\n"
           "Submit a plan to a daemon and stream its results back:\n"
-          "  fare-run --submit NAME@HOST:PORT [--epochs E] [--out PATH]\n"
-          "           [--json PATH] [--canonical]\n\n"
+          "  fare-run --submit NAME@HOST:PORT [--secret S] [--epochs E]\n"
+          "           [--out PATH] [--json PATH] [--canonical]\n\n"
           "Merge shard record files into plan-ordered display JSON:\n"
           "  fare-run --merge OUT IN1 IN2 ... [--canonical]\n\n"
           "Compact a cell cache in place (drop dead lines, fold segments,\n"
@@ -389,9 +394,9 @@ int serve(const net::Endpoint& endpoint, const SessionOptions& session_options,
 
 /// --submit NAME@HOST:PORT: the daemon's client. Collects the streamed
 /// cells and writes the same outputs a local run would.
-int submit(const std::string& spec, std::optional<std::size_t> epochs,
-           const std::string& out_path, const std::string& json_path,
-           bool canonical) {
+int submit(const std::string& spec, const std::string& secret,
+           std::optional<std::size_t> epochs, const std::string& out_path,
+           const std::string& json_path, bool canonical) {
     const std::size_t at = spec.find('@');
     if (at == std::string::npos || at == 0) {
         std::cerr << "fare-run: --submit wants NAME@HOST:PORT, got '" << spec
@@ -415,16 +420,10 @@ int submit(const std::string& spec, std::optional<std::size_t> epochs,
         return 1;
     }
     net::Socket socket = std::move(connected).value();
-    if (!net::send_message(socket, net::make_hello(net::kRoleSubmitter)).ok()) {
-        std::cerr << "fare-run: handshake send failed\n";
-        return 1;
-    }
-    const Expected<std::optional<net::WireMessage>> welcome =
-        net::recv_message(socket, 10000);
-    if (!welcome.ok() || !welcome.value().has_value() ||
-        welcome.value()->type != net::WireMessage::Type::kWelcome) {
-        std::cerr << "fare-run: daemon refused the connection"
-                  << (welcome.ok() ? "" : ": " + welcome.error()) << '\n';
+    const Expected<bool> shaken =
+        net::client_handshake(socket, net::kRoleSubmitter, secret, 10000);
+    if (!shaken.ok()) {
+        std::cerr << "fare-run: " << shaken.error() << '\n';
         return 1;
     }
     std::optional<std::uint64_t> wire_epochs;
@@ -503,6 +502,8 @@ int run(int argc, char** argv) {
     bool canonical = false, stats = false, stream = false, quiet = false;
     bool list_plans = false, merging = false, cache_compact = false;
     std::uint64_t cache_max_bytes = 0;
+    if (const char* env_secret = std::getenv("FARE_FABRIC_SECRET"))
+        fabric.secret = env_secret;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -556,6 +557,7 @@ int run(int argc, char** argv) {
         }
         else if (arg == "--retry-backoff-ms")
             fabric.retry_backoff_ms = parse_ms(arg, value());
+        else if (arg == "--secret") fabric.secret = value();
         else if (arg == "--merge") {
             merging = true;
             merge_out = value();
@@ -584,7 +586,8 @@ int run(int argc, char** argv) {
     options.cache_dir = cache_dir;
     options.cache_max_bytes = cache_max_bytes;
     if (!submit_spec.empty())
-        return submit(submit_spec, epochs, out_path, json_path, canonical);
+        return submit(submit_spec, fabric.secret, epochs, out_path, json_path,
+                      canonical);
     if (!serve_spec.empty()) {
         const Expected<net::Endpoint> endpoint = net::parse_endpoint(serve_spec);
         if (!endpoint.ok()) {

@@ -4,7 +4,8 @@
 // trains, which is what lets the coordinator tell a slow worker from a dead
 // one. Stateless: the cell cache lives with the coordinator's session.
 //
-//   fare-worker --connect HOST:PORT [--heartbeat-ms N] [--quiet]
+//   fare-worker --connect HOST:PORT [--secret S] [--connect-retry-ms N]
+//               [--heartbeat-ms N] [--quiet]
 //
 // The two fault hooks exist for tests and scripts/fleet_smoke.sh:
 //   --hang-after N   complete N cells, then accept assigns but never answer
@@ -15,6 +16,7 @@
 // Exit codes: 0 clean end-of-stream from the coordinator, 1 connection or
 // protocol failure, 2 usage error.
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -27,6 +29,13 @@ namespace {
 int usage(std::ostream& os, int code) {
     os << "fare-worker — fabric worker for fare-run --listen / --serve\n\n"
           "  fare-worker --connect HOST:PORT [options]\n"
+          "    --secret S        shared fabric secret (defaults to the\n"
+          "                      FARE_FABRIC_SECRET environment variable);\n"
+          "                      required when the coordinator runs with one\n"
+          "    --connect-retry-ms N\n"
+          "                      keep retrying a refused connection for N ms\n"
+          "                      before giving up (default 10000, 0 = one\n"
+          "                      attempt) — lets workers start first\n"
           "    --heartbeat-ms N  heartbeat cadence (default 1000)\n"
           "    --hang-after N    fault hook: go silent after N cells\n"
           "    --quit-after N    fault hook: drop the link after N cells\n"
@@ -38,6 +47,9 @@ int run(int argc, char** argv) {
     std::string endpoint;
     WorkerOptions options;
     options.log = &std::cerr;
+    options.connect_retry_ms = 10000;
+    if (const char* env_secret = std::getenv("FARE_FABRIC_SECRET"))
+        options.secret = env_secret;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -47,7 +59,13 @@ int run(int argc, char** argv) {
         };
         if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
         if (arg == "--connect") endpoint = value();
-        else if (arg == "--heartbeat-ms") {
+        else if (arg == "--secret") options.secret = value();
+        else if (arg == "--connect-retry-ms") {
+            const Expected<double> n = parse_double(value());
+            if (!n || n.value() < 0)
+                throw InvalidArgument("bad --connect-retry-ms");
+            options.connect_retry_ms = static_cast<int>(n.value());
+        } else if (arg == "--heartbeat-ms") {
             const Expected<double> n = parse_double(value());
             if (!n || n.value() < 1) throw InvalidArgument("bad --heartbeat-ms");
             options.heartbeat_interval_ms = static_cast<int>(n.value());

@@ -53,6 +53,9 @@ std::string CellSpec::label() const {
             if (faults.wear.hot_spot_fraction > 0.0)
                 os << " hot=" << fmt_pct(faults.wear.hot_spot_fraction, 0);
         }
+        if (scheme_is_online(scheme) && hardware.online.enabled())
+            os << " dp=" << hardware.online.detect_period_batches
+               << " sc=" << hardware.online.spare_columns;
     }
     if (mode == CellMode::kDeploy) os << " / deploy";
     os << " / seed " << seed;
@@ -63,6 +66,11 @@ std::string CellSpec::key() const {
     // Ideal hardware ignores the scenario and chip knobs entirely; collapse
     // them so every density row's fault-free entry shares one cached run.
     const bool ideal = scheme == Scheme::kFaultFree;
+    // Only the online schemes consult the online policy: normalise it away
+    // for everyone else so a sweep over detect periods / spare columns /
+    // readback tolerances shares one cached run per non-online scheme.
+    HardwareOverrides hw = hardware;
+    if (!scheme_is_online(scheme)) hw.online = OnlinePolicySpec{};
     std::ostringstream os;
     // Epochs are recorded post-resolution (the FARE_EPOCHS default included)
     // so a session outliving an env change never serves a stale budget.
@@ -72,7 +80,7 @@ std::string CellSpec::key() const {
        << "|epochs=" << train_config().epochs
        << "|" << (ideal ? std::string("ideal")
                         : "hwseed=" + std::to_string(hardware_seed.value_or(seed)) +
-                              "|" + faults.key() + "|" + hardware.key());
+                              "|" + faults.key() + "|" + hw.key());
     return os.str();
 }
 
@@ -160,6 +168,28 @@ SweepBuilder& SweepBuilder::arrival_periods(
     arrival_periods_ = batches;
     return *this;
 }
+SweepBuilder& SweepBuilder::detect_period(std::size_t steps) {
+    return detect_periods({steps});
+}
+SweepBuilder& SweepBuilder::detect_periods(const std::vector<std::size_t>& steps) {
+    detect_periods_ = steps;
+    return *this;
+}
+SweepBuilder& SweepBuilder::spare_columns(std::size_t columns) {
+    return spare_columns(std::vector<std::size_t>{columns});
+}
+SweepBuilder& SweepBuilder::spare_columns(const std::vector<std::size_t>& columns) {
+    spare_columns_ = columns;
+    return *this;
+}
+SweepBuilder& SweepBuilder::readback_tolerance(double tolerance) {
+    return readback_tolerances({tolerance});
+}
+SweepBuilder& SweepBuilder::readback_tolerances(
+    const std::vector<double>& tolerances) {
+    readback_tolerances_ = tolerances;
+    return *this;
+}
 SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
 SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
     seeds_ = s;
@@ -201,9 +231,13 @@ std::size_t SweepBuilder::size() const {
     const std::size_t wears = endurance_means_ ? endurance_means_->size() : 1;
     const std::size_t hots = hot_spot_fractions_ ? hot_spot_fractions_->size() : 1;
     const std::size_t arrivals = arrival_periods_ ? arrival_periods_->size() : 1;
+    const std::size_t detects = detect_periods_ ? detect_periods_->size() : 1;
+    const std::size_t spares = spare_columns_ ? spare_columns_->size() : 1;
+    const std::size_t tols =
+        readback_tolerances_ ? readback_tolerances_->size() : 1;
     return workloads_.size() * densities * sa1s * clusters * posts * spans *
-           noises * clips * wears * hots * arrivals * schemes_.size() *
-           seeds_.size();
+           noises * clips * wears * hots * arrivals * detects * spares * tols *
+           schemes_.size() * seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -239,6 +273,17 @@ ExperimentPlan SweepBuilder::build() const {
     const std::vector<std::size_t> arrivals =
         arrival_periods_ ? *arrival_periods_
                          : std::vector<std::size_t>{scenario_.arrival_period_batches};
+    const std::vector<std::size_t> detects =
+        detect_periods_
+            ? *detect_periods_
+            : std::vector<std::size_t>{hardware_.online.detect_period_batches};
+    const std::vector<std::size_t> spares =
+        spare_columns_ ? *spare_columns_
+                       : std::vector<std::size_t>{hardware_.online.spare_columns};
+    const std::vector<double> tols =
+        readback_tolerances_
+            ? *readback_tolerances_
+            : std::vector<double>{hardware_.online.readback_tolerance};
     // Catch typo'd axis values at build time, not mid-sweep on a worker.
     for (const double d : densities)
         FARE_CHECK(d >= 0.0 && d <= 1.0,
@@ -261,24 +306,27 @@ ExperimentPlan SweepBuilder::build() const {
     for (const double hot : hots)
         FARE_CHECK(hot >= 0.0 && hot <= 1.0,
                    "sweep '" + name_ + "': hot-spot fraction outside [0,1]");
+    for (const double tol : tols)
+        FARE_CHECK(tol >= 0.0,
+                   "sweep '" + name_ + "': readback tolerance must be >= 0");
 
     ExperimentPlan plan;
     plan.name = name_;
     plan.cells.reserve(size());
-    // The full cross-product is 13 axes deep; index-odometer enumeration
+    // The full cross-product is 16 axes deep; index-odometer enumeration
     // replaces the nested-loop pyramid while keeping the documented
     // workload-major order (rightmost axis spins fastest).
     const std::size_t extents[] = {
         workloads_.size(), densities.size(), sa1s.size(),     clusters.size(),
         posts.size(),      spans.size(),     noises.size(),   clips.size(),
-        endurances.size(), hots.size(),      arrivals.size(), schemes_.size(),
-        seeds_.size()};
+        endurances.size(), hots.size(),      arrivals.size(), detects.size(),
+        spares.size(),     tols.size(),      schemes_.size(), seeds_.size()};
     constexpr std::size_t kAxes = sizeof(extents) / sizeof(extents[0]);
     std::size_t index[kAxes] = {};
     for (std::size_t produced = 0; produced < size(); ++produced) {
         CellSpec cell;
         cell.workload = workloads_[index[0]];
-        cell.scheme = schemes_[index[11]];
+        cell.scheme = schemes_[index[14]];
         cell.faults = scenario_;
         cell.faults.density = densities[index[1]];
         cell.faults.sa1_fraction = sa1s[index[2]];
@@ -293,14 +341,17 @@ ExperimentPlan SweepBuilder::build() const {
             cell.faults.post_sa1_fraction = sa1s[index[2]];
         cell.hardware = hardware_;
         cell.hardware.clip_threshold = clips[index[7]];
+        cell.hardware.online.detect_period_batches = detects[index[11]];
+        cell.hardware.online.spare_columns = spares[index[12]];
+        cell.hardware.online.readback_tolerance = tols[index[13]];
         cell.mode = mode_;
         cell.record_curve = record_curve_;
         cell.epochs = epochs_;
-        cell.seed = seeds_[index[12]];
+        cell.seed = seeds_[index[15]];
         if (seed_policy_ == SeedPolicy::kDerived) {
             CellSpec coords = cell;  // key() sans seed
             coords.seed = 0;
-            cell.seed = splitmix64(seeds_[index[12]] ^ fnv1a(coords.key()));
+            cell.seed = splitmix64(seeds_[index[15]] ^ fnv1a(coords.key()));
         }
         plan.cells.push_back(std::move(cell));
         for (std::size_t axis = kAxes; axis-- > 0;) {

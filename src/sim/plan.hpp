@@ -84,7 +84,8 @@ struct ExperimentPlan {
 /// SA1 fraction, then cluster shape, then post-deployment density, then
 /// post-deployment epoch span, then read-noise sigma, then clip threshold,
 /// then write-endurance mean, then hot-spot fraction, then arrival period,
-/// then scheme, then seed — the row/column order the paper's tables use.
+/// then detect period, then spare columns, then readback tolerance, then
+/// scheme, then seed — the row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
@@ -130,6 +131,20 @@ public:
     /// the template's arrival_period_batches.
     SweepBuilder& arrival_period(std::size_t batches);
     SweepBuilder& arrival_periods(const std::vector<std::size_t>& batches);
+    /// Online detection cadence axis in training steps (0 = online policy
+    /// disabled for that row). Only the online schemes consult it — other
+    /// schemes' cell keys normalise the policy away, so shared rows dedupe.
+    /// Unset: the hardware template's online.detect_period_batches.
+    SweepBuilder& detect_period(std::size_t steps);
+    SweepBuilder& detect_periods(const std::vector<std::size_t>& steps);
+    /// Per-crossbar spare-column budget axis of the online correction
+    /// policy. Unset: the hardware template's online.spare_columns.
+    SweepBuilder& spare_columns(std::size_t columns);
+    SweepBuilder& spare_columns(const std::vector<std::size_t>& columns);
+    /// Readback signature-error escalation threshold axis. Unset: the
+    /// hardware template's online.readback_tolerance.
+    SweepBuilder& readback_tolerance(double tolerance);
+    SweepBuilder& readback_tolerances(const std::vector<double>& tolerances);
     SweepBuilder& seed(std::uint64_t s);
     SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
 
@@ -164,6 +179,9 @@ private:
     std::optional<std::vector<double>> endurance_means_;
     std::optional<std::vector<double>> hot_spot_fractions_;
     std::optional<std::vector<std::size_t>> arrival_periods_;
+    std::optional<std::vector<std::size_t>> detect_periods_;
+    std::optional<std::vector<std::size_t>> spare_columns_;
+    std::optional<std::vector<double>> readback_tolerances_;
     std::vector<std::uint64_t> seeds_{1};
     FaultScenario scenario_;
     HardwareOverrides hardware_;

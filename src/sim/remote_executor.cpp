@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <random>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -78,6 +80,18 @@ struct WorkerPool::Impl {
         *config.log << "fabric: " << line << '\n';
     }
 
+    /// Fresh challenge nonce per handshake; unpredictability (not secrecy)
+    /// is what keeps a recorded proof from replaying.
+    std::string make_challenge() {
+        static std::atomic<std::uint64_t> counter{0};
+        std::random_device rd;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%08x%08x%016llx", rd(), rd(),
+                      static_cast<unsigned long long>(
+                          counter.fetch_add(1) + 1));
+        return buf;
+    }
+
     std::size_t alive_count_locked() const {
         std::size_t n = 0;
         for (const auto& [id, w] : workers)
@@ -120,8 +134,8 @@ struct WorkerPool::Impl {
                 " != " + std::to_string(net::kProtocolVersion));
             return;
         }
+        SubmitterFn handler;
         if (h.role == net::kRoleSubmitter) {
-            SubmitterFn handler;
             {
                 std::lock_guard<std::mutex> lk(mu);
                 handler = submitter;
@@ -130,12 +144,38 @@ struct WorkerPool::Impl {
                 log("refused submitter " + label + " (not in serve mode)");
                 return;
             }
-            if (!net::send_message(sock, net::make_welcome())) return;
+        }
+        // Shared-secret handshake: challenge in the welcome, proof back.
+        // Applies to workers and submitters alike; a wrong or missing proof
+        // costs the connection before the peer touches any plan state.
+        std::string challenge;
+        if (!config.secret.empty()) challenge = make_challenge();
+        if (!net::send_message(sock, net::make_welcome(challenge))) return;
+        if (!challenge.empty()) {
+            Expected<std::optional<WireMessage>> auth =
+                net::recv_message(sock, 5000);
+            if (!auth.ok() || !auth.value().has_value()) {
+                log("dropped " + label + ": no auth proof (" +
+                    (auth.ok() ? "closed" : auth.error()) + ")");
+                return;
+            }
+            const WireMessage& a = *auth.value();
+            if (a.type != WireMessage::Type::kAuth) {
+                log("dropped " + label + ": expected auth, got " +
+                    net::wire_type_name(a.type));
+                return;
+            }
+            if (a.proof != net::auth_proof(config.secret, challenge, h.role)) {
+                log("dropped " + label + ": auth proof mismatch (wrong "
+                    "--secret?)");
+                return;
+            }
+        }
+        if (h.role == net::kRoleSubmitter) {
             log("submitter connected: " + label);
             handler(std::move(sock));
             return;
         }
-        if (!net::send_message(sock, net::make_welcome())) return;
         auto worker = std::make_shared<Worker>();
         worker->socket = std::move(sock);
         worker->label = label;
@@ -466,24 +506,27 @@ void worker_log(const WorkerOptions& options, const std::string& line) {
 
 int run_worker(const std::string& host, std::uint16_t port,
                WorkerOptions options) {
+    // Connect with bounded backoff: workers routinely start before the
+    // coordinator binds its port, so a refused connection within the retry
+    // window is a scheduling race, not an error.
+    const Clock::time_point give_up =
+        Clock::now() + ms(options.connect_retry_ms);
     Expected<net::Socket> connected = net::tcp_connect(host, port);
+    while (!connected.ok() && Clock::now() < give_up) {
+        worker_log(options, "connect failed (" + connected.error() +
+                                "), retrying");
+        std::this_thread::sleep_for(ms(250));
+        connected = net::tcp_connect(host, port);
+    }
     if (!connected.ok()) {
         worker_log(options, connected.error());
         return 1;
     }
     net::Socket socket = std::move(connected).value();
-    if (!net::send_message(socket, net::make_hello(net::kRoleWorker)).ok()) {
-        worker_log(options, "hello failed");
-        return 1;
-    }
-    Expected<std::optional<WireMessage>> welcome =
-        net::recv_message(socket, 10000);
-    if (!welcome.ok() || !welcome.value().has_value() ||
-        welcome.value()->type != WireMessage::Type::kWelcome ||
-        welcome.value()->protocol != net::kProtocolVersion) {
-        worker_log(options, "handshake failed" +
-                                (welcome.ok() ? std::string()
-                                              : ": " + welcome.error()));
+    const Expected<bool> shaken = net::client_handshake(
+        socket, net::kRoleWorker, options.secret, 10000);
+    if (!shaken.ok()) {
+        worker_log(options, shaken.error());
         return 1;
     }
     worker_log(options, "connected to " + host + ":" + std::to_string(port));

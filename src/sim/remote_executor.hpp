@@ -51,6 +51,12 @@ struct FabricConfig {
     int max_attempts = 4;
     /// Base delay before a failed cell is re-dealt; doubles per attempt.
     int retry_backoff_ms = 200;
+    /// Shared secret for the fabric handshake ("" = open, the default).
+    /// When set, every hello is answered with a welcome carrying a
+    /// challenge nonce and the peer must answer with the matching
+    /// auth_proof before it is registered — a wrong or missing proof costs
+    /// the connection (net/protocol.hpp documents the trust model).
+    std::string secret;
     /// Optional log stream for coordinator events (connects, deaths,
     /// re-deals). Null = silent.
     std::ostream* log = nullptr;
@@ -115,6 +121,13 @@ struct WorkerOptions {
     /// Heartbeat send cadence; keep well under the coordinator's
     /// heartbeat_timeout_ms.
     int heartbeat_interval_ms = 1000;
+    /// Shared secret answering the coordinator's challenge ("" = none). A
+    /// challenge with no secret configured fails fast with a clear error.
+    std::string secret;
+    /// Keep retrying a refused/unreachable connection for this long before
+    /// giving up (0 = single attempt). Lets workers start before the
+    /// coordinator binds its port.
+    int connect_retry_ms = 0;
     /// Fault hook — straggler: after completing this many cells, accept
     /// further assigns but never run them (heartbeats keep flowing). 0 = off.
     std::size_t hang_after = 0;

@@ -400,6 +400,7 @@ std::string cell_spec_to_json(const CellSpec& s) {
        << ",\"faults_on_weights\":" << (f.faults_on_weights ? "true" : "false")
        << ",\"faults_on_adjacency\":" << (f.faults_on_adjacency ? "true" : "false")
        << ",\"read_noise_sigma\":" << json_num(f.read_noise_sigma)
+       << ",\"soft_error_rate\":" << json_num(f.soft_error_rate)
        << ",\"wear\":{"
        << "\"endurance_mean_writes\":" << json_num(f.wear.endurance_mean_writes)
        << ",\"weibull_shape\":" << json_num(f.wear.weibull_shape)
@@ -413,7 +414,13 @@ std::string cell_spec_to_json(const CellSpec& s) {
        << ",\"match_sa0\":" << json_num(h.match_weights.sa0)
        << ",\"match_sa1\":" << json_num(h.match_weights.sa1)
        << ",\"spare_column_fraction\":" << json_num(h.spare_column_fraction)
-       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool << "}}";
+       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool
+       << ",\"online\":{"
+       << "\"detect_period_batches\":" << h.online.detect_period_batches
+       << ",\"march_window\":" << h.online.march_window
+       << ",\"readback_tolerance\":" << json_num(h.online.readback_tolerance)
+       << ",\"spare_columns\":" << h.online.spare_columns
+       << ",\"reprogram_pulses\":" << h.online.reprogram_pulses << "}}}";
     return os.str();
 }
 
@@ -424,6 +431,19 @@ std::string cell_result_to_json(const CellResult& r) {
        << ",\"total_mapping_cost\":" << json_num(r.run.total_mapping_cost)
        << ",\"bist_scans\":" << r.run.bist_scans
        << ",\"wear_faults\":" << r.run.wear_faults
+       << ",\"online\":{"
+       << "\"detection_rounds\":" << r.run.online.detection_rounds
+       << ",\"march_cell_ops\":" << r.run.online.march_cell_ops
+       << ",\"readback_checks\":" << r.run.online.readback_checks
+       << ",\"faults_detected\":" << r.run.online.faults_detected
+       << ",\"soft_repaired\":" << r.run.online.soft_repaired
+       << ",\"repair_writes\":" << r.run.online.repair_writes
+       << ",\"columns_substituted\":" << r.run.online.columns_substituted
+       << ",\"crossbars_exhausted\":" << r.run.online.crossbars_exhausted
+       << ",\"latency_steps_sum\":" << r.run.online.latency_steps_sum
+       << ",\"latency_samples\":" << r.run.online.latency_samples
+       << ",\"detect_seconds\":" << json_num(r.run.online.detect_seconds)
+       << ",\"repair_seconds\":" << json_num(r.run.online.repair_seconds) << '}'
        << ",\"train\":{\"test_accuracy\":" << json_num(r.run.train.test_accuracy)
        << ",\"test_macro_f1\":" << json_num(r.run.train.test_macro_f1)
        << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
@@ -484,6 +504,7 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
     faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
     faults.read_noise_sigma = dnum(f, "read_noise_sigma");
+    faults.soft_error_rate = dnum(f, "soft_error_rate");
     const JsonValue& wear = member(f, "wear");
     faults.wear.endurance_mean_writes = dnum(wear, "endurance_mean_writes");
     faults.wear.weibull_shape = dnum(wear, "weibull_shape");
@@ -502,6 +523,16 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     hw.spare_column_fraction = dnum(h, "spare_column_fraction");
     hw.max_adjacency_pool =
         static_cast<std::size_t>(u64(h, "max_adjacency_pool"));
+    const JsonValue& online = member(h, "online");
+    hw.online.detect_period_batches =
+        static_cast<std::size_t>(u64(online, "detect_period_batches"));
+    hw.online.march_window =
+        static_cast<std::size_t>(u64(online, "march_window"));
+    hw.online.readback_tolerance = dnum(online, "readback_tolerance");
+    hw.online.spare_columns =
+        static_cast<std::size_t>(u64(online, "spare_columns"));
+    hw.online.reprogram_pulses =
+        static_cast<std::uint32_t>(u64(online, "reprogram_pulses"));
     return s;
 }
 
@@ -530,6 +561,22 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         r.run.total_mapping_cost = dnum(run, "total_mapping_cost");
         r.run.bist_scans = static_cast<std::size_t>(u64(run, "bist_scans"));
         r.run.wear_faults = static_cast<std::size_t>(u64(run, "wear_faults"));
+        const JsonValue& online = member(run, "online");
+        OnlineToleranceStats& ol = r.run.online;
+        ol.detection_rounds = u64(online, "detection_rounds");
+        ol.march_cell_ops = u64(online, "march_cell_ops");
+        ol.readback_checks = u64(online, "readback_checks");
+        ol.faults_detected = u64(online, "faults_detected");
+        ol.soft_repaired = u64(online, "soft_repaired");
+        ol.repair_writes = u64(online, "repair_writes");
+        ol.columns_substituted = u64(online, "columns_substituted");
+        ol.crossbars_exhausted = u64(online, "crossbars_exhausted");
+        // Latency persists as (sum, samples) raw integers — not the derived
+        // mean — so the record round-trips byte-identically.
+        ol.latency_steps_sum = u64(online, "latency_steps_sum");
+        ol.latency_samples = u64(online, "latency_samples");
+        ol.detect_seconds = dnum(online, "detect_seconds");
+        ol.repair_seconds = dnum(online, "repair_seconds");
         const JsonValue& train = member(run, "train");
         r.run.train.test_accuracy = dnum(train, "test_accuracy");
         r.run.train.test_macro_f1 = dnum(train, "test_macro_f1");
@@ -621,7 +668,13 @@ std::string cell_to_json(const std::string& plan_name, std::size_t index,
            << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
            << ",\"mapping_cost\":" << json_num(r.run.total_mapping_cost)
            << ",\"bist_scans\":" << r.run.bist_scans
-           << ",\"wear_faults\":" << r.run.wear_faults;
+           << ",\"wear_faults\":" << r.run.wear_faults
+           << ",\"detection_rounds\":" << r.run.online.detection_rounds
+           << ",\"repair_writes\":" << r.run.online.repair_writes
+           << ",\"columns_substituted\":" << r.run.online.columns_substituted
+           << ",\"crossbars_exhausted\":" << r.run.online.crossbars_exhausted
+           << ",\"detect_seconds\":" << json_num(r.run.online.detect_seconds)
+           << ",\"repair_seconds\":" << json_num(r.run.online.repair_seconds);
     } else {
         os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
            << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);

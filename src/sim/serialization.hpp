@@ -6,7 +6,8 @@
 //   * the display format (cell_to_json): one flat, self-describing object
 //     per cell for bench/out/BENCH_*.json consumers — lossy (no curve, no
 //     chip overrides); stable since PR 1, extended append-only (wear axes
-//     + wear_faults) by the live-wear PR;
+//     + wear_faults by the live-wear PR, online detection/repair stats by
+//     the online-tolerance PR);
 //   * the record format (CellRecord): schema-versioned envelope
 //     {"schema":N,"plan":...,"key":...,"plan_index":...,"result":{...}}
 //     whose "result" member round-trips every CellResult field exactly
@@ -28,7 +29,9 @@ namespace fare {
 /// JSON changes shape; readers skip records from other versions (the cell
 /// recomputes instead of deserializing wrongly).
 /// v2: FaultScenario wear block + arrival cadence, run.wear_faults.
-inline constexpr int kCellJsonSchemaVersion = 2;
+/// v3: faults.soft_error_rate, hardware.online policy block, run.online
+///     detection/correction stats.
+inline constexpr int kCellJsonSchemaVersion = 3;
 
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& s);

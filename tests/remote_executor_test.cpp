@@ -7,7 +7,13 @@
 //   * a straggler (heartbeating but stuck) is dual-dealt past the cell
 //     deadline; duplicate results resolve deterministically (first wins);
 //   * a cell that keeps failing fails the plan with ResourceError instead
-//     of retrying forever.
+//     of retrying forever;
+//   * with a shared secret configured, only peers holding the secret are
+//     registered — a wrong or missing auth proof costs the connection;
+//   * a worker started before the coordinator retries the refused
+//     connection (bounded backoff) instead of exiting;
+//   * an online-tolerance plan runs byte-identical over the fabric: the
+//     detection/repair logs are part of the serialized cells being compared.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -182,6 +188,110 @@ TEST(RemoteExecutorTest, WaitForWorkersTimesOutWithoutWorkers) {
     Fleet fleet(FabricConfig{}, {});
     EXPECT_EQ(fleet.pool->connected(), 0u);
     EXPECT_FALSE(fleet.pool->wait_for_workers(1, 100));
+}
+
+TEST(RemoteExecutorTest, SharedSecretFleetRunsPlan) {
+    FabricConfig config;
+    config.heartbeat_timeout_ms = 5000;
+    config.secret = "tiger";
+    WorkerOptions with_secret;
+    with_secret.secret = "tiger";
+    Fleet fleet(config, {with_secret, with_secret});
+    EXPECT_EQ(fleet.pool->connected(), 2u);
+
+    const ResultSet results = fleet.run(tiny_plan());
+    EXPECT_EQ(canonical(results), local_reference());
+}
+
+TEST(RemoteExecutorTest, WrongOrMissingSecretIsRefused) {
+    FabricConfig config;
+    config.secret = "tiger";
+    Expected<std::unique_ptr<WorkerPool>> listening =
+        WorkerPool::listen("127.0.0.1", 0, config);
+    ASSERT_TRUE(listening.ok()) << listening.error();
+    std::unique_ptr<WorkerPool> pool = std::move(listening).value();
+
+    // Wrong secret: the proof doesn't match the challenge — the coordinator
+    // drops the connection and the worker sees a clean end-of-stream.
+    WorkerOptions wrong;
+    wrong.secret = "lion";
+    std::thread w1(
+        [port = pool->port(), wrong] { run_worker("127.0.0.1", port, wrong); });
+    // Missing secret: the worker fails fast client-side with a clear error
+    // (the welcome carries a challenge it cannot answer).
+    std::thread w2(
+        [port = pool->port()] { run_worker("127.0.0.1", port, {}); });
+    w1.join();
+    w2.join();
+    EXPECT_FALSE(pool->wait_for_workers(1, 200));
+    EXPECT_EQ(pool->connected(), 0u);
+}
+
+TEST(RemoteExecutorTest, WorkerRetriesUntilCoordinatorAppears) {
+    // Reserve an ephemeral port by briefly binding a pool, then releasing
+    // it; the worker starts first and retries the refused connection until
+    // the real coordinator binds the same port.
+    std::uint16_t port = 0;
+    {
+        Expected<std::unique_ptr<WorkerPool>> probe =
+            WorkerPool::listen("127.0.0.1", 0, FabricConfig{});
+        ASSERT_TRUE(probe.ok()) << probe.error();
+        port = probe.value()->port();
+    }
+
+    WorkerOptions options;
+    options.connect_retry_ms = 10000;
+    std::thread worker(
+        [port, options] { run_worker("127.0.0.1", port, options); });
+    // Let the worker burn a few refused attempts before the port exists.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+    Expected<std::unique_ptr<WorkerPool>> listening =
+        WorkerPool::listen("127.0.0.1", port, FabricConfig{});
+    ASSERT_TRUE(listening.ok()) << listening.error();
+    std::unique_ptr<WorkerPool> pool = std::move(listening).value();
+    EXPECT_TRUE(pool->wait_for_workers(1, 10000));
+    pool.reset();  // hang up -> worker loop ends
+    worker.join();
+}
+
+/// The online-tolerance plan the online_tolerance_test runs through the
+/// Inline and Pool executors — here it crosses the wire, so the serialized
+/// detection/repair logs (schema v3 `online` block) are part of the bytes
+/// being compared.
+ExperimentPlan online_plan() {
+    FaultScenario faults = FaultScenario::pre_deployment(0.01, 0.5);
+    faults.with_wear(40e3, 0.25).with_arrival_period(2).with_soft_errors(0.003);
+    HardwareOverrides hw;
+    hw.online.detect_period_batches = 2;
+    hw.online.march_window = 8;
+    hw.online.spare_columns = 2;
+    hw.online.readback_tolerance = 0.05;
+    return SweepBuilder("online_fabric")
+        .workload(find_workload("PPI", GnnKind::kGCN))
+        .scenario(faults)
+        .hardware(hw)
+        .schemes({Scheme::kOnlineFARe, Scheme::kOnlineNaive})
+        .epochs(2)
+        .build();
+}
+
+TEST(RemoteExecutorTest, OnlinePlanFleetMatchesSingleProcess) {
+    FabricConfig config;
+    config.heartbeat_timeout_ms = 10000;
+    Fleet fleet(config, {WorkerOptions{}, WorkerOptions{}});
+
+    const ResultSet remote = fleet.run(online_plan());
+    SimSession local;
+    const ResultSet reference = local.run(online_plan());
+    ASSERT_EQ(remote.size(), reference.size());
+    EXPECT_EQ(canonical(remote), canonical(reference));
+
+    // The compared bytes carry real online costs, not zeroed stats.
+    for (const CellResult& cell : reference) {
+        EXPECT_GT(cell.run.online.detection_rounds, 0u) << cell.spec.label();
+        EXPECT_GT(cell.run.online.repair_writes, 0u) << cell.spec.label();
+    }
 }
 
 }  // namespace

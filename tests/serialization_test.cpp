@@ -26,12 +26,18 @@ CellResult sample_result() {
     wear.hot_spot_fraction = 0.375;
     wear.hot_spot_severity = 6.5;
     wear.writes_per_step = 1000;
-    r.spec.faults.with_wear(wear).with_arrival_period(3);
+    r.spec.faults.with_wear(wear).with_arrival_period(3).with_soft_errors(
+        0.0025);
     r.spec.hardware.num_tiles = 2;
     r.spec.hardware.clip_threshold = 0.7f;
     r.spec.hardware.match_weights = {1.25, 3.75};
     r.spec.hardware.spare_column_fraction = 0.12;
     r.spec.hardware.max_adjacency_pool = 32;
+    r.spec.hardware.online.detect_period_batches = 4;
+    r.spec.hardware.online.march_window = 6;
+    r.spec.hardware.online.readback_tolerance = 0.015;
+    r.spec.hardware.online.spare_columns = 3;
+    r.spec.hardware.online.reprogram_pulses = 5;
     r.spec.seed = 0xDEADBEEFCAFEF00Dull;  // > 2^53: breaks a double mantissa
     r.spec.hardware_seed = 0xFFFFFFFFFFFFFFFFull;
     r.spec.mode = CellMode::kTrain;
@@ -41,6 +47,18 @@ CellResult sample_result() {
     r.run.total_mapping_cost = 1234.5678;
     r.run.bist_scans = 3;
     r.run.wear_faults = 4242;
+    r.run.online.detection_rounds = 11;
+    r.run.online.march_cell_ops = 987654321;
+    r.run.online.readback_checks = 222;
+    r.run.online.faults_detected = 33;
+    r.run.online.soft_repaired = 21;
+    r.run.online.repair_writes = 63;
+    r.run.online.columns_substituted = 5;
+    r.run.online.crossbars_exhausted = 2;
+    r.run.online.latency_steps_sum = 77;
+    r.run.online.latency_samples = 13;
+    r.run.online.detect_seconds = 0.0123456789;
+    r.run.online.repair_seconds = 1.0 / 7.0;
     r.run.train.test_accuracy = 0.923076923076923;
     r.run.train.test_macro_f1 = 1.0 / 3.0;
     r.run.train.preprocess_seconds = 0.001234;
@@ -76,7 +94,20 @@ TEST(SerializationTest, CellResultRoundTripsExactly) {
     EXPECT_DOUBLE_EQ(r.spec.faults.wear.hot_spot_fraction, 0.375);
     EXPECT_EQ(r.spec.faults.wear.writes_per_step, 1000u);
     EXPECT_EQ(r.spec.faults.arrival_period_batches, 3u);
+    EXPECT_DOUBLE_EQ(r.spec.faults.soft_error_rate, 0.0025);
+    EXPECT_EQ(r.spec.hardware.online.detect_period_batches, 4u);
+    EXPECT_EQ(r.spec.hardware.online.march_window, 6u);
+    EXPECT_DOUBLE_EQ(r.spec.hardware.online.readback_tolerance, 0.015);
+    EXPECT_EQ(r.spec.hardware.online.spare_columns, 3u);
+    EXPECT_EQ(r.spec.hardware.online.reprogram_pulses, 5u);
     EXPECT_EQ(r.run.wear_faults, 4242u);
+    EXPECT_EQ(r.run.online.detection_rounds, 11u);
+    EXPECT_EQ(r.run.online.march_cell_ops, 987654321u);
+    EXPECT_EQ(r.run.online.crossbars_exhausted, 2u);
+    EXPECT_EQ(r.run.online.latency_steps_sum, 77u);
+    EXPECT_EQ(r.run.online.latency_samples, 13u);
+    EXPECT_DOUBLE_EQ(r.run.online.detect_seconds, 0.0123456789);
+    EXPECT_DOUBLE_EQ(r.run.online.repair_seconds, 1.0 / 7.0);
     ASSERT_EQ(r.run.train.curve.size(), 2u);
     EXPECT_FLOAT_EQ(r.run.train.curve[0].train_loss, 0.9f);
     EXPECT_DOUBLE_EQ(r.run.train.curve[1].val_accuracy, 0.7);
