@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace fare {
 
@@ -96,20 +97,12 @@ void BatchGraphView::finalize() {
 
 Matrix BatchGraphView::multiply(const std::vector<float>& vals, const Matrix& x) const {
     FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
-    Matrix y(n_, x.cols());
+    Matrix y(n_, x.cols());  // zero fill: the kernel accumulates
     const std::size_t cols = x.cols();
-    const float* __restrict xp = x.flat().data();
-    const float* __restrict vp = vals.data();
-    float* __restrict yp = y.flat().data();
+    const simd::SimdKernels& k = simd::kernels();
     auto rows_fn = [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-            float* __restrict yrow = yp + r * cols;
-            for (std::size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-                const float w = vp[e];
-                const float* __restrict xrow = xp + cols_[e] * cols;
-                for (std::size_t f = 0; f < cols; ++f) yrow[f] += w * xrow[f];
-            }
-        }
+        k.aggregate_rows(offsets_.data(), cols_.data(), vals.data(),
+                         x.flat().data(), y.flat().data(), r0, r1, cols);
     };
     parallel_row_blocks(n_, cols_.size() * cols, kRowChunk, rows_fn);
     return y;
@@ -117,20 +110,13 @@ Matrix BatchGraphView::multiply(const std::vector<float>& vals, const Matrix& x)
 
 Matrix BatchGraphView::multiply_t(const std::vector<float>& vals, const Matrix& x) const {
     FARE_CHECK(x.rows() == n_, "aggregation input height mismatch");
-    Matrix y(n_, x.cols());
+    Matrix y(n_, x.cols());  // zero fill: the kernel accumulates
     const std::size_t cols = x.cols();
-    const float* __restrict xp = x.flat().data();
-    const float* __restrict vp = vals.data();
-    float* __restrict yp = y.flat().data();
+    const simd::SimdKernels& k = simd::kernels();
     auto rows_fn = [&](std::size_t c0, std::size_t c1) {
-        for (std::size_t c = c0; c < c1; ++c) {
-            float* __restrict yrow = yp + c * cols;
-            for (std::size_t t = t_offsets_[c]; t < t_offsets_[c + 1]; ++t) {
-                const float w = vp[t_edge_[t]];
-                const float* __restrict xrow = xp + t_src_[t] * cols;
-                for (std::size_t f = 0; f < cols; ++f) yrow[f] += w * xrow[f];
-            }
-        }
+        k.aggregate_t_rows(t_offsets_.data(), t_src_.data(), t_edge_.data(),
+                           vals.data(), x.flat().data(), y.flat().data(), c0,
+                           c1, cols);
     };
     parallel_row_blocks(n_, cols_.size() * cols, kRowChunk, rows_fn);
     return y;

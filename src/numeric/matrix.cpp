@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace fare {
 
@@ -91,153 +92,8 @@ bool operator==(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-// Blocked GEMM micro-kernels over raw __restrict pointers. Three invariants:
-//
-//  1. For every output element, partial products accumulate in ascending-k
-//     order into a private register/stack accumulator, regardless of row
-//     blocking, column tiling, or which worker computes the row — so the
-//     threaded result is bit-identical to the serial result, and both are
-//     bit-identical across thread counts.
-//  2. Each output row is written by exactly one worker (kernels take a row
-//     range), so no synchronisation and no non-deterministic reductions.
-//  3. __restrict + stack accumulators let the compiler keep the accumulator
-//     tile in vector registers across the k loop instead of reloading the
-//     output row per step (the old kernels' bottleneck).
-//
-// kColTile bounds the stack accumulators (4 rows x 256 floats = 4 KiB).
-constexpr std::size_t kColTile = 256;
-
-// Rows per parallel chunk: a multiple of the 4-row unroll.
+// Rows per parallel chunk: a multiple of the kernels' 4-row unroll.
 constexpr std::size_t kRowChunk = 32;
-
-/// c[i0..i1) = a[i0..i1) * b for row-major a (M x K), b (K x N), c (M x N).
-void matmul_rows(const float* __restrict a, const float* __restrict b,
-                 float* __restrict c, std::size_t i0, std::size_t i1,
-                 std::size_t cols_a, std::size_t cols_b) {
-    const std::size_t K = cols_a, N = cols_b;
-    for (std::size_t j0 = 0; j0 < N; j0 += kColTile) {
-        const std::size_t jn = std::min(kColTile, N - j0);
-        std::size_t i = i0;
-        for (; i + 4 <= i1; i += 4) {
-            float acc0[kColTile], acc1[kColTile], acc2[kColTile], acc3[kColTile];
-            for (std::size_t j = 0; j < jn; ++j) acc0[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc1[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc2[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc3[j] = 0.0f;
-            const float* __restrict a0 = a + (i + 0) * K;
-            const float* __restrict a1 = a + (i + 1) * K;
-            const float* __restrict a2 = a + (i + 2) * K;
-            const float* __restrict a3 = a + (i + 3) * K;
-            for (std::size_t k = 0; k < K; ++k) {
-                const float* __restrict brow = b + k * N + j0;
-                const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
-                for (std::size_t j = 0; j < jn; ++j) {
-                    const float bj = brow[j];
-                    acc0[j] += v0 * bj;
-                    acc1[j] += v1 * bj;
-                    acc2[j] += v2 * bj;
-                    acc3[j] += v3 * bj;
-                }
-            }
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 0) * N + j0 + j] = acc0[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 1) * N + j0 + j] = acc1[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 2) * N + j0 + j] = acc2[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 3) * N + j0 + j] = acc3[j];
-        }
-        for (; i < i1; ++i) {
-            float acc[kColTile];
-            for (std::size_t j = 0; j < jn; ++j) acc[j] = 0.0f;
-            const float* __restrict arow = a + i * K;
-            for (std::size_t k = 0; k < K; ++k) {
-                const float v = arow[k];
-                const float* __restrict brow = b + k * N + j0;
-                for (std::size_t j = 0; j < jn; ++j) acc[j] += v * brow[j];
-            }
-            for (std::size_t j = 0; j < jn; ++j) c[i * N + j0 + j] = acc[j];
-        }
-    }
-}
-
-/// c[i0..i1) = (a^T)[i0..i1) * b for a (K x M), b (K x N), c (M x N):
-/// output row i reads column i of a.
-void matmul_at_b_rows(const float* __restrict a, const float* __restrict b,
-                      float* __restrict c, std::size_t i0, std::size_t i1,
-                      std::size_t rows_a, std::size_t cols_a, std::size_t cols_b) {
-    const std::size_t K = rows_a, M = cols_a, N = cols_b;
-    for (std::size_t j0 = 0; j0 < N; j0 += kColTile) {
-        const std::size_t jn = std::min(kColTile, N - j0);
-        std::size_t i = i0;
-        for (; i + 4 <= i1; i += 4) {
-            float acc0[kColTile], acc1[kColTile], acc2[kColTile], acc3[kColTile];
-            for (std::size_t j = 0; j < jn; ++j) acc0[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc1[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc2[j] = 0.0f;
-            for (std::size_t j = 0; j < jn; ++j) acc3[j] = 0.0f;
-            for (std::size_t k = 0; k < K; ++k) {
-                const float* __restrict acol = a + k * M + i;
-                const float* __restrict brow = b + k * N + j0;
-                const float v0 = acol[0], v1 = acol[1], v2 = acol[2], v3 = acol[3];
-                for (std::size_t j = 0; j < jn; ++j) {
-                    const float bj = brow[j];
-                    acc0[j] += v0 * bj;
-                    acc1[j] += v1 * bj;
-                    acc2[j] += v2 * bj;
-                    acc3[j] += v3 * bj;
-                }
-            }
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 0) * N + j0 + j] = acc0[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 1) * N + j0 + j] = acc1[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 2) * N + j0 + j] = acc2[j];
-            for (std::size_t j = 0; j < jn; ++j) c[(i + 3) * N + j0 + j] = acc3[j];
-        }
-        for (; i < i1; ++i) {
-            float acc[kColTile];
-            for (std::size_t j = 0; j < jn; ++j) acc[j] = 0.0f;
-            for (std::size_t k = 0; k < K; ++k) {
-                const float v = a[k * M + i];
-                const float* __restrict brow = b + k * N + j0;
-                for (std::size_t j = 0; j < jn; ++j) acc[j] += v * brow[j];
-            }
-            for (std::size_t j = 0; j < jn; ++j) c[i * N + j0 + j] = acc[j];
-        }
-    }
-}
-
-/// c[i0..i1) = a[i0..i1) * b^T for a (M x K), b (N x K), c (M x N):
-/// four dot products at a time share each load of a's row.
-void matmul_a_bt_rows(const float* __restrict a, const float* __restrict b,
-                      float* __restrict c, std::size_t i0, std::size_t i1,
-                      std::size_t cols_a, std::size_t rows_b) {
-    const std::size_t K = cols_a, N = rows_b;
-    for (std::size_t i = i0; i < i1; ++i) {
-        const float* __restrict arow = a + i * K;
-        std::size_t j = 0;
-        for (; j + 4 <= N; j += 4) {
-            const float* __restrict b0 = b + j * K;
-            const float* __restrict b1 = b0 + K;
-            const float* __restrict b2 = b1 + K;
-            const float* __restrict b3 = b2 + K;
-            float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-            for (std::size_t k = 0; k < K; ++k) {
-                const float av = arow[k];
-                s0 += av * b0[k];
-                s1 += av * b1[k];
-                s2 += av * b2[k];
-                s3 += av * b3[k];
-            }
-            c[i * N + j] = s0;
-            c[i * N + j + 1] = s1;
-            c[i * N + j + 2] = s2;
-            c[i * N + j + 3] = s3;
-        }
-        for (; j < N; ++j) {
-            const float* __restrict brow = b + j * K;
-            float acc = 0.0f;
-            for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
-            c[i * N + j] = acc;
-        }
-    }
-}
 
 }  // namespace
 
@@ -245,9 +101,10 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     FARE_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
     Matrix c = Matrix::uninitialized(a.rows(), b.cols());
     const std::size_t work = a.rows() * a.cols() * b.cols();
+    const simd::SimdKernels& k = simd::kernels();
     parallel_row_blocks(a.rows(), work, kRowChunk, [&](std::size_t i0, std::size_t i1) {
-        matmul_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0, i1,
-                    a.cols(), b.cols());
+        k.matmul_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0, i1,
+                      a.cols(), b.cols());
     });
     return c;
 }
@@ -256,9 +113,10 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
     FARE_CHECK(a.rows() == b.rows(), "matmul_at_b shape mismatch");
     Matrix c = Matrix::uninitialized(a.cols(), b.cols());
     const std::size_t work = a.rows() * a.cols() * b.cols();
+    const simd::SimdKernels& k = simd::kernels();
     parallel_row_blocks(a.cols(), work, kRowChunk, [&](std::size_t i0, std::size_t i1) {
-        matmul_at_b_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0, i1,
-                         a.rows(), a.cols(), b.cols());
+        k.matmul_at_b_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0,
+                           i1, a.rows(), a.cols(), b.cols());
     });
     return c;
 }
@@ -267,9 +125,10 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
     FARE_CHECK(a.cols() == b.cols(), "matmul_a_bt shape mismatch");
     Matrix c = Matrix::uninitialized(a.rows(), b.rows());
     const std::size_t work = a.rows() * a.cols() * b.rows();
+    const simd::SimdKernels& k = simd::kernels();
     parallel_row_blocks(a.rows(), work, kRowChunk, [&](std::size_t i0, std::size_t i1) {
-        matmul_a_bt_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0, i1,
-                         a.cols(), b.rows());
+        k.matmul_a_bt_rows(a.flat().data(), b.flat().data(), c.flat().data(), i0,
+                           i1, a.cols(), b.rows());
     });
     return c;
 }

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <memory>
+#include <new>
 #include <span>
 #include <utility>
 #include <vector>
@@ -15,17 +16,40 @@ namespace fare {
 class Rng;
 
 namespace detail {
-/// Allocator that default-initialises on plain construct(), so
-/// vector<float>::resize leaves the floats uninitialised. Only used behind
-/// Matrix::uninitialized() for buffers every element of which is about to be
-/// overwritten (GEMM outputs, overlay apply) — skips a redundant memset on
-/// the hot path.
+
+/// Matrix / FixedMatrix storage alignment: one full cache line, which also
+/// covers the widest vector the SIMD kernel tables use (32-byte AVX2). The
+/// kernels only issue unaligned loads, so this is purely a performance
+/// property — no caller may rely on it for correctness.
+inline constexpr std::size_t kDataAlignment = 64;
+
+/// Allocator with two hot-path properties:
+///  1. allocations are kDataAlignment-aligned (single allocation path — the
+///     aligned operator new, no manual over-allocate-and-offset);
+///  2. plain construct() default-initialises, so vector::resize leaves
+///     trivial elements uninitialised. Only used behind
+///     Matrix::uninitialized() and quantise outputs, where every element is
+///     overwritten before any read — skips a redundant memset.
 template <typename T>
-struct DefaultInitAllocator : std::allocator<T> {
+struct AlignedAllocator {
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
     template <typename U>
     struct rebind {
-        using other = DefaultInitAllocator<U>;
+        using other = AlignedAllocator<U>;
     };
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t{kDataAlignment}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{kDataAlignment});
+    }
+
     template <typename U, typename... Args>
     void construct(U* p, Args&&... args) {
         if constexpr (sizeof...(Args) == 0)
@@ -33,7 +57,12 @@ struct DefaultInitAllocator : std::allocator<T> {
         else
             ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
     }
+
+    friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+        return true;
+    }
 };
+
 }  // namespace detail
 
 /// Row-major dense matrix of float.
@@ -88,13 +117,14 @@ public:
 private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float, detail::DefaultInitAllocator<float>> data_;
+    std::vector<float, detail::AlignedAllocator<float>> data_;
 };
 
-// The three GEMMs are blocked (register-tiled accumulators) and
-// row-parallelised over the common/parallel worker pool above a fixed work
-// threshold. Accumulation order per output element is ascending-k for every
-// blocking and thread count, so results are bit-identical to a serial run.
+// The three GEMMs dispatch to the runtime-selected SIMD kernel table
+// (common/simd.hpp) and are row-parallelised over the common/parallel worker
+// pool above a fixed work threshold. Accumulation order per output element
+// is ascending-k for every blocking, thread count and instruction set, so
+// results are bit-identical to a serial scalar run.
 
 /// C = A * B. Shapes validated.
 Matrix matmul(const Matrix& a, const Matrix& b);

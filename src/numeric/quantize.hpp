@@ -10,11 +10,13 @@
 
 namespace fare {
 
-/// A matrix quantised to the hardware's 16-bit fixed-point grid.
+/// A matrix quantised to the hardware's 16-bit fixed-point grid. Storage is
+/// 64-byte aligned like Matrix so the SIMD quantise/dequantise kernels run
+/// on cache-line-aligned rows.
 struct FixedMatrix {
     std::size_t rows = 0;
     std::size_t cols = 0;
-    std::vector<std::int16_t> data;  // row-major
+    std::vector<std::int16_t, detail::AlignedAllocator<std::int16_t>> data;  // row-major
 
     std::int16_t& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
     std::int16_t at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }

@@ -1,8 +1,9 @@
 #include "reram/compiled_overlay.hpp"
 
-#include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "numeric/fixed_point.hpp"
 
 namespace fare {
@@ -15,29 +16,34 @@ CompiledFaultOverlay::CompiledFaultOverlay(const WeightFaultGrid& grid,
                "fault grid does not cover weight matrix");
     FARE_CHECK(perm.empty() || perm.size() == rows, "permutation size mismatch");
 
-    // O(faults): walk each mapped physical row's sparse fault list (sorted by
-    // weight column, then slice) and fold every faulty weight's slices into
-    // one mask pair. At most one entry per faulty cell, usually fewer.
-    entries_.reserve(grid.num_faults());
+    // O(faulty weights): the grid pre-folded each faulty weight's slices
+    // into one AND/OR mask pair per row, so compiling is copying the mask
+    // arrays and offsetting the weight columns to flat indices. Sized up
+    // front — corrupt_weights() compiles per call, so reallocation here
+    // would be on the per-batch path.
+    std::size_t total = 0;
     for (std::size_t r = 0; r < rows; ++r) {
         const std::size_t pr = perm.empty() ? r : perm[r];
         FARE_CHECK(pr < grid.rows(), "permutation target out of range");
-        const auto faults = grid.row_fault_list(pr);
-        for (std::size_t i = 0; i < faults.size();) {
-            const std::uint32_t weight_c = faults[i].weight_col;
-            std::uint16_t and_mask = 0xFFFFu, or_mask = 0;
-            do {
-                const int shift =
-                    kFixedTotalBits - kBitsPerCell * (faults[i].slice + 1);
-                const auto bits = static_cast<std::uint16_t>(0x3u << shift);
-                and_mask = static_cast<std::uint16_t>(and_mask & ~bits);
-                if (static_cast<FaultType>(faults[i].type) == FaultType::kSA1)
-                    or_mask = static_cast<std::uint16_t>(or_mask | bits);
-                ++i;
-            } while (i < faults.size() && faults[i].weight_col == weight_c);
-            entries_.push_back({static_cast<std::uint32_t>(r * cols + weight_c),
-                                and_mask, or_mask});
-        }
+        total += grid.row_mask_list(pr).cols.size();
+    }
+    idx_.resize(total);
+    and_.resize(total);
+    or_.resize(total);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t pr = perm.empty() ? r : perm[r];
+        const WeightFaultGrid::RowMasks faults = grid.row_mask_list(pr);
+        const std::size_t n = faults.cols.size();
+        if (n == 0) continue;
+        const std::uint32_t base = static_cast<std::uint32_t>(r * cols);
+        for (std::size_t i = 0; i < n; ++i)
+            idx_[pos + i] = base + faults.cols[i];
+        std::memcpy(and_.data() + pos, faults.and_masks.data(),
+                    n * sizeof(std::uint16_t));
+        std::memcpy(or_.data() + pos, faults.or_masks.data(),
+                    n * sizeof(std::uint16_t));
+        pos += n;
     }
 }
 
@@ -47,38 +53,25 @@ Matrix CompiledFaultOverlay::apply(const Matrix& w,
     FARE_CHECK(w.rows() == rows_ && w.cols() == cols_,
                "overlay geometry does not match weight matrix");
     Matrix out = Matrix::uninitialized(w.rows(), w.cols());
-    const float* __restrict src = w.flat().data();
-    float* __restrict dst = out.flat().data();
+    const float* src = w.flat().data();
+    float* dst = out.flat().data();
     const std::size_t n = w.size();
+    const simd::SimdKernels& k = simd::kernels();
 
     if (!clip.has_value()) {
-        // Dense pass: the fault-free quantise -> dequantise round trip.
-        for (std::size_t i = 0; i < n; ++i)
-            dst[i] = fixed_to_float(float_to_fixed(src[i]));
-        // Sparse branchless fix-up at the faulty entries only.
-        for (const MaskEntry& e : entries_) {
-            FARE_DCHECK(e.index < n, "overlay entry out of range");
-            const std::uint16_t image =
-                fixed_to_cell_image(float_to_fixed(src[e.index]));
-            const auto fixed =
-                static_cast<std::uint16_t>((image & e.and_mask) | e.or_mask);
-            dst[e.index] = fixed_to_float(cell_image_to_fixed(fixed));
-        }
+        // Dense fault-free quantise -> dequantise pass, then the branchless
+        // image' = (image & and) | or fix-up at the faulty entries only.
+        k.quantize_dequantize(src, dst, n);
+        k.overlay_fixup(src, dst, idx_.data(), and_.data(), or_.data(),
+                        idx_.size());
         return out;
     }
 
     // Same two passes with the clipping unit fused in (identical result to
     // corrupt-then-clamp: the fix-up re-clamps the entries it rewrites).
-    const float hi = *clip, lo = -hi;
-    for (std::size_t i = 0; i < n; ++i)
-        dst[i] = std::clamp(fixed_to_float(float_to_fixed(src[i])), lo, hi);
-    for (const MaskEntry& e : entries_) {
-        FARE_DCHECK(e.index < n, "overlay entry out of range");
-        const std::uint16_t image = fixed_to_cell_image(float_to_fixed(src[e.index]));
-        const auto fixed =
-            static_cast<std::uint16_t>((image & e.and_mask) | e.or_mask);
-        dst[e.index] = std::clamp(fixed_to_float(cell_image_to_fixed(fixed)), lo, hi);
-    }
+    k.quantize_dequantize_clip(src, dst, n, *clip);
+    k.overlay_fixup_clip(src, dst, idx_.data(), and_.data(), or_.data(),
+                         idx_.size(), *clip);
     return out;
 }
 

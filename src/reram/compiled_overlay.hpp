@@ -45,23 +45,24 @@ public:
     std::size_t cols() const { return cols_; }
     bool compiled() const { return rows_ != 0; }
     /// Number of weights with at least one faulty cell.
-    std::size_t num_faulty_weights() const { return entries_.size(); }
+    std::size_t num_faulty_weights() const { return idx_.size(); }
 
     /// Effective weights: quantise -> dequantise every entry, apply the
     /// masked fix-up at the faulty entries, then optionally clamp everything
     /// to [-clip, clip]. Bit-identical to corrupt_weights_permuted_reference
-    /// (and the ProgrammedWeights::read_effective readback).
+    /// (and the ProgrammedWeights::read_effective readback). Both passes run
+    /// through the runtime-dispatched SIMD kernel table (common/simd.hpp).
     Matrix apply(const Matrix& w, std::optional<float> clip = std::nullopt) const;
 
 private:
-    struct MaskEntry {
-        std::uint32_t index;     ///< flat r * cols + c into the weight matrix
-        std::uint16_t and_mask;  ///< SA0 slices cleared
-        std::uint16_t or_mask;   ///< SA1 slices set
-    };
-
+    // Structure-of-arrays so the SIMD fix-up kernel streams indices and
+    // masks with plain vector loads; sorted by index, one entry per faulty
+    // weight. The masks themselves are pre-folded by WeightFaultGrid —
+    // compiling here is concatenation plus the row -> flat-index offset.
     std::size_t rows_ = 0, cols_ = 0;
-    std::vector<MaskEntry> entries_;  // sorted by index
+    std::vector<std::uint32_t> idx_;   ///< flat r * cols + c into the matrix
+    std::vector<std::uint16_t> and_;   ///< faulty slices cleared
+    std::vector<std::uint16_t> or_;    ///< SA1 slices set
 };
 
 }  // namespace fare

@@ -22,10 +22,16 @@ WeightFaultGrid::WeightFaultGrid(std::size_t rows, std::size_t cols,
 
     const std::size_t cell_cols = cols * static_cast<std::size_t>(kCellsPerWeight);
     cells_.assign(rows * cell_cols, 0);
-    // (physical row, fault) pairs in (grid row, grid col, map row, map col)
-    // order; the stable counting sort below groups them per row while keeping
-    // each row's (weight_col, slice) ascending.
-    std::vector<std::pair<std::uint32_t, SliceFault>> collected;
+    // (physical row, weight col, slice, type) in (grid row, grid col, map
+    // row, map col) order; the stable counting sort below groups them per
+    // row while keeping each row's (weight_col, slice) ascending.
+    struct Collected {
+        std::uint32_t row;
+        std::uint32_t weight_col;
+        std::uint8_t slice;
+        std::uint8_t type;
+    };
+    std::vector<Collected> collected;
     for (std::size_t gr = 0; gr < grid_rows; ++gr) {
         for (std::size_t gc = 0; gc < grid_cols; ++gc) {
             const auto& map = grid_maps[gr * grid_cols + gc];
@@ -40,20 +46,45 @@ WeightFaultGrid::WeightFaultGrid(std::size_t rows, std::size_t cols,
                 cells_[r * cell_cols + weight_c * kCellsPerWeight + s] =
                     static_cast<std::uint8_t>(f.type);
                 ++num_faults_;
-                collected.push_back(
-                    {static_cast<std::uint32_t>(r),
-                     SliceFault{static_cast<std::uint32_t>(weight_c),
-                                static_cast<std::uint8_t>(s),
-                                static_cast<std::uint8_t>(f.type)}});
+                collected.push_back({static_cast<std::uint32_t>(r),
+                                     static_cast<std::uint32_t>(weight_c),
+                                     static_cast<std::uint8_t>(s),
+                                     static_cast<std::uint8_t>(f.type)});
             }
         }
     }
+    std::vector<std::size_t> counts(rows + 1, 0);
+    for (const Collected& f : collected) ++counts[f.row + 1];
+    for (std::size_t r = 0; r < rows; ++r) counts[r + 1] += counts[r];
+    std::vector<Collected> sorted(collected.size());
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (const Collected& f : collected) sorted[cursor[f.row]++] = f;
+
+    // Fold each faulty weight's slices (adjacent after the sort) into one
+    // AND/OR mask pair over the sign-magnitude cell image.
     row_offsets_.assign(rows + 1, 0);
-    for (const auto& [r, f] : collected) ++row_offsets_[r + 1];
+    fault_cols_.reserve(collected.size());
+    fault_and_.reserve(collected.size());
+    fault_or_.reserve(collected.size());
+    for (std::size_t i = 0; i < sorted.size();) {
+        const std::uint32_t r = sorted[i].row;
+        const std::uint32_t weight_c = sorted[i].weight_col;
+        std::uint16_t and_mask = 0xFFFFu, or_mask = 0;
+        do {
+            const int shift = kFixedTotalBits - kBitsPerCell * (sorted[i].slice + 1);
+            const auto bits = static_cast<std::uint16_t>(0x3u << shift);
+            and_mask = static_cast<std::uint16_t>(and_mask & ~bits);
+            if (static_cast<FaultType>(sorted[i].type) == FaultType::kSA1)
+                or_mask = static_cast<std::uint16_t>(or_mask | bits);
+            ++i;
+        } while (i < sorted.size() && sorted[i].row == r &&
+                 sorted[i].weight_col == weight_c);
+        fault_cols_.push_back(weight_c);
+        fault_and_.push_back(and_mask);
+        fault_or_.push_back(or_mask);
+        ++row_offsets_[r + 1];
+    }
     for (std::size_t r = 0; r < rows; ++r) row_offsets_[r + 1] += row_offsets_[r];
-    sparse_.resize(collected.size());
-    std::vector<std::size_t> cursor(row_offsets_.begin(), row_offsets_.end() - 1);
-    for (const auto& [r, f] : collected) sparse_[cursor[r]++] = f;
 }
 
 std::optional<FaultType> WeightFaultGrid::slice_fault(std::size_t r, std::size_t c,

@@ -37,18 +37,28 @@ public:
     /// Fault on slice s (0 = MSB slice) of weight (r, c), if any.
     std::optional<FaultType> slice_fault(std::size_t r, std::size_t c, int s) const;
 
-    /// One faulty cell in weight-slice coordinates.
-    struct SliceFault {
-        std::uint32_t weight_col;  ///< weight column c
-        std::uint8_t slice;        ///< 0 = MSB slice
-        std::uint8_t type;         ///< FaultType
+    /// Faulty weights of one physical row: parallel arrays sorted by weight
+    /// column, one entry per weight with at least one faulty cell, each
+    /// weight's faulty slices already folded into 16-bit AND/OR masks over
+    /// the sign-magnitude cell image (a stuck-at-0 slice clears its two
+    /// image bits, stuck-at-1 sets them). Pre-folded, structure-of-arrays:
+    /// CompiledFaultOverlay compiles by memcpy-ing the mask arrays and
+    /// offsetting the columns — corrupt_weights() compiles an overlay on
+    /// every call, so this is on the per-batch path.
+    struct RowMasks {
+        std::span<const std::uint32_t> cols;       ///< weight columns
+        std::span<const std::uint16_t> and_masks;  ///< faulty slices cleared
+        std::span<const std::uint16_t> or_masks;   ///< SA1 slices set
     };
 
-    /// Faulty cells of physical row r, sorted by (weight_col, slice). Lets
-    /// CompiledFaultOverlay compile in O(faults) instead of scanning the
-    /// dense (rows x cols*8) cell grid.
-    std::span<const SliceFault> row_fault_list(std::size_t r) const {
-        return {sparse_.data() + row_offsets_[r], row_offsets_[r + 1] - row_offsets_[r]};
+    /// Pre-folded mask entries of physical row r. Lets CompiledFaultOverlay
+    /// compile in O(faulty weights) instead of scanning the dense
+    /// (rows x cols*8) cell grid.
+    RowMasks row_mask_list(std::size_t r) const {
+        const std::size_t b = row_offsets_[r], n = row_offsets_[r + 1] - b;
+        return {{fault_cols_.data() + b, n},
+                {fault_and_.data() + b, n},
+                {fault_or_.data() + b, n}};
     }
 
     /// Total faulty cells covering the weight region.
@@ -57,8 +67,12 @@ public:
 private:
     std::size_t rows_ = 0, cols_ = 0;
     std::vector<std::uint8_t> cells_;  // (rows x cols*8), 0 = healthy
-    std::vector<std::size_t> row_offsets_;  // sparse index: rows_ + 1 offsets
-    std::vector<SliceFault> sparse_;        // sorted by (row, weight_col, slice)
+    // Sparse pre-folded mask index, sorted by (row, weight_col): rows_ + 1
+    // offsets into three parallel arrays.
+    std::vector<std::size_t> row_offsets_;
+    std::vector<std::uint32_t> fault_cols_;
+    std::vector<std::uint16_t> fault_and_;
+    std::vector<std::uint16_t> fault_or_;
     std::size_t num_faults_ = 0;
 };
 

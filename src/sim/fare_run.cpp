@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "net/protocol.hpp"
 #include "sim/builtin_plans.hpp"
 #include "sim/cell_cache.hpp"
@@ -53,6 +54,9 @@ int usage(std::ostream& os, int code) {
           "  fare-run --plan NAME [options]\n"
           "    --shard I/N      run slice I of N (default 0/1 = whole plan)\n"
           "    --threads N      worker threads (0 = auto / FARE_THREADS)\n"
+          "    --simd MODE      kernel table: auto|scalar|avx2|neon (default\n"
+          "                     auto = FARE_SIMD env, else best detected ISA;\n"
+          "                     results are bit-identical for every mode)\n"
           "    --cache-dir DIR  persistent cell cache: resume interrupted\n"
           "                     sweeps, reuse unchanged cells across runs;\n"
           "                     safe to share between concurrent shard\n"
@@ -523,7 +527,8 @@ int run(int argc, char** argv) {
             const Expected<double> n = parse_double(value());
             if (!n || n.value() < 0) throw InvalidArgument("bad --threads");
             options.threads = static_cast<std::size_t>(n.value());
-        } else if (arg == "--cache-dir") cache_dir = value();
+        } else if (arg == "--simd") options.simd = value();
+        else if (arg == "--cache-dir") cache_dir = value();
         else if (arg == "--cache-max-bytes") cache_max_bytes = parse_bytes(value());
         else if (arg == "--cache-compact") cache_compact = true;
         else if (arg == "--epochs") {
@@ -657,9 +662,13 @@ int run(int argc, char** argv) {
     // Cache lifecycle report: what this run's disk cache held, reclaimed,
     // and evicted (the constructor's corrupt-line count included, so a
     // resumed sweep can see how much of the log it had to recompute).
-    if (stats)
+    if (stats) {
+        std::cout << "simd: " << simd::isa_name(simd::active_isa())
+                  << " (detected " << simd::isa_name(simd::detected_isa())
+                  << ")\n";
         if (const auto* disk = dynamic_cast<DiskCellCache*>(&session.cache()))
             print_cache_stats(disk->stats(), std::cout);
+    }
     std::cerr << "fare-run: plan '" << plan.name << "' shard "
               << options.shard.label() << ": " << results.size()
               << " cells, " << session.cache_hits() << " cache hits\n";

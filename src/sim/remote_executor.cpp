@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "net/protocol.hpp"
 #include "sim/cell.hpp"
 
@@ -530,6 +531,12 @@ int run_worker(const std::string& host, std::uint16_t port,
         return 1;
     }
     worker_log(options, "connected to " + host + ":" + std::to_string(port));
+    // ISA hello: makes mixed fleets auditable — with bit-identical kernels a
+    // heterogeneous fleet is still deterministic, but the log shows who ran
+    // what.
+    worker_log(options, std::string("simd ") + simd::isa_name(simd::active_isa()) +
+                            " (detected " + simd::isa_name(simd::detected_isa()) +
+                            ")");
 
     std::mutex write_mu;
     std::atomic<bool> stop{false};

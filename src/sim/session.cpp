@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "sim/cell_cache.hpp"
 #include "sim/executor.hpp"
 #include "sim/result_bus.hpp"
@@ -25,7 +26,12 @@ SimSession::SimSession(SessionOptions options,
                          : make_cell_executor(options.threads)),
       cache_(cache ? std::move(cache)
                    : make_cell_cache(options.cache_dir,
-                                     options.cache_max_bytes)) {}
+                                     options.cache_max_bytes)) {
+    // Resolve the SIMD selection now so a bad mode string fails fast here
+    // instead of deep inside the first kernel call. "auto" leaves any
+    // existing override untouched unless one was set by a previous session.
+    simd::set_isa_mode(options.simd.empty() ? "auto" : options.simd);
+}
 
 SimSession::~SimSession() = default;
 

@@ -64,6 +64,12 @@ struct SessionOptions {
     /// entries are evicted until the live records fit in this many bytes.
     /// 0 = unbounded. Ignored without cache_dir.
     std::uint64_t cache_max_bytes = 0;
+    /// SIMD kernel selection: "auto" (default: FARE_SIMD env, else best
+    /// detected ISA) or "scalar"/"avx2"/"neon" to pin the table
+    /// process-wide. An ISA the host cannot run degrades to scalar; results
+    /// are bit-identical for every setting (common/simd.hpp). Resolved
+    /// eagerly in the SimSession constructor so a bad value fails fast.
+    std::string simd = "auto";
 };
 
 class SimSession {
