@@ -1,0 +1,80 @@
+// Micro-benchmarks for the streaming partitioner subsystem: one-pass Fennel,
+// re-streaming ReFennel, weighted LDG, and the quality-report pass — the
+// preprocessing cost a sweep pays per (partitioner, partition_count) cell.
+// bench_micro_graph covers the legacy multilevel/LDG pair; this binary
+// tracks the streaming family on the heavy-tailed graphs it exists for.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/partitioner.hpp"
+
+namespace {
+
+using namespace fare;
+
+CSRGraph bench_graph(NodeId nodes) {
+    SyntheticGraphSpec spec;
+    spec.num_nodes = nodes;
+    spec.avg_degree = 12.0;
+    spec.num_communities = 16;
+    spec.homophily = 0.85;
+    spec.power_law_alpha = 2.0;
+    spec.seed = 17;
+    return make_synthetic_graph(spec);
+}
+
+void BM_FennelPartition(benchmark::State& state) {
+    const CSRGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(partition_fennel(g, 40, 1));
+    }
+    state.counters["edge_cut"] =
+        static_cast<double>(partition_fennel(g, 40, 1).edge_cut(g));
+}
+BENCHMARK(BM_FennelPartition)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_ReFennelPartition(benchmark::State& state) {
+    const CSRGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(partition_refennel(g, 40, 1, 3));
+    }
+    state.counters["edge_cut"] =
+        static_cast<double>(partition_refennel(g, 40, 1, 3).edge_cut(g));
+}
+BENCHMARK(BM_ReFennelPartition)->Arg(4000)->Arg(16000);
+
+void BM_WeightedLdgPartition(benchmark::State& state) {
+    const CSRGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(partition_ldg_weighted(g, 40, 1));
+    }
+    state.counters["edge_cut"] =
+        static_cast<double>(partition_ldg_weighted(g, 40, 1).edge_cut(g));
+}
+BENCHMARK(BM_WeightedLdgPartition)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_ComputeQuality(benchmark::State& state) {
+    const CSRGraph g = bench_graph(static_cast<NodeId>(state.range(0)));
+    const Partitioning p = partition_fennel(g, 40, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compute_quality(g, p, "fennel"));
+    }
+}
+BENCHMARK(BM_ComputeQuality)->Arg(4000)->Arg(64000);
+
+void BM_SyntheticGraphGeneration(benchmark::State& state) {
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        SyntheticGraphSpec spec;
+        spec.num_nodes = static_cast<NodeId>(state.range(0));
+        spec.avg_degree = 12.0;
+        spec.num_communities = 16;
+        spec.homophily = 0.85;
+        spec.power_law_alpha = 2.0;
+        spec.seed = ++seed;
+        benchmark::DoNotOptimize(make_synthetic_graph(spec));
+    }
+}
+BENCHMARK(BM_SyntheticGraphGeneration)->Arg(16000)->Arg(64000);
+
+}  // namespace

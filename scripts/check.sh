@@ -23,4 +23,6 @@ done
 cmake -B "$BUILD_DIR" -S . -DFARE_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j"$(nproc)"
+# -LE large: the million-node resource-bound smokes are a separate Release
+# CI lane (`ctest -L large`), not part of the default tier-1 sweep.
+ctest -LE large --output-on-failure -j"$(nproc)"

@@ -1,6 +1,7 @@
 #include "fare/baselines.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "fare/hungarian.hpp"
@@ -18,6 +19,23 @@ TimingConfig timing_config_for(const FaultyHardwareConfig& config) {
     TimingConfig tc;
     tc.tile = config.accelerator.tile;
     return tc;
+}
+
+/// (off-home-tile, with-home) block counts of one batch mapping. Host
+/// blocks never appear in assignments; blocks without a partition-derived
+/// home (-1) are excluded from both counts.
+std::pair<std::size_t, std::size_t> off_tile_counts(const AdjacencyMapping& m,
+                                                    const TilePlacement& p) {
+    std::size_t off = 0, total = 0;
+    for (const BlockAssignment& ba : m.assignments) {
+        const int home = ba.block_index < p.block_home_tile.size()
+                             ? p.block_home_tile[ba.block_index]
+                             : -1;
+        if (home < 0) continue;
+        ++total;
+        if (p.tile_of(ba.crossbar_index) != home) ++off;
+    }
+    return {off, total};
 }
 
 }  // namespace
@@ -119,6 +137,11 @@ std::vector<FaultMap> FaultyHardware::build_adjacency_pool_maps() const {
     return maps;
 }
 
+void FaultyHardware::set_batch_partitions(
+    const std::vector<std::vector<int>>& batch_node_parts) {
+    batch_parts_ = batch_node_parts;
+}
+
 void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
     batch_bits_ = batch_adjacency;
     // Size the streaming adjacency pool for the largest batch.
@@ -140,14 +163,66 @@ void FaultyHardware::preprocess(const std::vector<BitMatrix>& batch_adjacency) {
     mapper_.set_max_crossbar_candidates(
         std::max<std::size_t>(2 * max_blocks, max_blocks + 4));
 
+    // Partition-derived home tiles: the home of row-major block (bi, bj) is
+    // the majority source partition of its *row* block bi (rows are where the
+    // block's partial aggregations accumulate), lowest partition id on ties,
+    // placed round-robin over the chip's tiles. Built whenever hints exist so
+    // off-tile traffic is measured for every scheme; the mapping is *biased*
+    // by it only under partition_aware_mapping.
+    placements_.clear();
+    if (!batch_parts_.empty() && batch_parts_.size() == batch_adjacency.size()) {
+        const std::size_t per_tile =
+            accelerator_.num_crossbars() /
+            static_cast<std::size_t>(accelerator_.num_tiles());
+        const int tiles = accelerator_.num_tiles();
+        placements_.reserve(batch_adjacency.size());
+        for (std::size_t b = 0; b < batch_adjacency.size(); ++b) {
+            const auto& adj = batch_adjacency[b];
+            const auto& parts = batch_parts_[b];
+            const std::size_t grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
+            TilePlacement tp;
+            tp.crossbars_per_tile = per_tile;
+            tp.pool_base = adj_range_.first;
+            tp.block_home_tile.assign(grid * grid, -1);
+            int max_part = -1;
+            for (int p : parts) max_part = std::max(max_part, p);
+            std::vector<std::size_t> counts(
+                static_cast<std::size_t>(max_part + 1), 0);
+            for (std::size_t bi = 0; bi < grid; ++bi) {
+                std::fill(counts.begin(), counts.end(), 0u);
+                const std::size_t lo = bi * n;
+                const std::size_t hi = std::min(lo + n, parts.size());
+                int best = -1;
+                for (std::size_t r = lo; r < hi; ++r) {
+                    const int p = parts[r];
+                    if (p < 0) continue;
+                    const std::size_t c = ++counts[static_cast<std::size_t>(p)];
+                    if (best < 0 || c > counts[static_cast<std::size_t>(best)] ||
+                        (c == counts[static_cast<std::size_t>(best)] && p < best))
+                        best = p;
+                }
+                if (best < 0) continue;
+                const int home = best % tiles;
+                for (std::size_t bj = 0; bj < grid; ++bj)
+                    tp.block_home_tile[bi * grid + bj] = home;
+            }
+            placements_.push_back(std::move(tp));
+        }
+    }
+
     adj_maps_ = build_adjacency_pool_maps();
     mappings_.clear();
     mappings_.reserve(batch_adjacency.size());
-    for (const auto& adj : batch_adjacency) {
+    for (std::size_t b = 0; b < batch_adjacency.size(); ++b) {
+        const auto& adj = batch_adjacency[b];
+        const TilePlacement* placement =
+            config_.partition_aware_mapping && b < placements_.size()
+                ? &placements_[b]
+                : nullptr;
         switch (scheme_) {
             case Scheme::kFARe:
             case Scheme::kOnlineFARe:
-                mappings_.push_back(mapper_.map_batch(adj, adj_maps_));
+                mappings_.push_back(mapper_.map_batch(adj, adj_maps_, placement));
                 break;
             case Scheme::kNeuronReorder:
                 mappings_.push_back(mapper_.map_row_reorder(adj, adj_maps_));
@@ -420,8 +495,32 @@ void FaultyHardware::on_step_end(std::size_t epoch, std::size_t step,
         run_detection_round();
 }
 
+void FaultyHardware::accumulate_noc_epoch() {
+    std::size_t off = 0;
+    const std::size_t batches = std::min(mappings_.size(), placements_.size());
+    for (std::size_t b = 0; b < batches; ++b)
+        off += off_tile_counts(mappings_[b], placements_[b]).first;
+    noc_seconds_ += timing_.noc_transfer_latency_s(off);
+}
+
+double FaultyHardware::off_tile_block_fraction() const {
+    std::size_t off = 0, total = 0;
+    const std::size_t batches = std::min(mappings_.size(), placements_.size());
+    for (std::size_t b = 0; b < batches; ++b) {
+        const auto [o, t] = off_tile_counts(mappings_[b], placements_[b]);
+        off += o;
+        total += t;
+    }
+    return total > 0 ? static_cast<double>(off) / static_cast<double>(total)
+                     : 0.0;
+}
+
 void FaultyHardware::on_epoch_end(std::size_t epoch) {
     (void)epoch;
+    // Each finished epoch re-uses every batch mapping once: charge the NoC
+    // time of this epoch's off-home-tile blocks (measured whether or not the
+    // mapping was biased — the win shows up as the biased/unbiased delta).
+    accumulate_noc_epoch();
     const bool post_on = config_.post_total_density > 0.0;
     const bool wear_on = wear_model_.enabled();
     const bool soft_on = config_.soft_error_rate > 0.0;

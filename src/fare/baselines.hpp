@@ -87,6 +87,13 @@ struct FaultyHardwareConfig {
 
     /// Adjacency pool slack: m = blocks + max(2, blocks/2), capped by this.
     std::size_t max_adjacency_pool = 48;
+
+    /// Partition-aware block placement: bias the FARe outer assignment so a
+    /// batch's adjacency row-blocks prefer crossbars on the home tile of the
+    /// block's majority graph partition (tile traffic follows the cut).
+    /// Default OFF: the legacy FARe mapping is byte-identical while false.
+    /// Off-tile traffic is *measured* regardless of this flag.
+    bool partition_aware_mapping = false;
 };
 
 /// Ideal hardware: weights round-trip the 16-bit fixed-point grid, adjacency
@@ -105,6 +112,8 @@ public:
     FaultyHardware(Scheme scheme, const FaultyHardwareConfig& config);
 
     void bind_params(const std::vector<Matrix*>& params) override;
+    void set_batch_partitions(
+        const std::vector<std::vector<int>>& batch_node_parts) override;
     void preprocess(const std::vector<BitMatrix>& batch_adjacency) override;
     Matrix effective_weights(std::size_t idx, const Matrix& w) override;
     BitMatrix effective_adjacency(std::size_t batch_idx,
@@ -134,6 +143,13 @@ public:
     /// schemes; default-constructed otherwise).
     const OnlineToleranceEngine& online_engine() const { return online_engine_; }
     OnlineToleranceStats online_stats() const { return online_engine_.stats(); }
+    /// Fraction of mapped adjacency blocks (with a partition-derived home
+    /// tile) whose crossbar landed OFF that tile, over all batch mappings.
+    /// 0 when no partition hints were supplied or nothing was mapped.
+    double off_tile_block_fraction() const;
+    /// Modelled NoC time spent shipping off-home-tile partial aggregations,
+    /// accumulated once per finished epoch over every batch mapping.
+    double inter_tile_seconds() const { return noc_seconds_; }
 
 private:
     /// Rescan the weight regions (BIST), rebuild their fault grids and
@@ -212,9 +228,16 @@ private:
     std::vector<ParamRegion> params_;
     std::vector<std::vector<std::uint16_t>> nr_perm_;  // per-param cache
     std::vector<bool> nr_perm_fresh_;                  // valid this epoch?
+    /// Count the off-home-tile blocks of every current mapping and charge
+    /// their modelled NoC transfer time to noc_seconds_ (one epoch's worth).
+    void accumulate_noc_epoch();
+
     CrossbarRange adj_range_{};
     std::vector<AdjacencyMapping> mappings_;  // one per batch
     std::vector<BitMatrix> batch_bits_;       // ideal bits (for repermute)
+    std::vector<std::vector<int>> batch_parts_;  // node -> partition hints
+    std::vector<TilePlacement> placements_;      // one per batch (may be empty)
+    double noc_seconds_ = 0.0;
     std::vector<FaultMap> adj_maps_;          // cached pool BIST image
     std::size_t bist_scans_ = 0;
     std::uint64_t weights_version_ = 0;    // bumped by refresh_weight_grids

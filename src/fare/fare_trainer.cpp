@@ -15,6 +15,8 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
         result.bist_scans = faulty->bist_scans();
         result.wear_faults = faulty->wear_faults();
         result.online = faulty->online_stats();
+        result.off_tile_block_fraction = faulty->off_tile_block_fraction();
+        result.inter_tile_seconds = faulty->inter_tile_seconds();
     }
     return result;
 }

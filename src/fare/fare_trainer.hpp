@@ -22,6 +22,11 @@ struct SchemeRunResult {
     /// Online detection/correction log (all-zero unless the scheme is one of
     /// the online family — see reram/online_tolerance.hpp).
     OnlineToleranceStats online;
+    /// Partition-locality diagnostics (0 for fault-free / no partition
+    /// hints): fraction of mapped adjacency blocks placed off their home
+    /// tile, and the modelled NoC seconds that traffic cost over the run.
+    double off_tile_block_fraction = 0.0;
+    double inter_tile_seconds = 0.0;
 };
 
 /// Build the hardware model for `scheme`, run the full training loop and

@@ -45,7 +45,8 @@ RowMatchResult FaultAwareMapper::match_rows(const BinaryBlock& block,
 }
 
 AdjacencyMapping FaultAwareMapper::map_batch(
-    const BitMatrix& adj, const std::vector<FaultMap>& crossbars) const {
+    const BitMatrix& adj, const std::vector<FaultMap>& crossbars,
+    const TilePlacement* placement) const {
     const std::uint16_t n = config_.block_size;
     AdjacencyMapping mapping;
     mapping.grid = (std::max(adj.rows, adj.cols) + n - 1) / n;
@@ -144,12 +145,25 @@ AdjacencyMapping FaultAwareMapper::map_batch(
     }
 
     // Outer assignment (Algorithm 1 line 18): exact min-cost matching of the
-    // surviving blocks onto the surviving crossbars.
+    // surviving blocks onto the surviving crossbars. With a TilePlacement,
+    // off-home-tile pairs pay an affinity surcharge so the matching prefers
+    // crossbars on a block's home tile when fault compatibility is close.
+    const bool tile_bias =
+        placement != nullptr && placement->crossbars_per_tile > 0;
     std::vector<double> cost(live_blocks.size() * live_xbars.size(), 0.0);
     for (std::size_t bi = 0; bi < live_blocks.size(); ++bi)
-        for (std::size_t xj = 0; xj < live_xbars.size(); ++xj)
-            cost[bi * live_xbars.size() + xj] =
-                results[live_blocks[bi] * m + live_xbars[xj]].cost;
+        for (std::size_t xj = 0; xj < live_xbars.size(); ++xj) {
+            double c = results[live_blocks[bi] * m + live_xbars[xj]].cost;
+            if (tile_bias) {
+                const std::size_t block = live_blocks[bi];
+                const int home = block < placement->block_home_tile.size()
+                                     ? placement->block_home_tile[block]
+                                     : -1;
+                if (home >= 0 && placement->tile_of(live_xbars[xj]) != home)
+                    c += placement->off_tile_penalty;
+            }
+            cost[bi * live_xbars.size() + xj] = c;
+        }
     const AssignmentResult assignment =
         hungarian_min_cost(live_blocks.size(), live_xbars.size(), cost);
 

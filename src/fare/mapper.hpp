@@ -47,6 +47,31 @@ struct MapperConfig {
     std::size_t max_crossbar_candidates = 0;
 };
 
+/// Partition-derived placement hints for map_batch. When supplied, the outer
+/// block-to-crossbar assignment pays `off_tile_penalty` extra for placing a
+/// block on a crossbar outside the block's home tile, so ties (and
+/// near-ties) in fault compatibility break toward the graph cut — tile
+/// traffic follows the partitioning. Recorded per-assignment costs stay the
+/// raw mismatch costs; the affinity term only steers the assignment.
+struct TilePlacement {
+    /// Home tile per row-major block id; -1 = no preference.
+    std::vector<int> block_home_tile;
+    /// Tile geometry of the crossbar pool: pool crossbar j lives in tile
+    /// (pool_base + j) / crossbars_per_tile. 0 disables the bias.
+    std::size_t crossbars_per_tile = 0;
+    /// Flat index of the pool's first crossbar on the accelerator.
+    std::size_t pool_base = 0;
+    /// Cost added per off-tile placement — a tie-breaker on the same scale
+    /// as fractional row-mismatch weights, not a hard constraint.
+    double off_tile_penalty = 0.25;
+
+    /// Tile holding pool crossbar `j`, or -1 when the bias is disabled.
+    int tile_of(std::size_t j) const {
+        if (crossbars_per_tile == 0) return -1;
+        return static_cast<int>((pool_base + j) / crossbars_per_tile);
+    }
+};
+
 struct BlockAssignment {
     std::size_t block_index = 0;      ///< row-major block id in the grid
     std::size_t crossbar_index = 0;   ///< index into the crossbar pool
@@ -81,8 +106,11 @@ public:
                               std::size_t bj) const;
 
     /// Run Algorithm 1 for one batch adjacency over the crossbar pool.
+    /// `placement` (optional) biases the outer assignment toward each
+    /// block's home tile (partition-aware mapping; see TilePlacement).
     AdjacencyMapping map_batch(const BitMatrix& adj,
-                               const std::vector<FaultMap>& crossbars) const;
+                               const std::vector<FaultMap>& crossbars,
+                               const TilePlacement* placement = nullptr) const;
 
     /// Trivial mapping used by the fault-unaware baseline: block k on
     /// crossbar k, identity permutation.

@@ -149,6 +149,9 @@ std::string HardwareOverrides::key() const {
            << ",sc=" << online.spare_columns
            << ",rp=" << online.reprogram_pulses;
     }
+    // Partition-aware placement changes the mapping, so it must key —
+    // appended only when enabled to keep legacy keys byte-stable.
+    if (partition_aware_mapping) os << ";pam=1";
     return os.str();
 }
 
@@ -177,6 +180,7 @@ FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
     config.spare_column_fraction = hw.spare_column_fraction;
     config.max_adjacency_pool = hw.max_adjacency_pool;
     config.online = hw.online;
+    config.partition_aware_mapping = hw.partition_aware_mapping;
     return config;
 }
 

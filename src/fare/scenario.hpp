@@ -114,6 +114,10 @@ struct HardwareOverrides {
     /// Consulted only by the online schemes; appended to key() only when
     /// enabled so legacy keys stay byte-stable.
     OnlinePolicySpec online;
+    /// Bias FARe's block-to-crossbar assignment toward each block's
+    /// partition-derived home tile (fare/mapper.hpp TilePlacement). Appended
+    /// to key() only when true so legacy keys stay byte-stable.
+    bool partition_aware_mapping = false;
 
     std::string key() const;
 };

@@ -37,6 +37,16 @@ public:
         (void)batch_adjacency;
     }
 
+    /// Optional partition hint, called (before preprocess) with each batch's
+    /// local-node -> source-partition ids in batch order. Lets a mapper give
+    /// adjacency row-blocks a home tile that follows the graph cut
+    /// (partition-aware placement + off-tile traffic accounting). Default:
+    /// ignored — ideal hardware has no tiles.
+    virtual void set_batch_partitions(
+        const std::vector<std::vector<int>>& batch_node_parts) {
+        (void)batch_node_parts;
+    }
+
     /// Effective weights the crossbars return after the logical `w` is
     /// written to parameter region `idx`. Default: ideal hardware.
     virtual Matrix effective_weights(std::size_t idx, const Matrix& w) {

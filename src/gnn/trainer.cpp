@@ -30,10 +30,13 @@ Trainer::Trainer(const Dataset& dataset, const TrainConfig& config,
     // Host preprocessing: partition once, form fixed cluster batches. The
     // batch composition stays fixed across epochs (the paper computes the
     // fault-aware mapping Pi once in preprocessing); only the processing
-    // order is shuffled per epoch.
-    PartitionConfig pc;
-    pc.seed = config.seed;
-    const auto parts = partition_multilevel(dataset.graph, config.num_partitions, pc);
+    // order is shuffled per epoch. The algorithm is a sweepable knob: any
+    // registered partitioner, selected by name ("multilevel" reproduces the
+    // paper's METIS workflow).
+    const Partitioner& algo = find_partitioner(config.partitioner);
+    const auto parts =
+        algo.partition(dataset.graph, config.num_partitions, config.seed);
+    partition_quality_ = compute_quality(dataset.graph, parts, algo.name());
     auto subs = make_cluster_batches(dataset.graph, parts, config.partitions_per_batch,
                                      config.seed);
 
@@ -60,6 +63,7 @@ Trainer::Trainer(const Dataset& dataset, const TrainConfig& config,
         }
         b.ideal_view = BatchGraphView::from_graph(sub.graph);
         batch_bits_.push_back(BitMatrix::from_graph(sub.graph));
+        batch_parts_.push_back(sub.node_part);
         b.sub = std::move(sub);
         batches_.push_back(std::move(b));
     }
@@ -138,6 +142,7 @@ void Trainer::import_params(const std::vector<Matrix>& params) {
 void Trainer::prepare_hardware() {
     if (hardware_ == nullptr) return;
     hardware_->bind_params(model_->params());
+    hardware_->set_batch_partitions(batch_parts_);
     hardware_->preprocess(batch_bits_);
 }
 
@@ -149,6 +154,7 @@ double Trainer::evaluate_test_accuracy() {
 
 TrainResult Trainer::run() {
     TrainResult result;
+    result.partition_quality = partition_quality_;
     Stopwatch prep_watch;
     prepare_hardware();
     result.preprocess_seconds = prep_watch.elapsed_seconds();

@@ -27,6 +27,10 @@ struct TrainConfig {
     std::size_t epochs = 40;
     int num_partitions = 40;        // METIS partitions (Table II, scaled)
     int partitions_per_batch = 4;   // "Batch" in Table II
+    /// Registry name of the partitioning algorithm (see
+    /// graph/partitioner.hpp): "multilevel" (the METIS stand-in the paper
+    /// uses), "ldg", "weighted-ldg", "fennel" or "refennel".
+    std::string partitioner = "multilevel";
     std::uint64_t seed = 1;
     bool record_curve = true;       // per-epoch metrics (Fig. 4)
 };
@@ -43,6 +47,9 @@ struct TrainResult {
     double test_macro_f1 = 0.0;
     double preprocess_seconds = 0.0;  ///< measured host mapping time
     double train_seconds = 0.0;
+    /// Quality of the Cluster-GCN partitioning (computed once in the
+    /// trainer constructor; deterministic, serialized with the cell).
+    PartitionQuality partition_quality;
 };
 
 class Trainer {
@@ -70,6 +77,8 @@ public:
 
     Model& model() { return *model_; }
     std::size_t num_batches() const { return batches_.size(); }
+    /// Quality report of the partitioning chosen by config.partitioner.
+    const PartitionQuality& partition_quality() const { return partition_quality_; }
     /// Ideal adjacency bits per batch (exposed for hardware preprocessing
     /// inspection in tests/examples).
     const std::vector<BitMatrix>& batch_adjacency() const { return batch_bits_; }
@@ -103,6 +112,8 @@ private:
     std::unique_ptr<Model> model_;
     std::vector<BatchData> batches_;
     std::vector<BitMatrix> batch_bits_;
+    std::vector<std::vector<int>> batch_parts_;  ///< per-batch node -> partition
+    PartitionQuality partition_quality_;
 
     // Effective-state caches (tentpole: the hot loop recomputes these only
     // when the stamped inputs actually changed).

@@ -45,6 +45,32 @@ CSRGraph CSRGraph::from_edges(NodeId num_nodes,
     return g;
 }
 
+CSRGraph CSRGraph::from_csr(NodeId num_nodes, std::vector<std::size_t> offsets,
+                            std::vector<NodeId> adjacency) {
+    FARE_CHECK(offsets.size() == static_cast<std::size_t>(num_nodes) + 1,
+               "offsets must have num_nodes + 1 entries");
+    FARE_CHECK(offsets.front() == 0 && offsets.back() == adjacency.size(),
+               "offsets must span the adjacency array");
+    FARE_CHECK(adjacency.size() % 2 == 0, "arcs must come in both directions");
+#ifndef NDEBUG
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        FARE_CHECK(offsets[v] <= offsets[v + 1], "offsets must be non-decreasing");
+        for (std::size_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+            FARE_CHECK(adjacency[e] < num_nodes, "edge endpoint out of range");
+            FARE_CHECK(adjacency[e] != v, "self-loop in adjacency");
+            if (e > offsets[v])
+                FARE_CHECK(adjacency[e - 1] < adjacency[e],
+                           "adjacency must be sorted and duplicate-free");
+        }
+    }
+#endif
+    CSRGraph g;
+    g.num_nodes_ = num_nodes;
+    g.offsets_ = std::move(offsets);
+    g.adjacency_ = std::move(adjacency);
+    return g;
+}
+
 bool CSRGraph::has_edge(NodeId u, NodeId v) const {
     FARE_CHECK(u < num_nodes_ && v < num_nodes_, "has_edge endpoint out of range");
     auto nb = neighbors(u);

@@ -25,6 +25,15 @@ public:
     static CSRGraph from_edges(NodeId num_nodes,
                                const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+    /// Adopt pre-built CSR arrays without materialising an edge list — the
+    /// path the streaming million-node generator uses. The caller must
+    /// supply the from_edges invariants: offsets.size() == num_nodes + 1,
+    /// adjacency sorted and duplicate-free within each node's range, no
+    /// self-loops, both arc directions present. Cheap shape checks always
+    /// run; the per-arc invariants are verified in debug builds only.
+    static CSRGraph from_csr(NodeId num_nodes, std::vector<std::size_t> offsets,
+                             std::vector<NodeId> adjacency);
+
     NodeId num_nodes() const { return num_nodes_; }
     /// Number of undirected edges (each counted once).
     std::size_t num_edges() const { return adjacency_.size() / 2; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -125,7 +126,140 @@ Dataset finish_dataset(std::string name, CSRGraph graph, std::vector<int> labels
     return ds;
 }
 
+/// Shared edge-sampling machinery for the streaming generator: both passes
+/// construct this from the same seed so they see the identical draw stream.
+struct StreamingEdgeSampler {
+    const SyntheticGraphSpec& spec;
+    Rng rng;
+    std::vector<double> weight_cum;  ///< per-node cumulative Pareto weights
+    std::vector<double> comm_cum;    ///< cumulative community total weights
+
+    explicit StreamingEdgeSampler(const SyntheticGraphSpec& s)
+        : spec(s), rng(s.seed) {
+        // Degree propensities first (consumes the same RNG prefix each pass).
+        weight_cum.resize(spec.num_nodes);
+        double acc = 0.0;
+        for (NodeId v = 0; v < spec.num_nodes; ++v) {
+            double w = 1.0;
+            if (spec.power_law_alpha > 0.0) {
+                const double u = std::max(rng.next_double(), 1e-12);
+                w = std::min(std::pow(u, -1.0 / spec.power_law_alpha), 200.0);
+            }
+            acc += w;
+            weight_cum[v] = acc;
+        }
+        comm_cum.resize(static_cast<std::size_t>(spec.num_communities));
+        for (int c = 0; c < spec.num_communities; ++c)
+            comm_cum[static_cast<std::size_t>(c)] =
+                weight_cum[community_end(c) - 1];
+    }
+
+    /// Communities are contiguous, near-equal node ranges.
+    NodeId community_begin(int c) const {
+        return static_cast<NodeId>(static_cast<std::uint64_t>(spec.num_nodes) *
+                                   static_cast<std::uint64_t>(c) /
+                                   static_cast<std::uint64_t>(spec.num_communities));
+    }
+    NodeId community_end(int c) const { return community_begin(c + 1); }
+
+    /// Weighted node draw within [lo, hi) via the global cumulative array.
+    NodeId sample_node(NodeId lo, NodeId hi) {
+        const double base = lo > 0 ? weight_cum[lo - 1] : 0.0;
+        const double total = weight_cum[hi - 1] - base;
+        const double target = base + rng.next_double() * total;
+        const auto it = std::lower_bound(weight_cum.begin() + lo,
+                                         weight_cum.begin() + hi, target);
+        const auto idx = std::min<std::size_t>(
+            static_cast<std::size_t>(it - weight_cum.begin()), hi - 1);
+        return static_cast<NodeId>(idx);
+    }
+
+    int sample_community() {
+        const double target = rng.next_double() * comm_cum.back();
+        const auto it =
+            std::lower_bound(comm_cum.begin(), comm_cum.end(), target);
+        return std::min<int>(static_cast<int>(it - comm_cum.begin()),
+                             spec.num_communities - 1);
+    }
+
+    /// One edge draw; returns {u, u} for a skipped (self-loop) attempt. Both
+    /// passes see the same sequence of draws.
+    std::pair<NodeId, NodeId> next_edge() {
+        const int c1 = sample_community();
+        const NodeId u = sample_node(community_begin(c1), community_end(c1));
+        NodeId v;
+        if (rng.next_bool(spec.homophily)) {
+            v = sample_node(community_begin(c1), community_end(c1));
+        } else {
+            v = sample_node(0, spec.num_nodes);
+        }
+        return {u, v};
+    }
+};
+
 }  // namespace
+
+CSRGraph make_synthetic_graph(const SyntheticGraphSpec& spec) {
+    FARE_CHECK(spec.num_nodes > 0, "empty synthetic graph spec");
+    FARE_CHECK(spec.num_communities >= 1, "need at least one community");
+    FARE_CHECK(static_cast<NodeId>(spec.num_communities) <= spec.num_nodes,
+               "more communities than nodes");
+    FARE_CHECK(spec.homophily >= 0.0 && spec.homophily <= 1.0,
+               "homophily must lie in [0,1]");
+    const auto target_edges = static_cast<std::size_t>(std::llround(
+        spec.avg_degree * static_cast<double>(spec.num_nodes) / 2.0));
+
+    // Pass 1: count degrees (self-loop draws are skipped identically in both
+    // passes, so the streams stay aligned).
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(spec.num_nodes) + 1, 0);
+    {
+        StreamingEdgeSampler sampler(spec);
+        for (std::size_t e = 0; e < target_edges; ++e) {
+            const auto [u, v] = sampler.next_edge();
+            if (u == v) continue;
+            ++offsets[u + 1];
+            ++offsets[v + 1];
+        }
+    }
+    for (NodeId v = 0; v < spec.num_nodes; ++v) offsets[v + 1] += offsets[v];
+
+    // Pass 2: re-run the identical stream and scatter arcs into place.
+    std::vector<NodeId> adjacency(offsets.back());
+    {
+        std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+        StreamingEdgeSampler sampler(spec);
+        for (std::size_t e = 0; e < target_edges; ++e) {
+            const auto [u, v] = sampler.next_edge();
+            if (u == v) continue;
+            adjacency[cursor[u]++] = v;
+            adjacency[cursor[v]++] = u;
+        }
+    }
+
+    // Sort each node's range and compact duplicates in place. Duplicate
+    // draws put the repeat in both endpoints' ranges, so the compaction
+    // keeps the two arc directions symmetric.
+    for (NodeId v = 0; v < spec.num_nodes; ++v)
+        std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                  adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    std::size_t write = 0;
+    std::size_t range_begin = 0;
+    for (NodeId v = 0; v < spec.num_nodes; ++v) {
+        const std::size_t range_end = offsets[v + 1];
+        NodeId prev = std::numeric_limits<NodeId>::max();
+        for (std::size_t e = range_begin; e < range_end; ++e) {
+            if (adjacency[e] == prev) continue;
+            prev = adjacency[e];
+            adjacency[write++] = prev;
+        }
+        range_begin = range_end;
+        offsets[v + 1] = write;
+    }
+    adjacency.resize(write);
+    adjacency.shrink_to_fit();
+    return CSRGraph::from_csr(spec.num_nodes, std::move(offsets),
+                              std::move(adjacency));
+}
 
 Dataset make_sbm_dataset(const SbmSpec& spec) {
     FARE_CHECK(spec.num_nodes > 0 && spec.num_classes > 0, "empty SBM spec");

@@ -61,6 +61,30 @@ struct CitationSpec {
     std::uint64_t seed = 1;
 };
 
+/// Parameters for the streaming graph-only generator. Unlike the Dataset
+/// generators it produces no features/labels/split — just structure — so it
+/// scales to million-node / hundred-million-edge graphs: edges are drawn in
+/// two identical passes over one deterministic RNG stream (count degrees,
+/// then fill adjacency), so nothing but the final CSR arrays is ever held
+/// in memory (no edge-list materialisation, no dense adjacency).
+struct SyntheticGraphSpec {
+    NodeId num_nodes = 1'000'000;
+    double avg_degree = 16.0;
+    /// Communities are contiguous node ranges (community quality is what the
+    /// partitioners are asked to recover).
+    int num_communities = 64;
+    /// Probability that a sampled edge stays inside its community.
+    double homophily = 0.9;
+    /// Pareto shape for degree propensities; <=0 disables degree correction.
+    double power_law_alpha = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/// Streaming graph-only generator (see SyntheticGraphSpec). Deterministic
+/// per seed; the result satisfies every from_edges invariant (sorted,
+/// duplicate-free, self-loop-free adjacency with both arc directions).
+CSRGraph make_synthetic_graph(const SyntheticGraphSpec& spec);
+
 /// Degree-corrected SBM dataset.
 Dataset make_sbm_dataset(const SbmSpec& spec);
 

@@ -1,10 +1,22 @@
-// Linear Deterministic Greedy (LDG) streaming partitioner.
+// Linear Deterministic Greedy (LDG) streaming partitioners.
 //
 // Single pass over nodes in random order: each node joins the part holding
 // most of its already-placed neighbours, discounted by the part's fill level.
-// Serves as a fast alternative to the multilevel partitioner and as the
-// quality baseline the partitioner tests compare against.
+// Two variants:
+//
+//   partition_ldg           unit node weights, hard streaming_capacity cap
+//   partition_ldg_weighted  w(v) = degree(v) + 1, capacity on total weight
+//
+// The unit variant enforces the cap strictly: parts at capacity are skipped,
+// and because streaming_capacity(n, k) * k >= n a node can always be placed.
+// (The original implementation only discounted full parts multiplicatively,
+// so when k did not divide n the last part could blow past the (1 + eps)
+// bound — the penalty term goes negative but an overfull part could still
+// win the argmax.) The weighted variant can be forced past its weight cap
+// only when a single heavy node fits nowhere; it then joins the lightest
+// part, bounding part weight by capacity + max node weight.
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
@@ -23,8 +35,54 @@ Partitioning partition_ldg(const CSRGraph& g, int k, std::uint64_t seed) {
     if (k == 1) return result;
 
     Rng rng(seed);
+    const std::size_t capacity = streaming_capacity(g.num_nodes(), k);
+    std::vector<std::size_t> load(static_cast<std::size_t>(k), 0);
+    std::vector<int> assigned(g.num_nodes(), -1);
+    std::vector<NodeId> order(g.num_nodes());
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+
+    const double cap = static_cast<double>(capacity);
+    std::vector<double> score(static_cast<std::size_t>(k));
+    for (NodeId v : order) {
+        std::fill(score.begin(), score.end(), 0.0);
+        for (NodeId u : g.neighbors(v))
+            if (assigned[u] >= 0) score[static_cast<std::size_t>(assigned[u])] += 1.0;
+        int best = -1;
+        double best_score = 0.0;
+        for (int p = 0; p < k; ++p) {
+            const std::size_t l = load[static_cast<std::size_t>(p)];
+            if (l >= capacity) continue;  // hard cap: full parts are out
+            const double penalty = 1.0 - static_cast<double>(l) / cap;
+            const double s = (score[static_cast<std::size_t>(p)] + 1e-9) * penalty;
+            if (best < 0 || s > best_score) {
+                best_score = s;
+                best = p;
+            }
+        }
+        FARE_ASSERT(best >= 0);  // capacity * k >= n guarantees a slot
+        assigned[v] = best;
+        ++load[static_cast<std::size_t>(best)];
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) result.assignment[v] = assigned[v];
+    return result;
+}
+
+Partitioning partition_ldg_weighted(const CSRGraph& g, int k, std::uint64_t seed) {
+    FARE_CHECK(k >= 1, "k must be >= 1");
+    FARE_CHECK(g.num_nodes() >= static_cast<NodeId>(k), "fewer nodes than parts");
+    Partitioning result;
+    result.k = k;
+    result.assignment.assign(g.num_nodes(), 0);
+    if (k == 1) return result;
+
+    Rng rng(seed);
+    // w(v) = degree(v) + 1: per-part weight tracks the adjacency rows a part
+    // contributes to each mini-batch, which is what the crossbar pool pays.
+    const double total_weight =
+        static_cast<double>(g.num_arcs()) + static_cast<double>(g.num_nodes());
     const double capacity =
-        1.1 * static_cast<double>(g.num_nodes()) / static_cast<double>(k);
+        std::ceil(1.1 * total_weight / static_cast<double>(k));
     std::vector<double> load(static_cast<std::size_t>(k), 0.0);
     std::vector<int> assigned(g.num_nodes(), -1);
     std::vector<NodeId> order(g.num_nodes());
@@ -33,21 +91,33 @@ Partitioning partition_ldg(const CSRGraph& g, int k, std::uint64_t seed) {
 
     std::vector<double> score(static_cast<std::size_t>(k));
     for (NodeId v : order) {
+        const double w = static_cast<double>(g.degree(v)) + 1.0;
         std::fill(score.begin(), score.end(), 0.0);
         for (NodeId u : g.neighbors(v))
             if (assigned[u] >= 0) score[static_cast<std::size_t>(assigned[u])] += 1.0;
-        int best = 0;
-        double best_score = -1.0;
+        int best = -1;
+        double best_score = 0.0;
         for (int p = 0; p < k; ++p) {
-            const double penalty = 1.0 - load[static_cast<std::size_t>(p)] / capacity;
+            const double l = load[static_cast<std::size_t>(p)];
+            if (l + w > capacity) continue;  // would overflow the weight cap
+            const double penalty = 1.0 - l / capacity;
             const double s = (score[static_cast<std::size_t>(p)] + 1e-9) * penalty;
-            if (s > best_score) {
+            if (best < 0 || s > best_score) {
                 best_score = s;
                 best = p;
             }
         }
+        if (best < 0) {
+            // A heavy node fits nowhere: take the lightest part. Part weight
+            // is then bounded by capacity + max node weight.
+            best = 0;
+            for (int p = 1; p < k; ++p)
+                if (load[static_cast<std::size_t>(p)] <
+                    load[static_cast<std::size_t>(best)])
+                    best = p;
+        }
         assigned[v] = best;
-        load[static_cast<std::size_t>(best)] += 1.0;
+        load[static_cast<std::size_t>(best)] += w;
     }
     for (NodeId v = 0; v < g.num_nodes(); ++v) result.assignment[v] = assigned[v];
     return result;

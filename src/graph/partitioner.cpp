@@ -1,8 +1,10 @@
 #include "graph/partitioner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -305,6 +307,148 @@ Partitioning partition_multilevel(const CSRGraph& g, int k, const PartitionConfi
 
     result.assignment = std::move(part);
     return result;
+}
+
+std::size_t streaming_capacity(std::size_t n, int k) {
+    return static_cast<std::size_t>(
+        std::ceil(1.1 * static_cast<double>(n) / static_cast<double>(k)));
+}
+
+PartitionQuality compute_quality(const CSRGraph& g, const Partitioning& p,
+                                 std::string algo) {
+    FARE_CHECK(p.k >= 1, "partitioning has no parts");
+    FARE_CHECK(p.assignment.size() == g.num_nodes(),
+               "assignment size does not match graph");
+    PartitionQuality q;
+    q.algo = std::move(algo);
+    q.parts = p.k;
+
+    const std::size_t k = static_cast<std::size_t>(p.k);
+    const NodeId n = g.num_nodes();
+    std::vector<std::size_t> nodes_per(k, 0);
+    std::vector<std::size_t> arcs_per(k, 0);
+    std::size_t cut = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        const auto pu = static_cast<std::size_t>(p.assignment[u]);
+        ++nodes_per[pu];
+        for (NodeId v : g.neighbors(u)) {
+            ++arcs_per[pu];
+            if (u < v && p.assignment[u] != p.assignment[v]) ++cut;
+        }
+    }
+    q.edge_cut = cut;
+    q.edge_cut_rate = g.num_edges() > 0
+                          ? static_cast<double>(cut) / static_cast<double>(g.num_edges())
+                          : 0.0;
+    const auto max_nodes = *std::max_element(nodes_per.begin(), nodes_per.end());
+    q.beta = n > 0 ? static_cast<double>(max_nodes) * static_cast<double>(k) /
+                         static_cast<double>(n)
+                   : 1.0;
+    const auto max_arcs = *std::max_element(arcs_per.begin(), arcs_per.end());
+    q.alpha = g.num_arcs() > 0
+                  ? static_cast<double>(max_arcs) * static_cast<double>(k) /
+                        static_cast<double>(g.num_arcs())
+                  : 1.0;
+
+    // Replication factor: distinct parts across each vertex's closed
+    // neighbourhood, averaged. A per-part stamp array keeps this O(V + E).
+    std::vector<NodeId> stamp(k, std::numeric_limits<NodeId>::max());
+    std::size_t replicas = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        stamp[static_cast<std::size_t>(p.assignment[u])] = u;
+        ++replicas;
+        for (NodeId v : g.neighbors(u)) {
+            const auto pv = static_cast<std::size_t>(p.assignment[v]);
+            if (stamp[pv] != u) {
+                stamp[pv] = u;
+                ++replicas;
+            }
+        }
+    }
+    q.replication_factor =
+        n > 0 ? static_cast<double>(replicas) / static_cast<double>(n) : 1.0;
+    return q;
+}
+
+namespace {
+
+class MultilevelPartitioner final : public Partitioner {
+public:
+    const char* name() const override { return "multilevel"; }
+    Partitioning partition(const CSRGraph& g, int k,
+                           std::uint64_t seed) const override {
+        PartitionConfig cfg;
+        cfg.seed = seed;
+        return partition_multilevel(g, k, cfg);
+    }
+};
+
+class LdgPartitioner final : public Partitioner {
+public:
+    const char* name() const override { return "ldg"; }
+    bool bounded_balance() const override { return true; }
+    Partitioning partition(const CSRGraph& g, int k,
+                           std::uint64_t seed) const override {
+        return partition_ldg(g, k, seed);
+    }
+};
+
+class WeightedLdgPartitioner final : public Partitioner {
+public:
+    const char* name() const override { return "weighted-ldg"; }
+    Partitioning partition(const CSRGraph& g, int k,
+                           std::uint64_t seed) const override {
+        return partition_ldg_weighted(g, k, seed);
+    }
+};
+
+class FennelPartitioner final : public Partitioner {
+public:
+    const char* name() const override { return "fennel"; }
+    bool bounded_balance() const override { return true; }
+    Partitioning partition(const CSRGraph& g, int k,
+                           std::uint64_t seed) const override {
+        return partition_fennel(g, k, seed);
+    }
+};
+
+class ReFennelPartitioner final : public Partitioner {
+public:
+    const char* name() const override { return "refennel"; }
+    bool bounded_balance() const override { return true; }
+    Partitioning partition(const CSRGraph& g, int k,
+                           std::uint64_t seed) const override {
+        return partition_refennel(g, k, seed);
+    }
+};
+
+}  // namespace
+
+const std::vector<const Partitioner*>& registered_partitioners() {
+    static const MultilevelPartitioner multilevel;
+    static const LdgPartitioner ldg;
+    static const WeightedLdgPartitioner weighted_ldg;
+    static const FennelPartitioner fennel;
+    static const ReFennelPartitioner refennel;
+    static const std::vector<const Partitioner*> all = {
+        &multilevel, &ldg, &weighted_ldg, &fennel, &refennel};
+    return all;
+}
+
+Expected<const Partitioner*> try_find_partitioner(const std::string& name) {
+    for (const Partitioner* p : registered_partitioners())
+        if (name == p->name()) return p;
+    std::ostringstream os;
+    os << "unknown partitioner '" << name << "' (valid:";
+    for (const Partitioner* p : registered_partitioners()) os << ' ' << p->name();
+    os << ')';
+    return Expected<const Partitioner*>::failure(os.str());
+}
+
+const Partitioner& find_partitioner(const std::string& name) {
+    auto found = try_find_partitioner(name);
+    if (!found) throw InvalidArgument(found.error());
+    return *found.value();
 }
 
 }  // namespace fare

@@ -54,7 +54,11 @@ std::vector<Subgraph> make_cluster_batches(const CSRGraph& g, const Partitioning
         }
         if (nodes.empty()) continue;
         std::sort(nodes.begin(), nodes.end());
-        batches.push_back(induced_subgraph(g, std::move(nodes)));
+        Subgraph sub = induced_subgraph(g, std::move(nodes));
+        sub.node_part.resize(sub.nodes.size());
+        for (std::size_t i = 0; i < sub.nodes.size(); ++i)
+            sub.node_part[i] = parts.assignment[sub.nodes[i]];
+        batches.push_back(std::move(sub));
     }
     return batches;
 }

@@ -16,8 +16,13 @@ namespace fare {
 
 /// A batch: an induced subgraph plus the global ids of its nodes.
 struct Subgraph {
-    std::vector<NodeId> nodes;  ///< local index -> global node id
-    CSRGraph graph;             ///< induced graph on `nodes` (local ids)
+    std::vector<NodeId> nodes;   ///< local index -> global node id
+    /// Local index -> source partition id; filled by make_cluster_batches
+    /// (empty for subgraphs built directly via induced_subgraph). The
+    /// partition-aware crossbar mapper uses this to give each adjacency
+    /// row-block a home tile that follows the cut.
+    std::vector<int> node_part;
+    CSRGraph graph;              ///< induced graph on `nodes` (local ids)
 };
 
 /// Induced subgraph over `nodes` (global ids; order defines local ids).

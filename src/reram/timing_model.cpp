@@ -93,6 +93,16 @@ double TimingModel::reprogram_latency_s(std::uint64_t pulses) const {
     return static_cast<double>(pulses) / config_.tile.array_clock_hz;
 }
 
+double TimingModel::noc_transfer_latency_s(std::size_t blocks) const {
+    if (blocks == 0) return 0.0;
+    // Each off-home block ships one crossbar-row vector of 16-bit partial
+    // sums per mapping use: rows x 2 bytes, plus the fixed routing latency.
+    const double bytes_per_block =
+        static_cast<double>(config_.tile.crossbar_rows) * 2.0;
+    return static_cast<double>(blocks) *
+           (config_.noc_hop_latency_s + bytes_per_block / config_.noc_bytes_per_sec);
+}
+
 double TimingModel::stage_delay_s(const WorkloadTiming& w) const {
     const auto xb_rows = static_cast<std::size_t>(config_.tile.crossbar_rows);
     const auto weights_per_row =

@@ -74,6 +74,13 @@ struct TimingConfig {
     /// as spares (area/energy overhead of the hardware baseline).
     double spare_column_fraction = 0.15;
 
+    // NoC (inter-tile) transfer model: a block whose home tile differs from
+    // the tile its crossbar landed on ships its partial aggregation results
+    // across the mesh once per epoch-equivalent mapping use. First-order:
+    // per-block payload = crossbar_rows x 16-bit partials.
+    double noc_bytes_per_sec = 2e9;   ///< mesh link effective bandwidth
+    double noc_hop_latency_s = 50e-9; ///< per-transfer fixed routing latency
+
     // Energy coefficients (first-order): the per-wave MVM energy is
     // calibrated against Table III — one tile at 0.34 W running a 512 us
     // pipeline stage of ~700 waves spends ~240 nJ per wave; writes and ADC
@@ -130,6 +137,11 @@ public:
 
     /// Targeted re-programming: `pulses` single-cell program pulses.
     double reprogram_latency_s(std::uint64_t pulses) const;
+
+    /// Inter-tile NoC cost of shipping `blocks` off-home-tile partial
+    /// aggregation payloads (one crossbar's worth of 16-bit partial sums
+    /// each) across the mesh. Partition-aware mapping exists to shrink this.
+    double noc_transfer_latency_s(std::size_t blocks) const;
 
     /// Delay of one pipeline stage for a workload: max over the aggregation
     /// MVM wavefront, the combination MVM wavefront and the weight update

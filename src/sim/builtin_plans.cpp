@@ -117,6 +117,29 @@ const std::vector<NamedPlan>& builtin_plans() {
          "{fault-unaware, FARe, online FARe, online naive} — the "
          "bench_online_tolerance frontier",
          [] { return online_tolerance_plan(); }},
+        {"partition_sweep",
+         "PPI (GCN) @ 3% faults on a 4-tile chip with partition-aware "
+         "mapping, partitioner {multilevel, fennel, weighted-ldg} x "
+         "partition count {8, 40} x {fault-unaware, FARe} — partition "
+         "quality vs accuracy vs off-tile traffic",
+         [] {
+             // A multi-tile chip with a pool spanning the tiles: the only
+             // topology where the cut can show up as inter-tile traffic and
+             // partition-aware mapping has crossbars to steer towards.
+             HardwareOverrides hw;
+             hw.num_tiles = 4;
+             hw.max_adjacency_pool = 256;
+             hw.partition_aware_mapping = true;
+             return SweepBuilder("partition_sweep")
+                 .workload(find_workload("PPI", GnnKind::kGCN))
+                 .scenario(FaultScenario::pre_deployment(0.03, 0.5))
+                 .hardware(hw)
+                 .partitioners({"multilevel", "fennel", "weighted-ldg"})
+                 .partition_counts({8, 40})
+                 .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+                 .epochs(2)
+                 .build();
+         }},
         {"fig5",
          "the full Fig. 5 accuracy grid (180 cells) — the sweep worth "
          "sharding across machines",

@@ -1,9 +1,11 @@
 #include "sim/plan.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "graph/partitioner.hpp"
 
 namespace fare {
 
@@ -37,6 +39,20 @@ TrainConfig CellSpec::train_config() const {
     TrainConfig tc = workload.train_config(seed);
     tc.record_curve = record_curve;
     if (epochs) tc.epochs = *epochs;
+    if (!partitioner.empty()) tc.partitioner = partitioner;
+    if (partition_count > 0) {
+        // Preserve the workload's per-batch share of the graph: fewer, larger
+        // partitions shrink partitions_per_batch proportionally (else a
+        // coarse count hands the hardware batches whose adjacency grids
+        // overflow the crossbar pool), and a finer count scales it back up.
+        if (tc.num_partitions > 0)
+            tc.partitions_per_batch = std::max(
+                1, tc.partitions_per_batch * partition_count /
+                       tc.num_partitions);
+        tc.num_partitions = partition_count;
+        tc.partitions_per_batch =
+            std::min(tc.partitions_per_batch, partition_count);
+    }
     return tc;
 }
 
@@ -56,6 +72,10 @@ std::string CellSpec::label() const {
         if (scheme_is_online(scheme) && hardware.online.enabled())
             os << " dp=" << hardware.online.detect_period_batches
                << " sc=" << hardware.online.spare_columns;
+    }
+    if (!partitioner.empty() || partition_count > 0) {
+        os << " / part=" << (partitioner.empty() ? "default" : partitioner);
+        if (partition_count > 0) os << 'x' << partition_count;
     }
     if (mode == CellMode::kDeploy) os << " / deploy";
     os << " / seed " << seed;
@@ -81,6 +101,10 @@ std::string CellSpec::key() const {
        << "|" << (ideal ? std::string("ideal")
                         : "hwseed=" + std::to_string(hardware_seed.value_or(seed)) +
                               "|" + faults.key() + "|" + hw.key());
+    // The partitioning block is appended only when overridden: every legacy
+    // key (and every kDerived seed hashed from it) stays byte-stable.
+    if (!partitioner.empty() || partition_count > 0)
+        os << "|part=" << partitioner << '/' << partition_count;
     return os.str();
 }
 
@@ -190,6 +214,20 @@ SweepBuilder& SweepBuilder::readback_tolerances(
     readback_tolerances_ = tolerances;
     return *this;
 }
+SweepBuilder& SweepBuilder::partitioner(const std::string& name) {
+    return partitioners({name});
+}
+SweepBuilder& SweepBuilder::partitioners(const std::vector<std::string>& names) {
+    partitioners_ = names;
+    return *this;
+}
+SweepBuilder& SweepBuilder::partition_count(int k) {
+    return partition_counts({k});
+}
+SweepBuilder& SweepBuilder::partition_counts(const std::vector<int>& k) {
+    partition_counts_ = k;
+    return *this;
+}
 SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
 SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
     seeds_ = s;
@@ -235,9 +273,11 @@ std::size_t SweepBuilder::size() const {
     const std::size_t spares = spare_columns_ ? spare_columns_->size() : 1;
     const std::size_t tols =
         readback_tolerances_ ? readback_tolerances_->size() : 1;
+    const std::size_t parts = partitioners_ ? partitioners_->size() : 1;
+    const std::size_t pcounts = partition_counts_ ? partition_counts_->size() : 1;
     return workloads_.size() * densities * sa1s * clusters * posts * spans *
            noises * clips * wears * hots * arrivals * detects * spares * tols *
-           schemes_.size() * seeds_.size();
+           parts * pcounts * schemes_.size() * seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -284,6 +324,10 @@ ExperimentPlan SweepBuilder::build() const {
         readback_tolerances_
             ? *readback_tolerances_
             : std::vector<double>{hardware_.online.readback_tolerance};
+    const std::vector<std::string> parts =
+        partitioners_ ? *partitioners_ : std::vector<std::string>{std::string()};
+    const std::vector<int> pcounts =
+        partition_counts_ ? *partition_counts_ : std::vector<int>{0};
     // Catch typo'd axis values at build time, not mid-sweep on a worker.
     for (const double d : densities)
         FARE_CHECK(d >= 0.0 && d <= 1.0,
@@ -309,24 +353,33 @@ ExperimentPlan SweepBuilder::build() const {
     for (const double tol : tols)
         FARE_CHECK(tol >= 0.0,
                    "sweep '" + name_ + "': readback tolerance must be >= 0");
+    for (const std::string& pname : parts)
+        if (!pname.empty()) {
+            const auto found = try_find_partitioner(pname);
+            FARE_CHECK(found.ok(), "sweep '" + name_ + "': " + found.error());
+        }
+    for (const int pc : pcounts)
+        FARE_CHECK(pc >= 0,
+                   "sweep '" + name_ + "': partition count must be >= 0");
 
     ExperimentPlan plan;
     plan.name = name_;
     plan.cells.reserve(size());
-    // The full cross-product is 16 axes deep; index-odometer enumeration
+    // The full cross-product is 18 axes deep; index-odometer enumeration
     // replaces the nested-loop pyramid while keeping the documented
     // workload-major order (rightmost axis spins fastest).
     const std::size_t extents[] = {
         workloads_.size(), densities.size(), sa1s.size(),     clusters.size(),
         posts.size(),      spans.size(),     noises.size(),   clips.size(),
         endurances.size(), hots.size(),      arrivals.size(), detects.size(),
-        spares.size(),     tols.size(),      schemes_.size(), seeds_.size()};
+        spares.size(),     tols.size(),      parts.size(),    pcounts.size(),
+        schemes_.size(),   seeds_.size()};
     constexpr std::size_t kAxes = sizeof(extents) / sizeof(extents[0]);
     std::size_t index[kAxes] = {};
     for (std::size_t produced = 0; produced < size(); ++produced) {
         CellSpec cell;
         cell.workload = workloads_[index[0]];
-        cell.scheme = schemes_[index[14]];
+        cell.scheme = schemes_[index[16]];
         cell.faults = scenario_;
         cell.faults.density = densities[index[1]];
         cell.faults.sa1_fraction = sa1s[index[2]];
@@ -344,14 +397,16 @@ ExperimentPlan SweepBuilder::build() const {
         cell.hardware.online.detect_period_batches = detects[index[11]];
         cell.hardware.online.spare_columns = spares[index[12]];
         cell.hardware.online.readback_tolerance = tols[index[13]];
+        cell.partitioner = parts[index[14]];
+        cell.partition_count = pcounts[index[15]];
         cell.mode = mode_;
         cell.record_curve = record_curve_;
         cell.epochs = epochs_;
-        cell.seed = seeds_[index[15]];
+        cell.seed = seeds_[index[17]];
         if (seed_policy_ == SeedPolicy::kDerived) {
             CellSpec coords = cell;  // key() sans seed
             coords.seed = 0;
-            cell.seed = splitmix64(seeds_[index[15]] ^ fnv1a(coords.key()));
+            cell.seed = splitmix64(seeds_[index[17]] ^ fnv1a(coords.key()));
         }
         plan.cells.push_back(std::move(cell));
         for (std::size_t axis = kAxes; axis-- > 0;) {

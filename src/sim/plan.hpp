@@ -50,6 +50,13 @@ struct CellSpec {
     bool record_curve = false;
     /// Override the registry's epoch count (FARE_EPOCHS default) if set.
     std::optional<std::size_t> epochs;
+    /// Partitioning algorithm override by registry name (graph/partitioner.hpp);
+    /// "" = the workload default ("multilevel"). Appended to key() only when
+    /// non-default so legacy memo keys stay byte-stable.
+    std::string partitioner;
+    /// Cluster-partition count override; 0 = the workload default. When set,
+    /// partitions_per_batch is clamped to it. Key-inert while 0.
+    int partition_count = 0;
 
     /// Training configuration implied by the spec (registry defaults plus
     /// the record_curve / epochs overrides).
@@ -85,7 +92,8 @@ struct ExperimentPlan {
 /// post-deployment epoch span, then read-noise sigma, then clip threshold,
 /// then write-endurance mean, then hot-spot fraction, then arrival period,
 /// then detect period, then spare columns, then readback tolerance, then
-/// scheme, then seed — the row/column order the paper's tables use.
+/// partitioner, then partition count, then scheme, then seed — the
+/// row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
@@ -145,6 +153,13 @@ public:
     /// hardware template's online.readback_tolerance.
     SweepBuilder& readback_tolerance(double tolerance);
     SweepBuilder& readback_tolerances(const std::vector<double>& tolerances);
+    /// Cluster-partitioner axis by registry name ("" = workload default).
+    /// Names are validated against registered_partitioners() at build time.
+    SweepBuilder& partitioner(const std::string& name);
+    SweepBuilder& partitioners(const std::vector<std::string>& names);
+    /// Cluster-partition count axis (0 = workload default).
+    SweepBuilder& partition_count(int k);
+    SweepBuilder& partition_counts(const std::vector<int>& k);
     SweepBuilder& seed(std::uint64_t s);
     SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
 
@@ -182,6 +197,8 @@ private:
     std::optional<std::vector<std::size_t>> detect_periods_;
     std::optional<std::vector<std::size_t>> spare_columns_;
     std::optional<std::vector<double>> readback_tolerances_;
+    std::optional<std::vector<std::string>> partitioners_;
+    std::optional<std::vector<int>> partition_counts_;
     std::vector<std::uint64_t> seeds_{1};
     FaultScenario scenario_;
     HardwareOverrides hardware_;

@@ -389,6 +389,8 @@ std::string cell_spec_to_json(const CellSpec& s) {
        << (s.hardware_seed ? std::to_string(*s.hardware_seed) : "null")
        << ",\"record_curve\":" << (s.record_curve ? "true" : "false")
        << ",\"epochs\":" << (s.epochs ? std::to_string(*s.epochs) : "null")
+       << ",\"partitioner\":\"" << json_escape(s.partitioner) << "\""
+       << ",\"partition_count\":" << s.partition_count
        << ",\"faults\":{"
        << "\"density\":" << json_num(f.density)
        << ",\"sa1_fraction\":" << json_num(f.sa1_fraction)
@@ -420,7 +422,9 @@ std::string cell_spec_to_json(const CellSpec& s) {
        << ",\"march_window\":" << h.online.march_window
        << ",\"readback_tolerance\":" << json_num(h.online.readback_tolerance)
        << ",\"spare_columns\":" << h.online.spare_columns
-       << ",\"reprogram_pulses\":" << h.online.reprogram_pulses << "}}}";
+       << ",\"reprogram_pulses\":" << h.online.reprogram_pulses << '}'
+       << ",\"partition_aware_mapping\":"
+       << (h.partition_aware_mapping ? "true" : "false") << "}}";
     return os.str();
 }
 
@@ -444,10 +448,23 @@ std::string cell_result_to_json(const CellResult& r) {
        << ",\"latency_samples\":" << r.run.online.latency_samples
        << ",\"detect_seconds\":" << json_num(r.run.online.detect_seconds)
        << ",\"repair_seconds\":" << json_num(r.run.online.repair_seconds) << '}'
+       << ",\"off_tile_block_fraction\":"
+       << json_num(r.run.off_tile_block_fraction)
+       << ",\"inter_tile_seconds\":" << json_num(r.run.inter_tile_seconds)
        << ",\"train\":{\"test_accuracy\":" << json_num(r.run.train.test_accuracy)
        << ",\"test_macro_f1\":" << json_num(r.run.train.test_macro_f1)
        << ",\"preprocess_seconds\":" << json_num(r.run.train.preprocess_seconds)
        << ",\"train_seconds\":" << json_num(r.run.train.train_seconds)
+       << ",\"partition_quality\":{"
+       << "\"algo\":\"" << json_escape(r.run.train.partition_quality.algo) << "\""
+       << ",\"parts\":" << r.run.train.partition_quality.parts
+       << ",\"edge_cut\":" << r.run.train.partition_quality.edge_cut
+       << ",\"edge_cut_rate\":"
+       << json_num(r.run.train.partition_quality.edge_cut_rate)
+       << ",\"alpha\":" << json_num(r.run.train.partition_quality.alpha)
+       << ",\"beta\":" << json_num(r.run.train.partition_quality.beta)
+       << ",\"replication_factor\":"
+       << json_num(r.run.train.partition_quality.replication_factor) << '}'
        << ",\"curve\":[";
     for (std::size_t i = 0; i < r.run.train.curve.size(); ++i) {
         const EpochStats& e = r.run.train.curve[i];
@@ -491,6 +508,8 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     const JsonValue& epochs = member(spec, "epochs");
     if (epochs.kind != JsonValue::Kind::kNull)
         s.epochs = static_cast<std::size_t>(u64_value(epochs, "epochs"));
+    s.partitioner = member(spec, "partitioner").as_string();
+    s.partition_count = static_cast<int>(u64(spec, "partition_count"));
 
     const JsonValue& f = member(spec, "faults");
     FaultScenario& faults = s.faults;
@@ -533,6 +552,8 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
         static_cast<std::size_t>(u64(online, "spare_columns"));
     hw.online.reprogram_pulses =
         static_cast<std::uint32_t>(u64(online, "reprogram_pulses"));
+    hw.partition_aware_mapping =
+        member(h, "partition_aware_mapping").as_bool();
     return s;
 }
 
@@ -577,11 +598,22 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         ol.latency_samples = u64(online, "latency_samples");
         ol.detect_seconds = dnum(online, "detect_seconds");
         ol.repair_seconds = dnum(online, "repair_seconds");
+        r.run.off_tile_block_fraction = dnum(run, "off_tile_block_fraction");
+        r.run.inter_tile_seconds = dnum(run, "inter_tile_seconds");
         const JsonValue& train = member(run, "train");
         r.run.train.test_accuracy = dnum(train, "test_accuracy");
         r.run.train.test_macro_f1 = dnum(train, "test_macro_f1");
         r.run.train.preprocess_seconds = dnum(train, "preprocess_seconds");
         r.run.train.train_seconds = dnum(train, "train_seconds");
+        const JsonValue& pq = member(train, "partition_quality");
+        PartitionQuality& quality = r.run.train.partition_quality;
+        quality.algo = member(pq, "algo").as_string();
+        quality.parts = static_cast<int>(u64(pq, "parts"));
+        quality.edge_cut = static_cast<std::size_t>(u64(pq, "edge_cut"));
+        quality.edge_cut_rate = dnum(pq, "edge_cut_rate");
+        quality.alpha = dnum(pq, "alpha");
+        quality.beta = dnum(pq, "beta");
+        quality.replication_factor = dnum(pq, "replication_factor");
         const JsonValue& curve = member(train, "curve");
         if (curve.kind != JsonValue::Kind::kArray) bad_field("curve not an array");
         for (const JsonValue& point : curve.items) {
@@ -674,7 +706,21 @@ std::string cell_to_json(const std::string& plan_name, std::size_t index,
            << ",\"columns_substituted\":" << r.run.online.columns_substituted
            << ",\"crossbars_exhausted\":" << r.run.online.crossbars_exhausted
            << ",\"detect_seconds\":" << json_num(r.run.online.detect_seconds)
-           << ",\"repair_seconds\":" << json_num(r.run.online.repair_seconds);
+           << ",\"repair_seconds\":" << json_num(r.run.online.repair_seconds)
+           // Partition-quality block (appended by the partitioner PR): the
+           // algorithm that actually ran plus its quality metrics, and the
+           // off-tile traffic the mapping produced.
+           << ",\"partitioner\":\""
+           << json_escape(r.run.train.partition_quality.algo) << "\""
+           << ",\"edge_cut_rate\":"
+           << json_num(r.run.train.partition_quality.edge_cut_rate)
+           << ",\"partition_balance\":"
+           << json_num(r.run.train.partition_quality.beta)
+           << ",\"replication_factor\":"
+           << json_num(r.run.train.partition_quality.replication_factor)
+           << ",\"off_tile_fraction\":"
+           << json_num(r.run.off_tile_block_fraction)
+           << ",\"inter_tile_seconds\":" << json_num(r.run.inter_tile_seconds);
     } else {
         os << ",\"trained_accuracy\":" << json_num(r.deployment.trained_accuracy)
            << ",\"deployed_accuracy\":" << json_num(r.deployment.deployed_accuracy);

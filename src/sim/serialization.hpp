@@ -31,7 +31,10 @@ namespace fare {
 /// v2: FaultScenario wear block + arrival cadence, run.wear_faults.
 /// v3: faults.soft_error_rate, hardware.online policy block, run.online
 ///     detection/correction stats.
-inline constexpr int kCellJsonSchemaVersion = 3;
+/// v4: spec.partitioner / partition_count / hardware.partition_aware_mapping,
+///     run.train.partition_quality report, run.off_tile_block_fraction +
+///     inter_tile_seconds traffic diagnostics.
+inline constexpr int kCellJsonSchemaVersion = 4;
 
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& s);

@@ -435,5 +435,88 @@ TEST(CellSpecTest, LabelReadable) {
     EXPECT_EQ(spec.label(), "Reddit (GCN) / FARe / d=3% sa1=50% / seed 1");
 }
 
+TEST(SweepBuilderTest, PartitionerAxes) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    const ExperimentPlan plan =
+        SweepBuilder("parts")
+            .workload(w)
+            .density(0.03)
+            .partitioners({"fennel", "refennel"})
+            .partition_counts({8, 40})
+            .schemes({Scheme::kFaultUnaware, Scheme::kFARe})
+            .seeds({1, 2})
+            .build();
+    EXPECT_EQ(plan.size(), 2u * 2 * 2 * 2);
+
+    // Partitioner is outer to partition count, which is outer to scheme and
+    // seed (the documented enumeration order).
+    EXPECT_EQ(plan.cells[0].partitioner, "fennel");
+    EXPECT_EQ(plan.cells[0].partition_count, 8);
+    EXPECT_EQ(plan.cells[0].seed, 1u);
+    EXPECT_EQ(plan.cells[1].seed, 2u);                    // seed fastest
+    EXPECT_EQ(plan.cells[2].scheme, Scheme::kFARe);       // then scheme
+    EXPECT_EQ(plan.cells[4].partition_count, 40);         // then count
+    EXPECT_EQ(plan.cells[8].partitioner, "refennel");     // then partitioner
+
+    // The axes feed the trainer via train_config().
+    const TrainConfig tc = plan.cells[0].train_config();
+    EXPECT_EQ(tc.partitioner, "fennel");
+    EXPECT_EQ(tc.num_partitions, 8);
+    EXPECT_LE(tc.partitions_per_batch, 8);
+}
+
+TEST(SweepBuilderTest, UnknownPartitionerRejectedAtBuildTime) {
+    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
+    EXPECT_THROW(SweepBuilder("typo")
+                     .workload(w)
+                     .partitioners({"fennel", "metis"})
+                     .build(),
+                 InvalidArgument);
+    EXPECT_THROW(
+        SweepBuilder("typo").workload(w).partition_counts({-4}).build(),
+        InvalidArgument);
+}
+
+TEST(CellSpecTest, PartitionDefaultsAreKeyInert) {
+    // A spec that never heard of the partition axes and one holding their
+    // defaults must share a memo key — legacy cache entries stay valid.
+    CellSpec legacy;
+    legacy.workload = find_workload("PPI", GnnKind::kGCN);
+    legacy.scheme = Scheme::kFARe;
+    legacy.faults = FaultScenario::pre_deployment(0.03, 0.5);
+    CellSpec with_defaults = legacy;
+    with_defaults.partitioner = "";
+    with_defaults.partition_count = 0;
+    with_defaults.hardware.partition_aware_mapping = false;
+    EXPECT_EQ(with_defaults.key(), legacy.key());
+    EXPECT_EQ(with_defaults.key().find("part="), std::string::npos);
+    EXPECT_EQ(with_defaults.key().find("pam="), std::string::npos);
+
+    // Non-defaults must key-separate — same cache, different cells.
+    CellSpec swept = legacy;
+    swept.partitioner = "fennel";
+    swept.partition_count = 40;
+    EXPECT_NE(swept.key(), legacy.key());
+    EXPECT_NE(swept.key().find("part=fennel/40"), std::string::npos);
+    CellSpec pam = legacy;
+    pam.hardware.partition_aware_mapping = true;
+    EXPECT_NE(pam.key(), legacy.key());
+    EXPECT_NE(pam.key().find("pam=1"), std::string::npos);
+}
+
+TEST(CellSpecTest, PartitionCountScalesBatchGrouping) {
+    // Overriding the partition count preserves the workload's per-batch
+    // share of the graph: PPI's default 40 partitions / 4 per batch becomes
+    // 1 per batch at 8 partitions and 8 per batch at 80.
+    CellSpec spec;
+    spec.workload = find_workload("PPI", GnnKind::kGCN);
+    spec.partition_count = 8;
+    EXPECT_EQ(spec.train_config().partitions_per_batch, 1);
+    spec.partition_count = 80;
+    EXPECT_EQ(spec.train_config().partitions_per_batch, 8);
+    spec.partition_count = 40;
+    EXPECT_EQ(spec.train_config().partitions_per_batch, 4);
+}
+
 }  // namespace
 }  // namespace fare

@@ -1,0 +1,88 @@
+// Partition-aware crossbar mapping: the NoC transfer model, the always-on
+// off-tile traffic accounting, and the locality win — biasing the mapper's
+// assignment towards partition-derived home tiles must reduce the off-tile
+// block fraction without changing accuracy (the bias is a cost tie-breaker,
+// never a constraint, so the fault-compatibility outcome is preserved).
+#include <gtest/gtest.h>
+
+#include "reram/timing_model.hpp"
+#include "sim/builtin_plans.hpp"
+#include "sim/cell.hpp"
+#include "sim/plan.hpp"
+#include "sim/registry.hpp"
+
+namespace fare {
+namespace {
+
+TEST(PartitionMappingTest, NocTransferLatencyModel) {
+    TimingConfig config;
+    config.noc_bytes_per_sec = 2e9;
+    config.noc_hop_latency_s = 50e-9;
+    const TimingModel timing(config);
+    EXPECT_DOUBLE_EQ(timing.noc_transfer_latency_s(0), 0.0);
+    // One block: a hop plus rows x 2 bytes over the link.
+    const double bytes =
+        static_cast<double>(config.tile.crossbar_rows) * 2.0;
+    const double one = 50e-9 + bytes / 2e9;
+    EXPECT_DOUBLE_EQ(timing.noc_transfer_latency_s(1), one);
+    EXPECT_DOUBLE_EQ(timing.noc_transfer_latency_s(7), 7.0 * one);
+}
+
+/// The FARe cell of the builtin partition_sweep plan (4-tile chip,
+/// multilevel x 40 partitions), trimmed to one epoch.
+CellSpec sweep_fare_cell() {
+    const ExperimentPlan plan = find_builtin_plan("partition_sweep");
+    for (const CellSpec& spec : plan.cells)
+        if (spec.scheme == Scheme::kFARe && spec.partition_count == 40 &&
+            spec.partitioner == "multilevel") {
+            CellSpec cell = spec;
+            cell.epochs = 1;
+            return cell;
+        }
+    throw InvalidArgument("partition_sweep lost its FARe x40 cell");
+}
+
+TEST(PartitionMappingTest, LocalityWinWithoutAccuracyChange) {
+    CellSpec biased = sweep_fare_cell();
+    ASSERT_TRUE(biased.hardware.partition_aware_mapping);
+    CellSpec unbiased = biased;
+    unbiased.hardware.partition_aware_mapping = false;
+    const CellResult with_bias = run_cell(biased);
+    const CellResult without_bias = run_cell(unbiased);
+
+    // Off-tile traffic is measured either way (home tiles derive from the
+    // partitioning, not from the flag), and the bias only reduces it.
+    EXPECT_GT(without_bias.run.off_tile_block_fraction, 0.0);
+    EXPECT_GT(with_bias.run.off_tile_block_fraction, 0.0);
+    EXPECT_LT(with_bias.run.off_tile_block_fraction,
+              without_bias.run.off_tile_block_fraction);
+
+    // The win lands in the TimingModel: fewer off-home blocks, less
+    // modeled inter-tile time.
+    EXPECT_GT(without_bias.run.inter_tile_seconds, 0.0);
+    EXPECT_LT(with_bias.run.inter_tile_seconds,
+              without_bias.run.inter_tile_seconds);
+
+    // Tie-breaker contract: identical training outcome.
+    EXPECT_DOUBLE_EQ(with_bias.run.train.test_accuracy,
+                     without_bias.run.train.test_accuracy);
+
+    // And the flag key-separates the two cells so they never share a memo.
+    EXPECT_NE(biased.key(), unbiased.key());
+}
+
+TEST(PartitionMappingTest, QualityReportReachesTheCellResult) {
+    const CellResult result = run_cell(sweep_fare_cell());
+    const PartitionQuality& q = result.run.train.partition_quality;
+    EXPECT_EQ(q.algo, "multilevel");
+    EXPECT_EQ(q.parts, 40);
+    EXPECT_GT(q.edge_cut, 0u);
+    EXPECT_GT(q.edge_cut_rate, 0.0);
+    EXPECT_LT(q.edge_cut_rate, 1.0);
+    EXPECT_GE(q.beta, 1.0);
+    EXPECT_GE(q.replication_factor, 1.0);
+    EXPECT_LE(q.replication_factor, 40.0);
+}
+
+}  // namespace
+}  // namespace fare

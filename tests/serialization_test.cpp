@@ -38,6 +38,9 @@ CellResult sample_result() {
     r.spec.hardware.online.readback_tolerance = 0.015;
     r.spec.hardware.online.spare_columns = 3;
     r.spec.hardware.online.reprogram_pulses = 5;
+    r.spec.hardware.partition_aware_mapping = true;
+    r.spec.partitioner = "refennel";
+    r.spec.partition_count = 24;
     r.spec.seed = 0xDEADBEEFCAFEF00Dull;  // > 2^53: breaks a double mantissa
     r.spec.hardware_seed = 0xFFFFFFFFFFFFFFFFull;
     r.spec.mode = CellMode::kTrain;
@@ -59,8 +62,17 @@ CellResult sample_result() {
     r.run.online.latency_samples = 13;
     r.run.online.detect_seconds = 0.0123456789;
     r.run.online.repair_seconds = 1.0 / 7.0;
+    r.run.off_tile_block_fraction = 0.4375;
+    r.run.inter_tile_seconds = 1.0 / 3.0;
     r.run.train.test_accuracy = 0.923076923076923;
     r.run.train.test_macro_f1 = 1.0 / 3.0;
+    r.run.train.partition_quality.algo = "refennel";
+    r.run.train.partition_quality.parts = 24;
+    r.run.train.partition_quality.edge_cut = 123457;
+    r.run.train.partition_quality.edge_cut_rate = 0.0625;
+    r.run.train.partition_quality.alpha = 1.0 / 7.0 + 1.0;
+    r.run.train.partition_quality.beta = 1.099999999999;
+    r.run.train.partition_quality.replication_factor = 2.71828;
     r.run.train.preprocess_seconds = 0.001234;
     r.run.train.train_seconds = 1.75;
     r.run.train.curve = {{0.9f, 0.1, 0.2}, {0.45f, 0.65, 0.7}};
@@ -108,6 +120,20 @@ TEST(SerializationTest, CellResultRoundTripsExactly) {
     EXPECT_EQ(r.run.online.latency_samples, 13u);
     EXPECT_DOUBLE_EQ(r.run.online.detect_seconds, 0.0123456789);
     EXPECT_DOUBLE_EQ(r.run.online.repair_seconds, 1.0 / 7.0);
+    // v4: partitioner axes, the quality report, and the traffic diagnostics.
+    EXPECT_EQ(r.spec.partitioner, "refennel");
+    EXPECT_EQ(r.spec.partition_count, 24);
+    EXPECT_TRUE(r.spec.hardware.partition_aware_mapping);
+    EXPECT_DOUBLE_EQ(r.run.off_tile_block_fraction, 0.4375);
+    EXPECT_DOUBLE_EQ(r.run.inter_tile_seconds, 1.0 / 3.0);
+    EXPECT_EQ(r.run.train.partition_quality.algo, "refennel");
+    EXPECT_EQ(r.run.train.partition_quality.parts, 24);
+    EXPECT_EQ(r.run.train.partition_quality.edge_cut, 123457u);
+    EXPECT_DOUBLE_EQ(r.run.train.partition_quality.edge_cut_rate, 0.0625);
+    EXPECT_DOUBLE_EQ(r.run.train.partition_quality.alpha, 1.0 / 7.0 + 1.0);
+    EXPECT_DOUBLE_EQ(r.run.train.partition_quality.beta, 1.099999999999);
+    EXPECT_DOUBLE_EQ(r.run.train.partition_quality.replication_factor,
+                     2.71828);
     ASSERT_EQ(r.run.train.curve.size(), 2u);
     EXPECT_FLOAT_EQ(r.run.train.curve[0].train_loss, 0.9f);
     EXPECT_DOUBLE_EQ(r.run.train.curve[1].val_accuracy, 0.7);
