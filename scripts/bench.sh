@@ -24,10 +24,11 @@ cmake -B "${BUILD_DIR}" -S . \
     -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
     --target bench_micro_corruption bench_micro_mvm bench_micro_graph \
-             bench_micro_partition bench_online_tolerance
+             bench_micro_partition bench_micro_attention \
+             bench_online_tolerance
 
 for bench in bench_micro_corruption bench_micro_mvm bench_micro_graph \
-             bench_micro_partition; do
+             bench_micro_partition bench_micro_attention; do
     echo "=== ${bench} ==="
     "${BUILD_DIR}/${bench}" \
         --benchmark_out_format=json \

@@ -1,6 +1,7 @@
 #include "fare/baselines.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
@@ -19,6 +20,26 @@ TimingConfig timing_config_for(const FaultyHardwareConfig& config) {
     TimingConfig tc;
     tc.tile = config.accelerator.tile;
     return tc;
+}
+
+/// Flattened mask of the bottom `fraction` of weights by |w|. Ties break on
+/// flat index (stable sort), so the mask is a deterministic pure function of
+/// the weights — identical across threads, workers and reruns.
+std::vector<std::uint8_t> significance_prune_mask(const Matrix& w,
+                                                  double fraction) {
+    const std::size_t total = w.size();
+    const auto k = static_cast<std::size_t>(fraction * static_cast<double>(total));
+    std::vector<std::uint8_t> mask(total, 0);
+    if (k == 0) return mask;
+    const auto flat = w.flat();
+    std::vector<std::uint32_t> order(total);
+    for (std::size_t i = 0; i < total; ++i) order[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&flat](std::uint32_t a, std::uint32_t b) {
+                         return std::abs(flat[a]) < std::abs(flat[b]);
+                     });
+    for (std::size_t i = 0; i < k; ++i) mask[order[i]] = 1;
+    return mask;
 }
 
 /// (off-home-tile, with-home) block counts of one batch mapping. Host
@@ -240,9 +261,25 @@ Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
     const bool clip = scheme_ == Scheme::kFARe ||
                       scheme_ == Scheme::kClippingOnly ||
                       scheme_ == Scheme::kOnlineFARe;
+    // Significance pruning: program the bottom-|w| fraction as exact zeros
+    // and force them back to zero on read-out, masking any fault underneath.
+    // A pure function of `w`, so it needs no cache-invalidation plumbing.
+    const std::vector<std::uint8_t> pruned =
+        config_.prune_fraction > 0.0
+            ? significance_prune_mask(w, config_.prune_fraction)
+            : std::vector<std::uint8_t>{};
+    const Matrix* stored = &w;
+    Matrix pruned_w;
+    if (!pruned.empty()) {
+        pruned_w = w;
+        auto flat = pruned_w.flat();
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            if (pruned[i]) flat[i] = 0.0f;
+        stored = &pruned_w;
+    }
     Matrix out;
     if (!config_.faults_on_weights) {
-        out = quantize_dequantize(w);
+        out = quantize_dequantize(*stored);
         if (clip) clipper_.clip_in_place(out);
     } else {
         auto& region = params_[idx];
@@ -255,12 +292,17 @@ Matrix FaultyHardware::effective_weights(std::size_t idx, const Matrix& w) {
             const bool stale = nr_perm_fresh_.size() <= idx ||
                                !nr_perm_fresh_[idx] || !region.overlay.compiled();
             if (stale) {
-                const auto perm = nr_weight_permutation(idx, w);
+                const auto perm = nr_weight_permutation(idx, *stored, pruned);
                 region.overlay =
                     CompiledFaultOverlay(region.grid, w.rows(), w.cols(), perm);
             }
         }
-        out = region.overlay.apply(w, threshold);
+        out = region.overlay.apply(*stored, threshold);
+    }
+    if (!pruned.empty()) {
+        auto flat = out.flat();
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            if (pruned[i]) flat[i] = 0.0f;
     }
     if (config_.read_noise_sigma > 0.0) {
         // Cycle-to-cycle conductance variation: multiplicative Gaussian
@@ -280,8 +322,8 @@ std::uint64_t FaultyHardware::weights_state_version() const {
     return weights_version_;
 }
 
-std::vector<std::uint16_t> FaultyHardware::nr_weight_permutation(std::size_t idx,
-                                                                 const Matrix& w) {
+std::vector<std::uint16_t> FaultyHardware::nr_weight_permutation(
+    std::size_t idx, const Matrix& w, const std::vector<std::uint8_t>& pruned) {
     // Neuron granularity: one reorder unit = one logical weight row spanning
     // all 8 bit-slice cells. Cost of placing row r at physical row p = number
     // of stuck cells whose level differs from the stored slice. NR's
@@ -319,6 +361,9 @@ std::vector<std::uint16_t> FaultyHardware::nr_weight_permutation(std::size_t idx
                 if (!fault.has_value()) continue;
                 const std::uint8_t stuck = (*fault == FaultType::kSA0) ? 0 : 0x3;
                 for (std::size_t r = 0; r < n; ++r) {
+                    // A pruned weight carries no signal: a stuck cell under
+                    // it is harmless, so it must not repel this placement.
+                    if (!pruned.empty() && pruned[r * w.cols() + c]) continue;
                     const std::uint8_t stored =
                         sliced[r * w.cols() + c][static_cast<std::size_t>(s)];
                     if (stored != stuck) cost[r * phys + p] += 1.0;

@@ -29,7 +29,7 @@
 #include "common/rng.hpp"
 #include "fare/mapper.hpp"
 #include "fare/weight_clipper.hpp"
-#include "gnn/hardware_model.hpp"
+#include "nn/hardware_model.hpp"
 #include "reram/accelerator.hpp"
 #include "reram/compiled_overlay.hpp"
 #include "reram/corruption.hpp"
@@ -94,6 +94,15 @@ struct FaultyHardwareConfig {
     /// Default OFF: the legacy FARe mapping is byte-identical while false.
     /// Off-tile traffic is *measured* regardless of this flag.
     bool partition_aware_mapping = false;
+
+    /// Significance pruning (model-agnostic mapping relaxation): the bottom
+    /// `prune_fraction` of each parameter matrix by |w| is programmed as
+    /// exact zeros, and read-out forces those positions back to zero — so
+    /// any stuck-at under a pruned cell is masked. NR additionally skips
+    /// pruned positions in its row-mismatch costs, spending its permutation
+    /// budget only on weights that carry signal. 0 disables (legacy
+    /// behaviour, byte-identical).
+    double prune_fraction = 0.0;
 };
 
 /// Ideal hardware: weights round-trip the 16-bit fixed-point grid, adjacency
@@ -201,8 +210,11 @@ private:
     /// The timing model still charges the per-batch reorder stalls the paper
     /// describes (each batch's reorder must be validated against the updated
     /// weights before the next batch may enter the pipeline).
-    std::vector<std::uint16_t> nr_weight_permutation(std::size_t idx,
-                                                     const Matrix& w);
+    /// `pruned` (empty = no pruning) marks flattened (row, col) positions
+    /// whose weights are pruned to zero: their mismatches are skipped, since
+    /// a stuck cell under a pruned weight costs nothing.
+    std::vector<std::uint16_t> nr_weight_permutation(
+        std::size_t idx, const Matrix& w, const std::vector<std::uint8_t>& pruned);
 
     Scheme scheme_;
     FaultyHardwareConfig config_;

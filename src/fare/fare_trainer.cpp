@@ -2,6 +2,17 @@
 
 namespace fare {
 
+void harvest_scheme_diagnostics(HardwareModel* hardware, SchemeRunResult& out) {
+    if (auto* faulty = dynamic_cast<FaultyHardware*>(hardware)) {
+        out.total_mapping_cost = faulty->total_mapping_cost();
+        out.bist_scans = faulty->bist_scans();
+        out.wear_faults = faulty->wear_faults();
+        out.online = faulty->online_stats();
+        out.off_tile_block_fraction = faulty->off_tile_block_fraction();
+        out.inter_tile_seconds = faulty->inter_tile_seconds();
+    }
+}
+
 SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
                            const TrainConfig& train_config,
                            const FaultyHardwareConfig& hw_config) {
@@ -10,14 +21,7 @@ SchemeRunResult run_scheme(const Dataset& dataset, Scheme scheme,
     auto hardware = make_hardware(scheme, hw_config);
     Trainer trainer(dataset, train_config, hardware.get());
     result.train = trainer.run();
-    if (auto* faulty = dynamic_cast<FaultyHardware*>(hardware.get())) {
-        result.total_mapping_cost = faulty->total_mapping_cost();
-        result.bist_scans = faulty->bist_scans();
-        result.wear_faults = faulty->wear_faults();
-        result.online = faulty->online_stats();
-        result.off_tile_block_fraction = faulty->off_tile_block_fraction();
-        result.inter_tile_seconds = faulty->inter_tile_seconds();
-    }
+    harvest_scheme_diagnostics(hardware.get(), result);
     return result;
 }
 

@@ -6,7 +6,7 @@
 
 #include "fare/baselines.hpp"
 #include "fare/scenario.hpp"
-#include "gnn/trainer.hpp"
+#include "models/gnn/trainer.hpp"
 
 namespace fare {
 
@@ -28,6 +28,11 @@ struct SchemeRunResult {
     double off_tile_block_fraction = 0.0;
     double inter_tile_seconds = 0.0;
 };
+
+/// Copy the scheme-level diagnostics (mapping cost, BIST scans, wear, online
+/// stats, tile locality) out of `hardware` if it is a FaultyHardware; no-op
+/// for ideal hardware. Shared by every model family's run_train.
+void harvest_scheme_diagnostics(HardwareModel* hardware, SchemeRunResult& out);
 
 /// Build the hardware model for `scheme`, run the full training loop and
 /// final test evaluation.

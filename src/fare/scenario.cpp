@@ -152,6 +152,9 @@ std::string HardwareOverrides::key() const {
     // Partition-aware placement changes the mapping, so it must key —
     // appended only when enabled to keep legacy keys byte-stable.
     if (partition_aware_mapping) os << ";pam=1";
+    // Pruning changes the programmed weights, so it must key — appended
+    // only when active to keep legacy keys byte-stable.
+    if (prune_fraction > 0.0) os << ";prune=" << num(prune_fraction);
     return os.str();
 }
 
@@ -181,6 +184,7 @@ FaultyHardwareConfig to_hardware_config(const FaultScenario& scenario,
     config.max_adjacency_pool = hw.max_adjacency_pool;
     config.online = hw.online;
     config.partition_aware_mapping = hw.partition_aware_mapping;
+    config.prune_fraction = hw.prune_fraction;
     return config;
 }
 

@@ -118,6 +118,13 @@ struct HardwareOverrides {
     /// partition-derived home tile (fare/mapper.hpp TilePlacement). Appended
     /// to key() only when true so legacy keys stay byte-stable.
     bool partition_aware_mapping = false;
+    /// Significance pruning: the fraction of smallest-|w| weights per
+    /// parameter matrix forced to zero on the crossbars. Pruned cells carry
+    /// no information, so faults under them are harmless — which relaxes the
+    /// fault-matching objective for every scheme and model family (NR skips
+    /// pruned positions in its mismatch costs). 0 disables; appended to
+    /// key() only when non-zero so legacy keys stay byte-stable.
+    double prune_fraction = 0.0;
 
     std::string key() const;
 };

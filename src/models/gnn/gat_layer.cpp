@@ -12,8 +12,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "gnn/activations.hpp"
-#include "gnn/layers.hpp"
+#include "nn/activations.hpp"
+#include "models/gnn/layers.hpp"
 
 namespace fare {
 

@@ -3,8 +3,8 @@
 // (X W on weight crossbars) and aggregation (A_gcn * on adjacency crossbars)
 // phases.
 #include "common/rng.hpp"
-#include "gnn/activations.hpp"
-#include "gnn/layers.hpp"
+#include "nn/activations.hpp"
+#include "models/gnn/layers.hpp"
 
 namespace fare {
 

@@ -1,0 +1,41 @@
+#include "models/gnn/gnn_family.hpp"
+
+#include "fare/fare_trainer.hpp"
+#include "sim/registry.hpp"
+
+namespace fare {
+
+std::vector<WorkloadSpec> GnnFamily::workloads() const { return fig5_workloads(); }
+
+TrainConfig GnnFamily::train_config(const WorkloadSpec& workload,
+                                    std::uint64_t seed) const {
+    // WorkloadSpec::train_config handles the "gnn" family inline (it only
+    // dispatches here for other families), so this cannot recurse.
+    return workload.train_config(seed);
+}
+
+WorkloadTiming GnnFamily::paper_scale_timing(const WorkloadSpec& workload) const {
+    return workload.paper_scale_timing();
+}
+
+SchemeRunResult GnnFamily::run_train(const WorkloadSpec& workload, Scheme scheme,
+                                     const TrainConfig& train_config,
+                                     const FaultScenario& scenario,
+                                     const HardwareOverrides& hw_overrides,
+                                     std::uint64_t hw_seed) const {
+    const Dataset dataset = workload.make_dataset(train_config.seed);
+    return run_scheme(dataset, scheme, train_config, scenario, hw_overrides,
+                      hw_seed);
+}
+
+DeploymentResult GnnFamily::run_deploy(const WorkloadSpec& workload, Scheme scheme,
+                                       const TrainConfig& train_config,
+                                       const FaultScenario& scenario,
+                                       const HardwareOverrides& hw_overrides,
+                                       std::uint64_t hw_seed) const {
+    const Dataset dataset = workload.make_dataset(train_config.seed);
+    return run_deployment(dataset, train_config, scheme, scenario, hw_overrides,
+                          hw_seed);
+}
+
+}  // namespace fare

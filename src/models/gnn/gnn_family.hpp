@@ -1,0 +1,28 @@
+// The paper's model family: Cluster-GCN style mini-batch GNN training
+// (GCN / GAT / GraphSAGE) on partitioned synthetic graphs.
+#pragma once
+
+#include "nn/model_family.hpp"
+
+namespace fare {
+
+class GnnFamily final : public ModelFamily {
+public:
+    std::string name() const override { return "gnn"; }
+    std::vector<WorkloadSpec> workloads() const override;
+    TrainConfig train_config(const WorkloadSpec& workload,
+                             std::uint64_t seed) const override;
+    WorkloadTiming paper_scale_timing(const WorkloadSpec& workload) const override;
+    SchemeRunResult run_train(const WorkloadSpec& workload, Scheme scheme,
+                              const TrainConfig& train_config,
+                              const FaultScenario& scenario,
+                              const HardwareOverrides& hw_overrides,
+                              std::uint64_t hw_seed) const override;
+    DeploymentResult run_deploy(const WorkloadSpec& workload, Scheme scheme,
+                                const TrainConfig& train_config,
+                                const FaultScenario& scenario,
+                                const HardwareOverrides& hw_overrides,
+                                std::uint64_t hw_seed) const override;
+};
+
+}  // namespace fare

@@ -1,4 +1,4 @@
-#include "gnn/layers.hpp"
+#include "models/gnn/layers.hpp"
 
 namespace fare {
 

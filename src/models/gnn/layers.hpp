@@ -14,15 +14,13 @@
 #include <memory>
 #include <vector>
 
-#include "gnn/batch_view.hpp"
+#include "models/gnn/batch_view.hpp"
+#include "nn/train_types.hpp"
 #include "numeric/matrix.hpp"
 
 namespace fare {
 
 class Rng;
-
-enum class GnnKind { kGCN, kGAT, kSAGE };
-const char* gnn_kind_name(GnnKind kind);
 
 class Layer {
 public:

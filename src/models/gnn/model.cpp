@@ -1,4 +1,4 @@
-#include "gnn/model.hpp"
+#include "models/gnn/model.hpp"
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -14,7 +14,7 @@ Model::Model(const ModelConfig& config) : config_(config) {
             case GnnKind::kGAT: return make_gat_layer(in, out, act, rng);
             case GnnKind::kSAGE: return make_sage_layer(in, out, act, rng);
         }
-        throw InvalidArgument("unknown GNN kind");
+        throw InvalidArgument("unknown GNN kind (expected GCN | GAT | SAGE)");
     };
     for (std::size_t l = 0; l < config.num_layers; ++l) {
         const std::size_t in = (l == 0) ? config.in_features : config.hidden;

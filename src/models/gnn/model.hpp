@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "gnn/layers.hpp"
+#include "models/gnn/layers.hpp"
 
 namespace fare {
 

@@ -3,8 +3,8 @@
 // A_mean = D^-1 (A + I). Both weight matrices live on weight crossbars; the
 // mean aggregation runs on the adjacency crossbars.
 #include "common/rng.hpp"
-#include "gnn/activations.hpp"
-#include "gnn/layers.hpp"
+#include "nn/activations.hpp"
+#include "models/gnn/layers.hpp"
 
 namespace fare {
 

@@ -1,12 +1,12 @@
-#include "gnn/trainer.hpp"
+#include "models/gnn/trainer.hpp"
 
 #include <numeric>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
-#include "gnn/loss.hpp"
-#include "gnn/optimizer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
 #include "graph/partitioner.hpp"
 
 namespace fare {

@@ -11,46 +11,14 @@
 #include <optional>
 #include <vector>
 
-#include "gnn/hardware_model.hpp"
-#include "gnn/metrics.hpp"
-#include "gnn/model.hpp"
+#include "nn/hardware_model.hpp"
+#include "nn/metrics.hpp"
+#include "nn/train_types.hpp"
+#include "models/gnn/model.hpp"
 #include "graph/dataset.hpp"
 #include "graph/subgraph.hpp"
 
 namespace fare {
-
-struct TrainConfig {
-    GnnKind kind = GnnKind::kGCN;
-    std::size_t hidden = 32;
-    std::size_t num_layers = 2;
-    float lr = 0.01f;               // Table II
-    std::size_t epochs = 40;
-    int num_partitions = 40;        // METIS partitions (Table II, scaled)
-    int partitions_per_batch = 4;   // "Batch" in Table II
-    /// Registry name of the partitioning algorithm (see
-    /// graph/partitioner.hpp): "multilevel" (the METIS stand-in the paper
-    /// uses), "ldg", "weighted-ldg", "fennel" or "refennel".
-    std::string partitioner = "multilevel";
-    std::uint64_t seed = 1;
-    bool record_curve = true;       // per-epoch metrics (Fig. 4)
-};
-
-struct EpochStats {
-    float train_loss = 0.0f;
-    double train_accuracy = 0.0;
-    double val_accuracy = 0.0;
-};
-
-struct TrainResult {
-    std::vector<EpochStats> curve;
-    double test_accuracy = 0.0;
-    double test_macro_f1 = 0.0;
-    double preprocess_seconds = 0.0;  ///< measured host mapping time
-    double train_seconds = 0.0;
-    /// Quality of the Cluster-GCN partitioning (computed once in the
-    /// trainer constructor; deterministic, serialized with the cell).
-    PartitionQuality partition_quality;
-};
 
 class Trainer {
 public:

@@ -1,0 +1,53 @@
+#include "models/transformer/seq_dataset.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fare {
+
+SeqDataset make_seq_cls(const SeqDatasetConfig& config, std::uint64_t seed) {
+    const int marker_tokens = config.num_classes * config.markers_per_class;
+    FARE_CHECK(config.num_classes >= 2, "need at least two classes");
+    FARE_CHECK(config.seq_len >= 1, "need at least one position");
+    FARE_CHECK(config.vocab_size > marker_tokens,
+               "vocabulary must leave room for noise tokens beyond the markers");
+
+    SeqDataset data;
+    data.name = config.name;
+    data.vocab_size = config.vocab_size;
+    data.seq_len = config.seq_len;
+    data.num_classes = config.num_classes;
+
+    const int total =
+        config.train_sequences + config.val_sequences + config.test_sequences;
+    data.tokens.reserve(static_cast<std::size_t>(total));
+    data.labels.reserve(static_cast<std::size_t>(total));
+    data.split.reserve(static_cast<std::size_t>(total));
+
+    Rng rng(seed ^ 0x5E9C15ULL);
+    const int noise_tokens = config.vocab_size - marker_tokens;
+    for (int i = 0; i < total; ++i) {
+        const int label = i % config.num_classes;
+        std::vector<int> seq(static_cast<std::size_t>(config.seq_len));
+        for (auto& tok : seq) {
+            if (rng.next_bool(config.marker_fraction)) {
+                tok = label * config.markers_per_class +
+                      static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(config.markers_per_class)));
+            } else {
+                tok = marker_tokens +
+                      static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(noise_tokens)));
+            }
+        }
+        data.tokens.push_back(std::move(seq));
+        data.labels.push_back(label);
+        data.split.push_back(i < config.train_sequences ? Split::kTrain
+                             : i < config.train_sequences + config.val_sequences
+                                 ? Split::kVal
+                                 : Split::kTest);
+    }
+    return data;
+}
+
+}  // namespace fare

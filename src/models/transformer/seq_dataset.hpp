@@ -1,0 +1,51 @@
+// Synthetic sequence-classification workload for the transformer family.
+//
+// Mirrors the role graph/generators.hpp plays for the GNN family: a
+// deterministic generator (seeded Rng) that produces a scaled-down workload
+// with a train/val/test split, so every cell regenerates bit-identically on
+// any worker. The task is marker-token classification: each class owns a
+// small set of marker tokens and a sequence's positions carry either one of
+// its class's markers or a token from a shared noise pool. A fault-free
+// transformer solves it near-perfectly; stuck-at corruption of the embedding
+// / attention / MLP weights degrades it, which is the signal the fault
+// tolerance schemes act on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dataset.hpp"
+
+namespace fare {
+
+struct SeqDataset {
+    std::string name;
+    int vocab_size = 0;
+    int seq_len = 0;
+    int num_classes = 0;
+    std::vector<std::vector<int>> tokens;  ///< [sequence][position] token ids
+    std::vector<int> labels;               ///< one class per sequence
+    std::vector<Split> split;              ///< one split per sequence
+
+    std::size_t num_sequences() const { return tokens.size(); }
+};
+
+struct SeqDatasetConfig {
+    std::string name = "SeqCls";
+    int vocab_size = 64;
+    int seq_len = 16;
+    int num_classes = 4;
+    int markers_per_class = 4;
+    int train_sequences = 96;
+    int val_sequences = 32;
+    int test_sequences = 64;
+    /// Probability that a position carries a class marker (vs. noise).
+    double marker_fraction = 0.35;
+};
+
+/// Deterministic generator; classes are assigned round-robin so every split
+/// is balanced.
+SeqDataset make_seq_cls(const SeqDatasetConfig& config, std::uint64_t seed);
+
+}  // namespace fare

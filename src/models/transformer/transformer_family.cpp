@@ -1,0 +1,110 @@
+#include "models/transformer/transformer_family.hpp"
+
+#include "common/error.hpp"
+#include "fare/baselines.hpp"
+#include "fare/fare_trainer.hpp"
+#include "fare/scenario.hpp"
+#include "models/transformer/seq_dataset.hpp"
+#include "models/transformer/transformer_trainer.hpp"
+#include "sim/registry.hpp"
+
+namespace fare {
+
+namespace {
+
+SeqDataset make_workload_data(const WorkloadSpec& workload, std::uint64_t seed) {
+    FARE_CHECK(workload.dataset == "SeqCls",
+               "unknown transformer workload: '" + workload.dataset +
+                   "' (registered: SeqCls)");
+    SeqDatasetConfig config;  // scaled-down defaults, see seq_dataset.hpp
+    return make_seq_cls(config, seed);
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> TransformerFamily::workloads() const {
+    WorkloadSpec w;
+    w.dataset = "SeqCls";
+    w.family = "transformer";
+    w.variant = "Transformer";
+    return {w};
+}
+
+TrainConfig TransformerFamily::train_config(const WorkloadSpec& workload,
+                                            std::uint64_t seed) const {
+    (void)workload;
+    TrainConfig tc;
+    tc.hidden = 32;      // d_model
+    tc.num_layers = 2;   // attention+MLP blocks
+    tc.lr = 0.005f;      // Adam; a notch below the GNN 0.01 for stability
+    tc.epochs = default_experiment_epochs();
+    tc.seed = seed;
+    tc.record_curve = false;
+    return tc;
+}
+
+WorkloadTiming TransformerFamily::paper_scale_timing(
+    const WorkloadSpec& workload) const {
+    (void)workload;
+    // Paper-scale stand-in: a small BERT-style encoder (vocab 8192, length
+    // 128, d=512, ff=1024, 4 blocks) fine-tuned for 100 epochs in batches of
+    // 16 sequences.
+    WorkloadTiming w;
+    w.epochs = 100;
+    w.hidden = 512;
+    w.layers = 4;
+    w.features = 512;
+    w.batches_per_epoch = 64;
+    w.avg_batch_nodes = 16 * 128;  // token rows streamed per batch
+    w.weight_rows_total = 8192 + 128 + 4 * (4 * 512 + 512 + 1024) + 512;
+    return w;
+}
+
+SchemeRunResult TransformerFamily::run_train(const WorkloadSpec& workload,
+                                             Scheme scheme,
+                                             const TrainConfig& train_config,
+                                             const FaultScenario& scenario,
+                                             const HardwareOverrides& hw_overrides,
+                                             std::uint64_t hw_seed) const {
+    const SeqDataset data = make_workload_data(workload, train_config.seed);
+    SchemeRunResult result;
+    result.scheme = scheme;
+    if (scheme == Scheme::kFaultFree) {
+        IdealQuantizedHardware hardware;
+        TransformerTrainer trainer(data, train_config, &hardware);
+        result.train = trainer.run();
+        return result;
+    }
+    auto hardware = make_hardware(
+        scheme, to_hardware_config(scenario, hw_overrides, hw_seed,
+                                   train_config.epochs));
+    TransformerTrainer trainer(data, train_config, hardware.get());
+    result.train = trainer.run();
+    harvest_scheme_diagnostics(hardware.get(), result);
+    return result;
+}
+
+DeploymentResult TransformerFamily::run_deploy(const WorkloadSpec& workload,
+                                               Scheme scheme,
+                                               const TrainConfig& train_config,
+                                               const FaultScenario& scenario,
+                                               const HardwareOverrides& hw_overrides,
+                                               std::uint64_t hw_seed) const {
+    const SeqDataset data = make_workload_data(workload, train_config.seed);
+    DeploymentResult result;
+
+    IdealQuantizedHardware ideal;
+    TransformerTrainer host_trainer(data, train_config, &ideal);
+    result.trained_accuracy = host_trainer.run().test_accuracy;
+
+    auto hardware = make_hardware(
+        scheme, to_hardware_config(scenario, hw_overrides, hw_seed,
+                                   train_config.epochs));
+    TransformerTrainer edge(data, train_config, hardware.get());
+    edge.import_params(host_trainer.export_params());
+    edge.prepare_hardware();
+    result.deployed_accuracy = edge.evaluate_test_accuracy();
+    return result;
+}
+
+}  // namespace fare

@@ -1,9 +1,9 @@
-#include "gnn/loss.hpp"
+#include "nn/loss.hpp"
 
 #include <cmath>
 
 #include "common/error.hpp"
-#include "gnn/activations.hpp"
+#include "nn/activations.hpp"
 
 namespace fare {
 

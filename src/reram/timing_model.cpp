@@ -22,6 +22,15 @@ const char* scheme_name(Scheme s) {
     return "?";
 }
 
+const std::vector<Scheme>& all_schemes() {
+    static const std::vector<Scheme> kSchemes = {
+        Scheme::kFaultFree,     Scheme::kFaultUnaware, Scheme::kNeuronReorder,
+        Scheme::kClippingOnly,  Scheme::kFARe,         Scheme::kRedundantCols,
+        Scheme::kOnlineFARe,    Scheme::kOnlineNaive,
+    };
+    return kSchemes;
+}
+
 Expected<Scheme> parse_scheme(const std::string& name) {
     std::string lower = name;
     std::transform(lower.begin(), lower.end(), lower.begin(),

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "reram/tile.hpp"
@@ -38,6 +39,10 @@ enum class Scheme {
 };
 
 const char* scheme_name(Scheme s);
+
+/// Every scheme, in enum order — the registry view used by `fare-run --list`
+/// and sweeps that want "all of them" without hand-maintaining a list.
+const std::vector<Scheme>& all_schemes();
 
 /// Schemes that run the in-training detection/correction engine
 /// (reram/online_tolerance.hpp).

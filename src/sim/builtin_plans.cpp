@@ -140,6 +140,22 @@ const std::vector<NamedPlan>& builtin_plans() {
                  .epochs(2)
                  .build();
          }},
+        {"transformer_sweep",
+         "SeqCls (Transformer), 2 densities x {fault-free, fault-unaware, "
+         "FARe} x prune fraction {0, 25%} — the transformer family on the "
+         "same crossbar fabric, with significance pruning relaxing the "
+         "fault-matching objective",
+         [] {
+             return SweepBuilder("transformer_sweep")
+                 .workload(find_workload("transformer", "SeqCls"))
+                 .densities({0.03, 0.08})
+                 .sa1_fraction(0.5)
+                 .prune_fractions({0.0, 0.25})
+                 .schemes({Scheme::kFaultFree, Scheme::kFaultUnaware,
+                           Scheme::kFARe})
+                 .epochs(2)
+                 .build();
+         }},
         {"fig5",
          "the full Fig. 5 accuracy grid (180 cells) — the sweep worth "
          "sharding across machines",

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "nn/model_family.hpp"
 
 namespace fare {
 
@@ -15,7 +16,8 @@ const CellResult& ResultSet::at(const WorkloadSpec& workload, Scheme scheme,
                                 std::optional<CellMode> mode) const {
     for (const CellResult& cell : cells) {
         if (cell.spec.workload.dataset != workload.dataset ||
-            cell.spec.workload.kind != workload.kind)
+            cell.spec.workload.family != workload.family ||
+            cell.spec.workload.model_name() != workload.model_name())
             continue;
         if (cell.spec.scheme != scheme) continue;
         if (density >= 0.0 && cell.spec.faults.density != density) continue;
@@ -53,15 +55,18 @@ CellResult run_cell(const CellSpec& spec) {
     CellResult result;
     result.spec = spec;
     Stopwatch watch;
-    const Dataset dataset = spec.workload.make_dataset(spec.seed);
+    // Model-agnostic dispatch: the workload's family owns dataset
+    // construction and the train/deploy loop; the cell machinery only
+    // handles seeding, caching and serialization.
+    const ModelFamily& family = find_model_family(spec.workload.family);
     const TrainConfig tc = spec.train_config();
     const std::uint64_t hw_seed = spec.hardware_seed.value_or(spec.seed);
     if (spec.mode == CellMode::kDeploy) {
-        result.deployment = run_deployment(dataset, tc, spec.scheme, spec.faults,
-                                           spec.hardware, hw_seed);
+        result.deployment = family.run_deploy(spec.workload, spec.scheme, tc,
+                                              spec.faults, spec.hardware, hw_seed);
     } else {
-        result.run = run_scheme(dataset, spec.scheme, tc, spec.faults,
-                                spec.hardware, hw_seed);
+        result.run = family.run_train(spec.workload, spec.scheme, tc, spec.faults,
+                                      spec.hardware, hw_seed);
     }
     result.wall_seconds = watch.elapsed_ms() / 1e3;
     return result;

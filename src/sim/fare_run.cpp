@@ -35,7 +35,9 @@
 
 #include "common/error.hpp"
 #include "common/simd.hpp"
+#include "graph/partitioner.hpp"
 #include "net/protocol.hpp"
+#include "nn/model_family.hpp"
 #include "sim/builtin_plans.hpp"
 #include "sim/cell_cache.hpp"
 #include "sim/remote_executor.hpp"
@@ -109,8 +111,31 @@ int usage(std::ostream& os, int code) {
           "Compact a cell cache in place (drop dead lines, fold segments,\n"
           "apply --cache-max-bytes eviction; fails if the dir is in use):\n"
           "  fare-run --cache-compact --cache-dir DIR [--cache-max-bytes N]\n\n"
-          "  fare-run --list-plans\n";
+          "  fare-run --list-plans   list built-in plans\n"
+          "  fare-run --list         list every registry: model families,\n"
+          "                          workloads, schemes, partitioners, plans\n";
     return code;
+}
+
+/// --list: one stop for every registry-named identifier a plan or CLI flag
+/// can reference. The output is the source of truth for "what can I type
+/// here" — each section mirrors the error message of the matching lookup.
+int list_registries(std::ostream& os) {
+    os << "model families:\n";
+    for (const ModelFamily* family : registered_model_families())
+        os << "  " << family->name() << '\n';
+    os << "\nworkloads (--plan cells reference these):\n"
+       << workload_usage();
+    os << "\nschemes:\n";
+    for (const Scheme scheme : all_schemes())
+        os << "  " << scheme_name(scheme) << '\n';
+    os << "\npartitioners:\n";
+    for (const Partitioner* partitioner : registered_partitioners())
+        os << "  " << partitioner->name() << '\n';
+    os << "\nbuilt-in plans:\n";
+    for (const NamedPlan& plan : builtin_plans())
+        os << "  " << plan.name << " — " << plan.description << '\n';
+    return 0;
 }
 
 /// --stream: one display-JSON line per cell, printed the moment the plan
@@ -517,6 +542,7 @@ int run(int argc, char** argv) {
             return argv[++i];
         };
         if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--list") return list_registries(std::cout);
         if (arg == "--list-plans") list_plans = true;
         else if (arg == "--plan") plan_name = value();
         else if (arg == "--shard") {

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "graph/partitioner.hpp"
+#include "nn/model_family.hpp"
 
 namespace fare {
 
@@ -94,7 +95,7 @@ std::string CellSpec::key() const {
     std::ostringstream os;
     // Epochs are recorded post-resolution (the FARE_EPOCHS default included)
     // so a session outliving an env change never serves a stale budget.
-    os << "w=" << workload.dataset << '/' << gnn_kind_name(workload.kind)
+    os << "w=" << workload.dataset << '/' << workload.model_name()
        << "|s=" << scheme_name(scheme) << "|m=" << cell_mode_name(mode)
        << "|seed=" << seed << "|curve=" << record_curve
        << "|epochs=" << train_config().epochs
@@ -105,6 +106,9 @@ std::string CellSpec::key() const {
     // key (and every kDerived seed hashed from it) stays byte-stable.
     if (!partitioner.empty() || partition_count > 0)
         os << "|part=" << partitioner << '/' << partition_count;
+    // Same convention for the model-family tag: "gnn" (the only family the
+    // legacy keys could describe) stays implicit.
+    if (workload.family != "gnn") os << "|model=" << workload.family;
     return os.str();
 }
 
@@ -116,6 +120,17 @@ SweepBuilder& SweepBuilder::workload(const WorkloadSpec& w) {
 }
 SweepBuilder& SweepBuilder::workloads(const std::vector<WorkloadSpec>& w) {
     workloads_.insert(workloads_.end(), w.begin(), w.end());
+    return *this;
+}
+SweepBuilder& SweepBuilder::model_family(const std::string& name) {
+    return model_families({name});
+}
+SweepBuilder& SweepBuilder::model_families(const std::vector<std::string>& names) {
+    for (const std::string& name : names) {
+        const auto fam = try_find_model_family(name);
+        FARE_CHECK(fam.ok(), "sweep '" + name_ + "': " + fam.error());
+        workloads(fam.value()->workloads());
+    }
     return *this;
 }
 SweepBuilder& SweepBuilder::scheme(Scheme s) { return schemes({s}); }
@@ -228,6 +243,13 @@ SweepBuilder& SweepBuilder::partition_counts(const std::vector<int>& k) {
     partition_counts_ = k;
     return *this;
 }
+SweepBuilder& SweepBuilder::prune_fraction(double fraction) {
+    return prune_fractions({fraction});
+}
+SweepBuilder& SweepBuilder::prune_fractions(const std::vector<double>& fractions) {
+    prune_fractions_ = fractions;
+    return *this;
+}
 SweepBuilder& SweepBuilder::seed(std::uint64_t s) { return seeds({s}); }
 SweepBuilder& SweepBuilder::seeds(const std::vector<std::uint64_t>& s) {
     seeds_ = s;
@@ -275,9 +297,10 @@ std::size_t SweepBuilder::size() const {
         readback_tolerances_ ? readback_tolerances_->size() : 1;
     const std::size_t parts = partitioners_ ? partitioners_->size() : 1;
     const std::size_t pcounts = partition_counts_ ? partition_counts_->size() : 1;
+    const std::size_t prunes = prune_fractions_ ? prune_fractions_->size() : 1;
     return workloads_.size() * densities * sa1s * clusters * posts * spans *
            noises * clips * wears * hots * arrivals * detects * spares * tols *
-           parts * pcounts * schemes_.size() * seeds_.size();
+           parts * pcounts * prunes * schemes_.size() * seeds_.size();
 }
 
 ExperimentPlan SweepBuilder::build() const {
@@ -328,6 +351,9 @@ ExperimentPlan SweepBuilder::build() const {
         partitioners_ ? *partitioners_ : std::vector<std::string>{std::string()};
     const std::vector<int> pcounts =
         partition_counts_ ? *partition_counts_ : std::vector<int>{0};
+    const std::vector<double> prunes =
+        prune_fractions_ ? *prune_fractions_
+                         : std::vector<double>{hardware_.prune_fraction};
     // Catch typo'd axis values at build time, not mid-sweep on a worker.
     for (const double d : densities)
         FARE_CHECK(d >= 0.0 && d <= 1.0,
@@ -361,11 +387,14 @@ ExperimentPlan SweepBuilder::build() const {
     for (const int pc : pcounts)
         FARE_CHECK(pc >= 0,
                    "sweep '" + name_ + "': partition count must be >= 0");
+    for (const double prune : prunes)
+        FARE_CHECK(prune >= 0.0 && prune < 1.0,
+                   "sweep '" + name_ + "': prune fraction outside [0,1)");
 
     ExperimentPlan plan;
     plan.name = name_;
     plan.cells.reserve(size());
-    // The full cross-product is 18 axes deep; index-odometer enumeration
+    // The full cross-product is 19 axes deep; index-odometer enumeration
     // replaces the nested-loop pyramid while keeping the documented
     // workload-major order (rightmost axis spins fastest).
     const std::size_t extents[] = {
@@ -373,13 +402,13 @@ ExperimentPlan SweepBuilder::build() const {
         posts.size(),      spans.size(),     noises.size(),   clips.size(),
         endurances.size(), hots.size(),      arrivals.size(), detects.size(),
         spares.size(),     tols.size(),      parts.size(),    pcounts.size(),
-        schemes_.size(),   seeds_.size()};
+        prunes.size(),     schemes_.size(),  seeds_.size()};
     constexpr std::size_t kAxes = sizeof(extents) / sizeof(extents[0]);
     std::size_t index[kAxes] = {};
     for (std::size_t produced = 0; produced < size(); ++produced) {
         CellSpec cell;
         cell.workload = workloads_[index[0]];
-        cell.scheme = schemes_[index[16]];
+        cell.scheme = schemes_[index[17]];
         cell.faults = scenario_;
         cell.faults.density = densities[index[1]];
         cell.faults.sa1_fraction = sa1s[index[2]];
@@ -399,14 +428,15 @@ ExperimentPlan SweepBuilder::build() const {
         cell.hardware.online.readback_tolerance = tols[index[13]];
         cell.partitioner = parts[index[14]];
         cell.partition_count = pcounts[index[15]];
+        cell.hardware.prune_fraction = prunes[index[16]];
         cell.mode = mode_;
         cell.record_curve = record_curve_;
         cell.epochs = epochs_;
-        cell.seed = seeds_[index[17]];
+        cell.seed = seeds_[index[18]];
         if (seed_policy_ == SeedPolicy::kDerived) {
             CellSpec coords = cell;  // key() sans seed
             coords.seed = 0;
-            cell.seed = splitmix64(seeds_[index[17]] ^ fnv1a(coords.key()));
+            cell.seed = splitmix64(seeds_[index[18]] ^ fnv1a(coords.key()));
         }
         plan.cells.push_back(std::move(cell));
         for (std::size_t axis = kAxes; axis-- > 0;) {

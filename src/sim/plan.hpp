@@ -92,14 +92,20 @@ struct ExperimentPlan {
 /// post-deployment epoch span, then read-noise sigma, then clip threshold,
 /// then write-endurance mean, then hot-spot fraction, then arrival period,
 /// then detect period, then spare columns, then readback tolerance, then
-/// partitioner, then partition count, then scheme, then seed — the
-/// row/column order the paper's tables use.
+/// partitioner, then partition count, then prune fraction, then scheme,
+/// then seed — the row/column order the paper's tables use.
 class SweepBuilder {
 public:
     explicit SweepBuilder(std::string name);
 
     SweepBuilder& workload(const WorkloadSpec& w);
     SweepBuilder& workloads(const std::vector<WorkloadSpec>& w);
+    /// Model-family axes: append every workload registered by the named
+    /// family (nn/model_family.hpp), so `.model_families({"gnn",
+    /// "transformer"})` sweeps the union of both families' workloads.
+    /// Unknown names fail immediately, listing the registered families.
+    SweepBuilder& model_family(const std::string& name);
+    SweepBuilder& model_families(const std::vector<std::string>& names);
     SweepBuilder& scheme(Scheme s);
     SweepBuilder& schemes(const std::vector<Scheme>& s);
     SweepBuilder& density(double d);
@@ -160,6 +166,12 @@ public:
     /// Cluster-partition count axis (0 = workload default).
     SweepBuilder& partition_count(int k);
     SweepBuilder& partition_counts(const std::vector<int>& k);
+    /// Significance-pruning axis: fraction of smallest-|w| weights per
+    /// matrix forced to zero on the crossbars, which relaxes the fault
+    /// matching objective (faults under pruned cells are harmless — see
+    /// HardwareOverrides::prune_fraction). 0 = no pruning; key-inert at 0.
+    SweepBuilder& prune_fraction(double fraction);
+    SweepBuilder& prune_fractions(const std::vector<double>& fractions);
     SweepBuilder& seed(std::uint64_t s);
     SweepBuilder& seeds(const std::vector<std::uint64_t>& s);
 
@@ -199,6 +211,7 @@ private:
     std::optional<std::vector<double>> readback_tolerances_;
     std::optional<std::vector<std::string>> partitioners_;
     std::optional<std::vector<int>> partition_counts_;
+    std::optional<std::vector<double>> prune_fractions_;
     std::vector<std::uint64_t> seeds_{1};
     FaultScenario scenario_;
     HardwareOverrides hardware_;

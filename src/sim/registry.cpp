@@ -7,15 +7,14 @@
 
 #include "common/error.hpp"
 #include "graph/generators.hpp"
+#include "nn/model_family.hpp"
 
 namespace fare {
 
-namespace {
-
-/// Global epoch count for experiment runs. The paper trains 100 epochs; our
-/// scaled datasets converge well before 40, which keeps full figure sweeps
-/// in CPU-minutes. FARE_EPOCHS overrides (e.g. FARE_EPOCHS=100).
-std::size_t default_epochs() {
+/// The paper trains 100 epochs; our scaled datasets converge well before 40,
+/// which keeps full figure sweeps in CPU-minutes. FARE_EPOCHS overrides
+/// (e.g. FARE_EPOCHS=100).
+std::size_t default_experiment_epochs() {
     if (const char* env = std::getenv("FARE_EPOCHS")) {
         const long v = std::strtol(env, nullptr, 10);
         if (v > 0) return static_cast<std::size_t>(v);
@@ -23,23 +22,31 @@ std::size_t default_epochs() {
     return 40;
 }
 
-}  // namespace
+std::string WorkloadSpec::model_name() const {
+    return family == "gnn" ? gnn_kind_name(kind) : variant;
+}
 
 Dataset WorkloadSpec::make_dataset(std::uint64_t seed) const {
+    if (family != "gnn")
+        throw InvalidArgument("workload family '" + family +
+                              "' has no graph dataset; its ModelFamily builds "
+                              "the workload data internally");
     if (dataset == "PPI") return make_ppi(seed);
     if (dataset == "Reddit") return make_reddit(seed);
     if (dataset == "Amazon2M") return make_amazon2m(seed);
     if (dataset == "Ogbl") return make_ogbl(seed);
-    throw InvalidArgument("unknown dataset: " + dataset);
+    throw InvalidArgument("unknown dataset: '" + dataset +
+                          "' — registered combinations:\n" + workload_usage());
 }
 
 TrainConfig WorkloadSpec::train_config(std::uint64_t seed) const {
+    if (family != "gnn") return find_model_family(family).train_config(*this, seed);
     TrainConfig tc;
     tc.kind = kind;
     tc.hidden = 32;
     tc.num_layers = 2;
     tc.lr = 0.01f;  // Table II
-    tc.epochs = default_epochs();
+    tc.epochs = default_experiment_epochs();
     tc.seed = seed;
     tc.record_curve = false;
     // Table II scaled ~100x: partitions / batch keep the same proportions
@@ -61,6 +68,7 @@ TrainConfig WorkloadSpec::train_config(std::uint64_t seed) const {
 }
 
 WorkloadTiming WorkloadSpec::paper_scale_timing() const {
+    if (family != "gnn") return find_model_family(family).paper_scale_timing(*this);
     // Paper-scale pipeline inputs: N = partitions / batch-size subgraphs per
     // epoch (Table II), hidden width 1024 (the paper's NR discussion), 100
     // epochs.
@@ -95,33 +103,47 @@ WorkloadTiming WorkloadSpec::paper_scale_timing() const {
 }
 
 std::string WorkloadSpec::label() const {
-    return dataset + " (" + gnn_kind_name(kind) + ")";
+    return dataset + " (" + model_name() + ")";
 }
+
+namespace {
+
+WorkloadSpec gnn_workload(const char* dataset, GnnKind kind) {
+    WorkloadSpec w;
+    w.dataset = dataset;
+    w.kind = kind;
+    return w;
+}
+
+}  // namespace
 
 const std::vector<WorkloadSpec>& fig5_workloads() {
     static const std::vector<WorkloadSpec> workloads = {
-        {"PPI", GnnKind::kGCN},      {"PPI", GnnKind::kGAT},
-        {"Reddit", GnnKind::kGCN},   {"Ogbl", GnnKind::kSAGE},
-        {"Amazon2M", GnnKind::kGCN}, {"Amazon2M", GnnKind::kSAGE},
+        gnn_workload("PPI", GnnKind::kGCN),
+        gnn_workload("PPI", GnnKind::kGAT),
+        gnn_workload("Reddit", GnnKind::kGCN),
+        gnn_workload("Ogbl", GnnKind::kSAGE),
+        gnn_workload("Amazon2M", GnnKind::kGCN),
+        gnn_workload("Amazon2M", GnnKind::kSAGE),
     };
     return workloads;
 }
 
 const std::vector<WorkloadSpec>& fig6_workloads() {
     static const std::vector<WorkloadSpec> workloads = {
-        {"PPI", GnnKind::kGAT},
-        {"Reddit", GnnKind::kGCN},
-        {"Amazon2M", GnnKind::kSAGE},
+        gnn_workload("PPI", GnnKind::kGAT),
+        gnn_workload("Reddit", GnnKind::kGCN),
+        gnn_workload("Amazon2M", GnnKind::kSAGE),
     };
     return workloads;
 }
 
 const std::vector<WorkloadSpec>& fig7_workloads() {
     static const std::vector<WorkloadSpec> workloads = {
-        {"Ogbl", GnnKind::kSAGE},
-        {"Reddit", GnnKind::kGCN},
-        {"PPI", GnnKind::kGAT},
-        {"Amazon2M", GnnKind::kGCN},
+        gnn_workload("Ogbl", GnnKind::kSAGE),
+        gnn_workload("Reddit", GnnKind::kGCN),
+        gnn_workload("PPI", GnnKind::kGAT),
+        gnn_workload("Amazon2M", GnnKind::kGCN),
     };
     return workloads;
 }
@@ -148,6 +170,23 @@ Expected<WorkloadSpec> try_find_workload(const std::string& dataset,
         ") — registered combinations:\n" + workload_usage());
 }
 
+Expected<WorkloadSpec> try_find_workload(const std::string& family,
+                                         const std::string& dataset) {
+    auto fam = try_find_model_family(family);
+    if (!fam) return Expected<WorkloadSpec>::failure(fam.error());
+    for (const auto& w : fam.value()->workloads())
+        if (w.dataset == dataset) return w;
+    return Expected<WorkloadSpec>::failure(
+        "unknown workload: " + dataset + " in model family '" + family +
+        "' — registered combinations:\n" + workload_usage());
+}
+
+WorkloadSpec find_workload(const std::string& family, const std::string& dataset) {
+    auto result = try_find_workload(family, dataset);
+    if (!result) throw InvalidArgument(result.error());
+    return std::move(result).value();
+}
+
 Expected<GnnKind> parse_gnn_kind(const std::string& name) {
     std::string upper = name;
     std::transform(upper.begin(), upper.end(), upper.begin(),
@@ -161,8 +200,10 @@ Expected<GnnKind> parse_gnn_kind(const std::string& name) {
 
 std::string workload_usage() {
     std::ostringstream os;
-    for (const auto& w : fig5_workloads())
-        os << "  " << w.dataset << ' ' << gnn_kind_name(w.kind) << '\n';
+    for (const ModelFamily* fam : registered_model_families())
+        for (const auto& w : fam->workloads())
+            os << "  " << w.dataset << ' ' << w.model_name() << "  [" << fam->name()
+               << "]\n";
     return os.str();
 }
 

@@ -316,6 +316,31 @@ std::uint64_t u64(const JsonValue& v, const char* key) {
     return u64_value(member(v, key), key);
 }
 
+// Optional-member lookups for the ranged reader: a field introduced after the
+// record's schema version is simply absent, and takes its spec default. A
+// field that IS present but malformed still fails loudly.
+double dnum_or(const JsonValue& v, const char* key, double fallback) {
+    const JsonValue* m = v.find(key);
+    return m ? m->as_double() : fallback;
+}
+
+std::uint64_t u64_or(const JsonValue& v, const char* key,
+                     std::uint64_t fallback) {
+    const JsonValue* m = v.find(key);
+    return m ? u64_value(*m, key) : fallback;
+}
+
+bool bool_or(const JsonValue& v, const char* key, bool fallback) {
+    const JsonValue* m = v.find(key);
+    return m ? m->as_bool() : fallback;
+}
+
+std::string string_or(const JsonValue& v, const char* key,
+                      const std::string& fallback) {
+    const JsonValue* m = v.find(key);
+    return m ? m->as_string() : fallback;
+}
+
 }  // namespace
 
 const JsonValue* JsonValue::find(const std::string& key) const {
@@ -382,8 +407,12 @@ std::string cell_spec_to_json(const CellSpec& s) {
     std::ostringstream os;
     os << "{"
        << "\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
-       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
-       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
+       << ",\"model\":\"" << json_escape(s.workload.model_name()) << "\"";
+    // The family tag follows the cell-key convention: written only off the
+    // "gnn" default, so pre-v5 tooling diffing GNN records sees no new field.
+    if (s.workload.family != "gnn")
+        os << ",\"family\":\"" << json_escape(s.workload.family) << "\"";
+    os << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
        << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
        << ",\"seed\":" << s.seed << ",\"hardware_seed\":"
        << (s.hardware_seed ? std::to_string(*s.hardware_seed) : "null")
@@ -416,8 +445,10 @@ std::string cell_spec_to_json(const CellSpec& s) {
        << ",\"match_sa0\":" << json_num(h.match_weights.sa0)
        << ",\"match_sa1\":" << json_num(h.match_weights.sa1)
        << ",\"spare_column_fraction\":" << json_num(h.spare_column_fraction)
-       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool
-       << ",\"online\":{"
+       << ",\"max_adjacency_pool\":" << h.max_adjacency_pool;
+    if (h.prune_fraction != 0.0)
+        os << ",\"prune_fraction\":" << json_num(h.prune_fraction);
+    os << ",\"online\":{"
        << "\"detect_period_batches\":" << h.online.detect_period_batches
        << ",\"march_window\":" << h.online.march_window
        << ",\"readback_tolerance\":" << json_num(h.online.readback_tolerance)
@@ -489,10 +520,19 @@ namespace {
 /// public entry points fold every throw into an Expected).
 CellSpec spec_from_json_impl(const JsonValue& spec) {
     CellSpec s;
-    const Expected<GnnKind> kind =
-        parse_gnn_kind(member(spec, "model").as_string());
-    if (!kind) bad_field(kind.error());
-    s.workload = find_workload(member(spec, "dataset").as_string(), kind.value());
+    const std::string family = string_or(spec, "family", "gnn");
+    const std::string& model = member(spec, "model").as_string();
+    if (family == "gnn") {
+        const Expected<GnnKind> kind = parse_gnn_kind(model);
+        if (!kind) bad_field(kind.error());
+        s.workload =
+            find_workload(member(spec, "dataset").as_string(), kind.value());
+    } else {
+        s.workload = find_workload(family, member(spec, "dataset").as_string());
+        if (s.workload.model_name() != model)
+            bad_field("model '" + model + "' does not match workload model '" +
+                      s.workload.model_name() + "' in family '" + family + "'");
+    }
     const Expected<Scheme> scheme =
         parse_scheme(member(spec, "scheme").as_string());
     if (!scheme) bad_field(scheme.error());
@@ -508,8 +548,8 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     const JsonValue& epochs = member(spec, "epochs");
     if (epochs.kind != JsonValue::Kind::kNull)
         s.epochs = static_cast<std::size_t>(u64_value(epochs, "epochs"));
-    s.partitioner = member(spec, "partitioner").as_string();
-    s.partition_count = static_cast<int>(u64(spec, "partition_count"));
+    s.partitioner = string_or(spec, "partitioner", "");  // v4
+    s.partition_count = static_cast<int>(u64_or(spec, "partition_count", 0));
 
     const JsonValue& f = member(spec, "faults");
     FaultScenario& faults = s.faults;
@@ -523,7 +563,7 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     faults.faults_on_weights = member(f, "faults_on_weights").as_bool();
     faults.faults_on_adjacency = member(f, "faults_on_adjacency").as_bool();
     faults.read_noise_sigma = dnum(f, "read_noise_sigma");
-    faults.soft_error_rate = dnum(f, "soft_error_rate");
+    faults.soft_error_rate = dnum_or(f, "soft_error_rate", 0.0);  // v3
     const JsonValue& wear = member(f, "wear");
     faults.wear.endurance_mean_writes = dnum(wear, "endurance_mean_writes");
     faults.wear.weibull_shape = dnum(wear, "weibull_shape");
@@ -542,18 +582,20 @@ CellSpec spec_from_json_impl(const JsonValue& spec) {
     hw.spare_column_fraction = dnum(h, "spare_column_fraction");
     hw.max_adjacency_pool =
         static_cast<std::size_t>(u64(h, "max_adjacency_pool"));
-    const JsonValue& online = member(h, "online");
-    hw.online.detect_period_batches =
-        static_cast<std::size_t>(u64(online, "detect_period_batches"));
-    hw.online.march_window =
-        static_cast<std::size_t>(u64(online, "march_window"));
-    hw.online.readback_tolerance = dnum(online, "readback_tolerance");
-    hw.online.spare_columns =
-        static_cast<std::size_t>(u64(online, "spare_columns"));
-    hw.online.reprogram_pulses =
-        static_cast<std::uint32_t>(u64(online, "reprogram_pulses"));
+    hw.prune_fraction = dnum_or(h, "prune_fraction", 0.0);  // v5
+    if (const JsonValue* online = h.find("online")) {        // v3
+        hw.online.detect_period_batches =
+            static_cast<std::size_t>(u64(*online, "detect_period_batches"));
+        hw.online.march_window =
+            static_cast<std::size_t>(u64(*online, "march_window"));
+        hw.online.readback_tolerance = dnum(*online, "readback_tolerance");
+        hw.online.spare_columns =
+            static_cast<std::size_t>(u64(*online, "spare_columns"));
+        hw.online.reprogram_pulses =
+            static_cast<std::uint32_t>(u64(*online, "reprogram_pulses"));
+    }
     hw.partition_aware_mapping =
-        member(h, "partition_aware_mapping").as_bool();
+        bool_or(h, "partition_aware_mapping", false);  // v4
     return s;
 }
 
@@ -582,38 +624,41 @@ Expected<CellResult> cell_result_from_json(const JsonValue& v) {
         r.run.total_mapping_cost = dnum(run, "total_mapping_cost");
         r.run.bist_scans = static_cast<std::size_t>(u64(run, "bist_scans"));
         r.run.wear_faults = static_cast<std::size_t>(u64(run, "wear_faults"));
-        const JsonValue& online = member(run, "online");
-        OnlineToleranceStats& ol = r.run.online;
-        ol.detection_rounds = u64(online, "detection_rounds");
-        ol.march_cell_ops = u64(online, "march_cell_ops");
-        ol.readback_checks = u64(online, "readback_checks");
-        ol.faults_detected = u64(online, "faults_detected");
-        ol.soft_repaired = u64(online, "soft_repaired");
-        ol.repair_writes = u64(online, "repair_writes");
-        ol.columns_substituted = u64(online, "columns_substituted");
-        ol.crossbars_exhausted = u64(online, "crossbars_exhausted");
-        // Latency persists as (sum, samples) raw integers — not the derived
-        // mean — so the record round-trips byte-identically.
-        ol.latency_steps_sum = u64(online, "latency_steps_sum");
-        ol.latency_samples = u64(online, "latency_samples");
-        ol.detect_seconds = dnum(online, "detect_seconds");
-        ol.repair_seconds = dnum(online, "repair_seconds");
-        r.run.off_tile_block_fraction = dnum(run, "off_tile_block_fraction");
-        r.run.inter_tile_seconds = dnum(run, "inter_tile_seconds");
+        if (const JsonValue* online = run.find("online")) {  // v3
+            OnlineToleranceStats& ol = r.run.online;
+            ol.detection_rounds = u64(*online, "detection_rounds");
+            ol.march_cell_ops = u64(*online, "march_cell_ops");
+            ol.readback_checks = u64(*online, "readback_checks");
+            ol.faults_detected = u64(*online, "faults_detected");
+            ol.soft_repaired = u64(*online, "soft_repaired");
+            ol.repair_writes = u64(*online, "repair_writes");
+            ol.columns_substituted = u64(*online, "columns_substituted");
+            ol.crossbars_exhausted = u64(*online, "crossbars_exhausted");
+            // Latency persists as (sum, samples) raw integers — not the
+            // derived mean — so the record round-trips byte-identically.
+            ol.latency_steps_sum = u64(*online, "latency_steps_sum");
+            ol.latency_samples = u64(*online, "latency_samples");
+            ol.detect_seconds = dnum(*online, "detect_seconds");
+            ol.repair_seconds = dnum(*online, "repair_seconds");
+        }
+        r.run.off_tile_block_fraction =
+            dnum_or(run, "off_tile_block_fraction", 0.0);          // v4
+        r.run.inter_tile_seconds = dnum_or(run, "inter_tile_seconds", 0.0);
         const JsonValue& train = member(run, "train");
         r.run.train.test_accuracy = dnum(train, "test_accuracy");
         r.run.train.test_macro_f1 = dnum(train, "test_macro_f1");
         r.run.train.preprocess_seconds = dnum(train, "preprocess_seconds");
         r.run.train.train_seconds = dnum(train, "train_seconds");
-        const JsonValue& pq = member(train, "partition_quality");
-        PartitionQuality& quality = r.run.train.partition_quality;
-        quality.algo = member(pq, "algo").as_string();
-        quality.parts = static_cast<int>(u64(pq, "parts"));
-        quality.edge_cut = static_cast<std::size_t>(u64(pq, "edge_cut"));
-        quality.edge_cut_rate = dnum(pq, "edge_cut_rate");
-        quality.alpha = dnum(pq, "alpha");
-        quality.beta = dnum(pq, "beta");
-        quality.replication_factor = dnum(pq, "replication_factor");
+        if (const JsonValue* pq = train.find("partition_quality")) {  // v4
+            PartitionQuality& quality = r.run.train.partition_quality;
+            quality.algo = member(*pq, "algo").as_string();
+            quality.parts = static_cast<int>(u64(*pq, "parts"));
+            quality.edge_cut = static_cast<std::size_t>(u64(*pq, "edge_cut"));
+            quality.edge_cut_rate = dnum(*pq, "edge_cut_rate");
+            quality.alpha = dnum(*pq, "alpha");
+            quality.beta = dnum(*pq, "beta");
+            quality.replication_factor = dnum(*pq, "replication_factor");
+        }
         const JsonValue& curve = member(train, "curve");
         if (curve.kind != JsonValue::Kind::kArray) bad_field("curve not an array");
         for (const JsonValue& point : curve.items) {
@@ -657,9 +702,11 @@ Expected<CellRecord> cell_record_from_json(const std::string& line) {
     try {
         CellRecord record;
         record.schema = static_cast<int>(u64(v, "schema"));
-        if (record.schema != kCellJsonSchemaVersion)
+        if (record.schema < kMinCellJsonSchemaVersion ||
+            record.schema > kCellJsonSchemaVersion)
             bad_field("schema version " + std::to_string(record.schema) +
-                      " != " + std::to_string(kCellJsonSchemaVersion));
+                      " outside [" + std::to_string(kMinCellJsonSchemaVersion) +
+                      ", " + std::to_string(kCellJsonSchemaVersion) + "]");
         record.plan = member(v, "plan").as_string();
         record.key = member(v, "key").as_string();
         record.plan_index = static_cast<std::size_t>(u64(v, "plan_index"));
@@ -683,8 +730,12 @@ std::string cell_to_json(const std::string& plan_name, std::size_t index,
     os << '{' << "\"plan\":\"" << json_escape(plan_name) << "\",\"cell\":" << index
        << ",\"workload\":\"" << json_escape(s.workload.label()) << "\""
        << ",\"dataset\":\"" << json_escape(s.workload.dataset) << "\""
-       << ",\"model\":\"" << gnn_kind_name(s.workload.kind) << "\""
-       << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
+       << ",\"model\":\"" << json_escape(s.workload.model_name()) << "\"";
+    // Family tag only off the "gnn" default: GNN display lines (and the
+    // committed BENCH_*.json baselines diffed by CI) stay byte-identical.
+    if (s.workload.family != "gnn")
+        os << ",\"family\":\"" << json_escape(s.workload.family) << "\"";
+    os << ",\"scheme\":\"" << scheme_name(s.scheme) << "\""
        << ",\"mode\":\"" << cell_mode_name(s.mode) << "\""
        << ",\"density\":" << json_num(s.faults.density)
        << ",\"sa1_fraction\":" << json_num(s.faults.sa1_fraction)

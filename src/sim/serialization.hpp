@@ -26,15 +26,26 @@
 namespace fare {
 
 /// Version stamp written into every persisted record. Bump when the result
-/// JSON changes shape; readers skip records from other versions (the cell
-/// recomputes instead of deserializing wrongly).
+/// JSON changes shape. Since v5 the reader is ranged: records stamped
+/// [kMinCellJsonSchemaVersion .. kCellJsonSchemaVersion] parse, with fields
+/// introduced after the record's version taking their spec defaults — a cache
+/// built by an older binary stays warm across an upgrade. Future-stamped or
+/// pre-v2 records are still skipped (the cell recomputes instead of
+/// deserializing wrongly).
 /// v2: FaultScenario wear block + arrival cadence, run.wear_faults.
 /// v3: faults.soft_error_rate, hardware.online policy block, run.online
 ///     detection/correction stats.
 /// v4: spec.partitioner / partition_count / hardware.partition_aware_mapping,
 ///     run.train.partition_quality report, run.off_tile_block_fraction +
 ///     inter_tile_seconds traffic diagnostics.
-inline constexpr int kCellJsonSchemaVersion = 4;
+/// v5: spec.family (model-family registry name, written when != "gnn"),
+///     spec.model generalised to WorkloadSpec::model_name(),
+///     hardware.prune_fraction (written when != 0).
+inline constexpr int kCellJsonSchemaVersion = 5;
+
+/// Oldest record version the reader still accepts (v1 predates the wear
+/// block and no v1 cache survives in the wild).
+inline constexpr int kMinCellJsonSchemaVersion = 2;
 
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& s);

@@ -1,4 +1,4 @@
-#include "gnn/activations.hpp"
+#include "nn/activations.hpp"
 
 #include "common/error.hpp"
 

@@ -98,6 +98,43 @@ TEST(FaultyHardwareTest, HealthyWeightsSurviveCorruption) {
     EXPECT_LE(max_abs_diff(out, params[0]), kFixedStep / 2 + 1e-6f);
 }
 
+TEST(FaultyHardwareTest, PruningZeroesBottomWeightsAndMasksFaults) {
+    Rng rng(9);
+    auto params = make_params(rng);
+    FaultyHardwareConfig cfg = test_config(0.2, 1.0);  // heavy SA1 damage
+    cfg.prune_fraction = 0.5;
+    FaultyHardware hw(Scheme::kFaultUnaware, cfg);
+    hw.bind_params(pointers(params));
+    const Matrix& w = params[0];
+    const Matrix out = hw.effective_weights(0, w);
+
+    // Recompute the significance mask the hardware applies: bottom half by
+    // |w|, ties broken by flat index (stable order).
+    const std::size_t total = w.rows() * w.cols();
+    std::vector<std::size_t> order(total);
+    for (std::size_t i = 0; i < total; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return std::fabs(w.flat()[a]) < std::fabs(w.flat()[b]);
+                     });
+    const std::size_t k = static_cast<std::size_t>(0.5 * total);
+    // Every pruned cell reads exactly zero — SA1 faults underneath are
+    // masked, never exploding a weight the model does not use.
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(out.flat()[order[i]], 0.0f) << "pruned idx " << order[i];
+
+    // Same chip without pruning: the bottom half is NOT all-zero (quantised
+    // small weights plus SA1 explosions keep plenty of them nonzero).
+    cfg.prune_fraction = 0.0;
+    FaultyHardware dense(Scheme::kFaultUnaware, cfg);
+    dense.bind_params(pointers(params));
+    const Matrix dense_out = dense.effective_weights(0, w);
+    std::size_t nonzero = 0;
+    for (std::size_t i = 0; i < k; ++i)
+        if (dense_out.flat()[order[i]] != 0.0f) ++nonzero;
+    EXPECT_GT(nonzero, 0u);
+}
+
 TEST(FaultyHardwareTest, NrPermutationReducesWeightDamage) {
     Rng rng(4);
     auto params = make_params(rng);

@@ -1,4 +1,4 @@
-#include "gnn/batch_view.hpp"
+#include "models/gnn/batch_view.hpp"
 
 #include "common/error.hpp"
 

@@ -116,6 +116,43 @@ TEST(DiskCellCacheTest, SkipsCorruptAndForeignSchemaLines) {
     EXPECT_DOUBLE_EQ(replaced->run.train.test_accuracy, 0.61);
 }
 
+TEST(DiskCellCacheTest, OlderSchemaLinesStayWarmAfterUpgrade) {
+    // The v5 reader is ranged: a cache written by an older binary (v4 stamp)
+    // loads as live entries instead of being dropped as corrupt, so the
+    // upgrade does not cold-start every sweep.
+    const std::string dir = temp_dir("disk_cache_old_schema");
+    {
+        DiskCellCache cache(dir);
+        cache.store("k-old", fake_result(0.5, 1));
+    }
+    const std::string file =
+        (std::filesystem::path(dir) / DiskCellCache::kCacheFileName).string();
+    std::string line;
+    {
+        std::ifstream in(file);
+        std::getline(in, line);
+    }
+    const std::string v5_stamp =
+        "{\"schema\":" + std::to_string(kCellJsonSchemaVersion) + ",";
+    ASSERT_EQ(line.find(v5_stamp), 0u);
+    line.replace(0, v5_stamp.size(), "{\"schema\":4,");
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << line << '\n';
+    }
+
+    DiskCellCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.corrupt_lines_skipped(), 0u);
+    const std::optional<CellResult> hit = reopened.lookup("k-old");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->run.train.test_accuracy, 0.5);
+    // New writes from this instance re-stamp at the current version.
+    reopened.store("k-new", fake_result(0.75, 2));
+    DiskCellCache third(dir);
+    EXPECT_EQ(third.size(), 2u);
+}
+
 TEST(DiskCellCacheTest, CreatesDirectoryAndFactorySelects) {
     const std::string dir = temp_dir("disk_cache_fresh") + "/nested/deep";
     const auto cache = make_cell_cache(dir);

@@ -7,7 +7,8 @@
 #include "common/rng.hpp"
 #include "fare/fare_trainer.hpp"
 #include "graph/generators.hpp"
-#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
+#include "sim/session.hpp"
 
 namespace fare {
 namespace {

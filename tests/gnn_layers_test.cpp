@@ -2,7 +2,7 @@
 // stacked model. The GAT backward pass in particular (attention softmax +
 // LeakyReLU + both attention vectors) is hand-derived, so these tests are
 // the ground truth for its correctness.
-#include "gnn/layers.hpp"
+#include "models/gnn/layers.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,7 +10,7 @@
 #include <functional>
 
 #include "common/rng.hpp"
-#include "gnn/model.hpp"
+#include "models/gnn/model.hpp"
 
 namespace fare {
 namespace {

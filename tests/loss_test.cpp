@@ -1,4 +1,4 @@
-#include "gnn/loss.hpp"
+#include "nn/loss.hpp"
 
 #include "common/error.hpp"
 

@@ -1,4 +1,4 @@
-#include "gnn/metrics.hpp"
+#include "nn/metrics.hpp"
 
 #include "common/error.hpp"
 

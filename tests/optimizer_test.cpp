@@ -1,4 +1,4 @@
-#include "gnn/optimizer.hpp"
+#include "nn/optimizer.hpp"
 
 #include <gtest/gtest.h>
 

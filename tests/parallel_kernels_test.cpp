@@ -11,7 +11,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
-#include "gnn/batch_view.hpp"
+#include "models/gnn/batch_view.hpp"
 #include "numeric/bitmatrix.hpp"
 #include "numeric/matrix.hpp"
 

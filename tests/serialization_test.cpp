@@ -334,5 +334,174 @@ TEST(SerializationTest, ParserRejectsTrailingGarbage) {
     EXPECT_FALSE(parse_json("[1,2").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Back-compat: the ranged reader accepts v2-v4 cache lines verbatim (fields
+// introduced later take their spec defaults), so a disk cache written by an
+// older binary stays warm across the v5 bump.
+// ---------------------------------------------------------------------------
+
+/// A literal schema-v2 line, exactly as the PR 4 binary wrote it: no
+/// soft_error_rate, no online policy / stats, no partitioner block.
+const char* kV2Line =
+    "{\"schema\":2,\"plan\":\"smoke\",\"key\":\"k-v2\",\"plan_index\":3,"
+    "\"result\":{\"spec\":{\"dataset\":\"PPI\",\"model\":\"GCN\","
+    "\"scheme\":\"FARe\",\"mode\":\"train\",\"seed\":7,\"hardware_seed\":null,"
+    "\"record_curve\":false,\"epochs\":2,\"faults\":{\"density\":0.05,"
+    "\"sa1_fraction\":0.5,\"cluster_shape\":1.5,\"post_total_density\":0,"
+    "\"post_epochs\":0,\"post_sa1_fraction\":0.5,\"post_sa1_follows_pre\":true,"
+    "\"faults_on_weights\":true,\"faults_on_adjacency\":true,"
+    "\"read_noise_sigma\":0,\"wear\":{\"endurance_mean_writes\":0,"
+    "\"weibull_shape\":2,\"hot_spot_fraction\":0,\"hot_spot_severity\":8,"
+    "\"writes_per_step\":1},\"arrival_period_batches\":0},\"hardware\":{"
+    "\"num_tiles\":1,\"clip_threshold\":1,\"match_sa0\":1,\"match_sa1\":4,"
+    "\"spare_column_fraction\":0.15,\"max_adjacency_pool\":48}},"
+    "\"run\":{\"scheme\":\"FARe\",\"total_mapping_cost\":12.5,"
+    "\"bist_scans\":1,\"wear_faults\":0,\"train\":{\"test_accuracy\":0.75,"
+    "\"test_macro_f1\":0.5,\"preprocess_seconds\":0.1,\"train_seconds\":2,"
+    "\"curve\":[]}},\"deployment\":{\"trained_accuracy\":0,"
+    "\"deployed_accuracy\":0},\"from_cache\":false,\"wall_seconds\":2.5,"
+    "\"plan_index\":3}}";
+
+/// A literal schema-v3 line (PR 7 era): adds soft_error_rate, the online
+/// policy block and run.online stats; still no partitioner block.
+const char* kV3Line =
+    "{\"schema\":3,\"plan\":\"smoke\",\"key\":\"k-v3\",\"plan_index\":0,"
+    "\"result\":{\"spec\":{\"dataset\":\"PPI\",\"model\":\"GCN\","
+    "\"scheme\":\"Online FARe\",\"mode\":\"train\",\"seed\":1,"
+    "\"hardware_seed\":null,\"record_curve\":false,\"epochs\":3,\"faults\":{"
+    "\"density\":0.01,\"sa1_fraction\":0.5,\"cluster_shape\":1.5,"
+    "\"post_total_density\":0,\"post_epochs\":0,\"post_sa1_fraction\":0.5,"
+    "\"post_sa1_follows_pre\":true,\"faults_on_weights\":true,"
+    "\"faults_on_adjacency\":true,\"read_noise_sigma\":0,"
+    "\"soft_error_rate\":0.004,\"wear\":{\"endurance_mean_writes\":40000,"
+    "\"weibull_shape\":2,\"hot_spot_fraction\":0.25,\"hot_spot_severity\":8,"
+    "\"writes_per_step\":1000},\"arrival_period_batches\":2},\"hardware\":{"
+    "\"num_tiles\":1,\"clip_threshold\":1,\"match_sa0\":1,\"match_sa1\":4,"
+    "\"spare_column_fraction\":0.15,\"max_adjacency_pool\":48,\"online\":{"
+    "\"detect_period_batches\":2,\"march_window\":8,"
+    "\"readback_tolerance\":0.05,\"spare_columns\":4,\"reprogram_pulses\":3}}},"
+    "\"run\":{\"scheme\":\"Online FARe\",\"total_mapping_cost\":3.25,"
+    "\"bist_scans\":2,\"wear_faults\":17,\"online\":{\"detection_rounds\":5,"
+    "\"march_cell_ops\":100,\"readback_checks\":20,\"faults_detected\":9,"
+    "\"soft_repaired\":6,\"repair_writes\":18,\"columns_substituted\":2,"
+    "\"crossbars_exhausted\":0,\"latency_steps_sum\":11,"
+    "\"latency_samples\":4,\"detect_seconds\":0.125,"
+    "\"repair_seconds\":0.0625},\"train\":{\"test_accuracy\":0.625,"
+    "\"test_macro_f1\":0.5,\"preprocess_seconds\":0.2,\"train_seconds\":3,"
+    "\"curve\":[[0.9,0.25,0.3]]}},\"deployment\":{\"trained_accuracy\":0,"
+    "\"deployed_accuracy\":0},\"from_cache\":false,\"wall_seconds\":3.5,"
+    "\"plan_index\":0}}";
+
+TEST(SerializationTest, SchemaV2LineParsesWithDefaults) {
+    const Expected<CellRecord> back = cell_record_from_json(kV2Line);
+    ASSERT_TRUE(back.ok()) << back.error();
+    const CellRecord& record = back.value();
+    EXPECT_EQ(record.schema, 2);
+    EXPECT_EQ(record.key, "k-v2");
+    const CellSpec& spec = record.result.spec;
+    EXPECT_EQ(spec.workload.family, "gnn");
+    EXPECT_EQ(spec.workload.dataset, "PPI");
+    // v3+ fields default, not fail:
+    EXPECT_DOUBLE_EQ(spec.faults.soft_error_rate, 0.0);
+    EXPECT_EQ(record.result.run.online.detection_rounds, 0u);
+    // v4+ fields default:
+    EXPECT_TRUE(spec.partitioner.empty());
+    EXPECT_FALSE(spec.hardware.partition_aware_mapping);
+    EXPECT_EQ(record.result.run.train.partition_quality.parts, 0);
+    // v5 fields default:
+    EXPECT_DOUBLE_EQ(spec.hardware.prune_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(record.result.run.train.test_accuracy, 0.75);
+    // The defaulted spec re-serializes as a valid current-version body.
+    CellRecord rewritten = record;
+    rewritten.schema = kCellJsonSchemaVersion;
+    EXPECT_TRUE(cell_record_from_json(cell_record_to_json(rewritten)).ok());
+}
+
+TEST(SerializationTest, SchemaV3LineParsesWithDefaults) {
+    const Expected<CellRecord> back = cell_record_from_json(kV3Line);
+    ASSERT_TRUE(back.ok()) << back.error();
+    const CellRecord& record = back.value();
+    EXPECT_EQ(record.schema, 3);
+    // Present-in-v3 fields survive:
+    EXPECT_DOUBLE_EQ(record.result.spec.faults.soft_error_rate, 0.004);
+    EXPECT_EQ(record.result.spec.hardware.online.detect_period_batches, 2u);
+    EXPECT_EQ(record.result.run.online.faults_detected, 9u);
+    ASSERT_EQ(record.result.run.train.curve.size(), 1u);
+    // v4/v5 fields default:
+    EXPECT_TRUE(record.result.spec.partitioner.empty());
+    EXPECT_DOUBLE_EQ(record.result.run.off_tile_block_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(record.result.spec.hardware.prune_fraction, 0.0);
+}
+
+TEST(SerializationTest, SchemaV4LineIsTheV5GnnBodyVerbatim) {
+    // For a GNN spec with no pruning the v5 writer emits a byte-for-byte v4
+    // body (family and prune_fraction are written only off their defaults) —
+    // so a v4 line is exactly a v5 line with an older stamp, and it parses.
+    CellRecord record;
+    record.plan = "smoke";
+    record.key = "k-v4";
+    record.result = sample_result();
+    std::string line = cell_record_to_json(record);
+    const std::string v5_stamp =
+        "{\"schema\":" + std::to_string(kCellJsonSchemaVersion) + ",";
+    ASSERT_EQ(line.find(v5_stamp), 0u);
+    line.replace(0, v5_stamp.size(), "{\"schema\":4,");
+    const Expected<CellRecord> back = cell_record_from_json(line);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().schema, 4);
+    EXPECT_EQ(back.value().result.spec.key(), record.result.spec.key());
+}
+
+TEST(SerializationTest, PreV2SchemaIsStillSkipped) {
+    CellRecord record;
+    record.schema = 1;
+    record.key = "k-v1";
+    record.result = sample_result();
+    const Expected<CellRecord> back =
+        cell_record_from_json(cell_record_to_json(record));
+    ASSERT_FALSE(back.ok());
+    EXPECT_NE(back.error().find("schema version"), std::string::npos);
+}
+
+TEST(SerializationTest, TransformerPruneSpecRoundTripsByteExactly) {
+    CellResult r;
+    r.spec.workload = find_workload("transformer", "SeqCls");
+    r.spec.scheme = Scheme::kFARe;
+    r.spec.faults = FaultScenario::pre_deployment(0.03, 0.5);
+    r.spec.hardware.prune_fraction = 0.25;
+    r.spec.seed = 9;
+    const std::string json = cell_result_to_json(r);
+    // v5 fields are present for a non-default spec...
+    EXPECT_NE(json.find("\"family\":\"transformer\""), std::string::npos);
+    EXPECT_NE(json.find("\"model\":\"Transformer\""), std::string::npos);
+    EXPECT_NE(json.find("\"prune_fraction\":0.25"), std::string::npos);
+    // ...and survive the canonical-bytes contract: parse + re-serialize is
+    // byte-identical and the memo key (family tag, prune block) round-trips.
+    const Expected<JsonValue> doc = parse_json(json);
+    ASSERT_TRUE(doc.ok()) << doc.error();
+    const Expected<CellResult> back = cell_result_from_json(doc.value());
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(cell_result_to_json(back.value()), json);
+    EXPECT_EQ(back.value().spec.key(), r.spec.key());
+    EXPECT_EQ(back.value().spec.workload.family, "transformer");
+    EXPECT_DOUBLE_EQ(back.value().spec.hardware.prune_fraction, 0.25);
+}
+
+TEST(SerializationTest, MismatchedFamilyModelIsCorrupt) {
+    // A hand-edited record whose model does not belong to its family must
+    // land in the corrupt-record channel, not silently remap.
+    CellRecord record;
+    record.key = "k-bad";
+    record.result.spec.workload = find_workload("transformer", "SeqCls");
+    std::string line = cell_record_to_json(record);
+    const std::size_t at = line.find("\"model\":\"Transformer\"");
+    ASSERT_NE(at, std::string::npos);
+    line.replace(at, std::string("\"model\":\"Transformer\"").size(),
+                 "\"model\":\"GCN\"");
+    const Expected<CellRecord> back = cell_record_from_json(line);
+    ASSERT_FALSE(back.ok());
+    EXPECT_NE(back.error().find("does not match"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fare

@@ -1,6 +1,6 @@
 // SimSession runner tests: parallel-vs-serial bit-identity, memoization hit
-// accounting, plan-ordered sink reporting, and equivalence of the deprecated
-// free-function wrappers with the declarative path.
+// accounting, plan-ordered sink reporting, and determinism of the
+// declarative CellSpec path.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -9,7 +9,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
-#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
 #include "sim/result_sink.hpp"
 #include "sim/session.hpp"
 
@@ -324,31 +324,29 @@ TEST(SeedStatsSinkTest, AggregatesMeanAndSigmaOverSeeds) {
     EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(SimSessionTest, DeprecatedWrappersMatchDeclarativePath) {
+// The PR 1 positional wrappers (run_accuracy_cell / run_postdeploy_cell)
+// are gone; the declarative CellSpec path below is the only spelling, and
+// this pins its determinism where the wrapper-equivalence test used to live.
+TEST(SimSessionTest, DeclarativeCellPathIsDeterministic) {
     setenv("FARE_EPOCHS", "3", 1);
-    const WorkloadSpec w = find_workload("PPI", GnnKind::kGCN);
-    const auto legacy = run_accuracy_cell(w, Scheme::kFARe, 0.05, 0.5, 1);
-
     CellSpec spec;
-    spec.workload = w;
+    spec.workload = find_workload("PPI", GnnKind::kGCN);
     spec.scheme = Scheme::kFARe;
     spec.faults = FaultScenario::pre_deployment(0.05, 0.5);
     spec.seed = 1;
-    const CellResult declarative = run_cell(spec);
-    EXPECT_DOUBLE_EQ(legacy.train.test_accuracy, declarative.accuracy());
-    EXPECT_DOUBLE_EQ(legacy.total_mapping_cost,
-                     declarative.run.total_mapping_cost);
+    const CellResult first = run_cell(spec);
+    const CellResult second = run_cell(spec);
+    EXPECT_DOUBLE_EQ(first.accuracy(), second.accuracy());
+    EXPECT_DOUBLE_EQ(first.run.total_mapping_cost,
+                     second.run.total_mapping_cost);
 
-    const auto post = run_postdeploy_cell(w, Scheme::kFARe, 0.02, 0.01, 0.5, 1);
     spec.faults = FaultScenario::pre_deployment(0.02, 0.5)
                       .with_post_deployment(0.01);
-    const CellResult post_declarative = run_cell(spec);
-    EXPECT_DOUBLE_EQ(post.train.test_accuracy, post_declarative.accuracy());
+    const CellResult post = run_cell(spec);
+    const CellResult post_again = run_cell(spec);
+    EXPECT_DOUBLE_EQ(post.accuracy(), post_again.accuracy());
     unsetenv("FARE_EPOCHS");
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace fare

@@ -1,4 +1,4 @@
-#include "gnn/trainer.hpp"
+#include "models/gnn/trainer.hpp"
 
 #include "common/error.hpp"
 
